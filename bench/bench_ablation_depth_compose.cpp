@@ -1,0 +1,105 @@
+/// Ablation for §III-B: save depth vs serial composition as alternative
+/// ways to strengthen induced correlation, including the bias cost of each
+/// and the hardware spent.  Uses the LFSR/VDC configuration (the paper's
+/// weakest synchronizer row) and a run-structured ramp/LFSR pair where
+/// depth matters most.
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "bitstream/correlation.hpp"
+#include "bitstream/metrics.hpp"
+#include "core/ops.hpp"
+#include "core/pair_transform.hpp"
+#include "core/synchronizer.hpp"
+#include "hw/cost.hpp"
+#include "hw/designs.hpp"
+
+using namespace sc;
+using bench::cell;
+
+namespace {
+
+struct Stats {
+  double out_scc = 0.0;
+  double abs_bias = 0.0;
+};
+
+template <typename RunPair>
+Stats sweep(const rng::RngSpec& sx, const rng::RngSpec& sy, RunPair run) {
+  ErrorStats out_scc, abs_bias;
+  for (std::uint32_t lx = 16; lx <= 240; lx += 16) {
+    for (std::uint32_t ly = 16; ly <= 240; ly += 16) {
+      const Bitstream x = bench::stream(sx, lx);
+      const Bitstream y = bench::stream(sy, ly);
+      const sc::StreamPair out = run(x, y);
+      if (scc_defined(out.x, out.y)) out_scc.add(scc(out.x, out.y));
+      abs_bias.add(std::abs(out.x.value() - x.value()));
+      abs_bias.add(std::abs(out.y.value() - y.value()));
+    }
+  }
+  return {out_scc.mean(), abs_bias.mean_abs()};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: save depth D vs serial composition (§III-B) ===\n");
+
+  const struct {
+    const char* name;
+    rng::RngSpec sx, sy;
+  } configs[] = {
+      {"LFSR/VDC (paper's weak row)", bench::lfsr_spec(), bench::vdc_spec()},
+      {"Counter/LFSR (long runs)",
+       {rng::RngKind::kCounter, 8, 0, 3, 1, 0},
+       bench::lfsr_spec(7)},
+  };
+
+  for (const auto& cfg : configs) {
+    std::printf("\n-- input config: %s --\n\n", cfg.name);
+
+    std::printf("Depth scaling (single FSM):\n");
+    bench::Table depth_table(
+        {"Depth D", "Out SCC", "Mean |bias|", "Area um2"}, {8, 8, 11, 9});
+    depth_table.print_header();
+    for (unsigned depth : {1u, 2u, 4u, 8u, 16u}) {
+      const Stats s = sweep(cfg.sx, cfg.sy, [depth](const Bitstream& x,
+                                                    const Bitstream& y) {
+        core::Synchronizer sync({depth, false});
+        return core::apply(sync, x, y);
+      });
+      depth_table.print_row(
+          {bench::cell_int(depth), cell(s.out_scc), cell(s.abs_bias, 4),
+           cell(hw::synchronizer_netlist(depth).area_um2(), 1)});
+    }
+    depth_table.print_rule();
+
+    std::printf("\nSerial composition of depth-1 stages:\n");
+    bench::Table stage_table(
+        {"Stages", "Out SCC", "Mean |bias|", "Area um2"}, {7, 8, 11, 9});
+    stage_table.print_header();
+    for (std::size_t stages : {1u, 2u, 4u, 8u}) {
+      const Stats s = sweep(cfg.sx, cfg.sy, [stages](const Bitstream& x,
+                                                     const Bitstream& y) {
+        return core::compose_synchronizers(x, y, stages);
+      });
+      stage_table.print_row(
+          {bench::cell_int(static_cast<std::int64_t>(stages)), cell(s.out_scc),
+           cell(s.abs_bias, 4),
+           cell(hw::synchronizer_netlist(1).area_um2() *
+                    static_cast<double>(stages),
+                1)});
+    }
+    stage_table.print_rule();
+  }
+
+  std::printf(
+      "\nTakeaway (paper §III-B): both knobs strengthen correlation with\n"
+      "diminishing returns; depth is the cheaper way to absorb long runs,\n"
+      "composition reaches maximal correlation but compounds residual bias\n"
+      "unless alternate stages are preloaded (done here).\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+/// Ablation for the §III-B flush extension: end-of-stream bias with and
+/// without the flush tracker across depths, its accuracy effect on
+/// sync-max, and what the tracker hardware costs.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "bitstream/metrics.hpp"
+#include "core/ops.hpp"
+#include "core/pair_transform.hpp"
+#include "core/synchronizer.hpp"
+#include "hw/cost.hpp"
+#include "hw/designs.hpp"
+
+using namespace sc;
+using bench::cell;
+
+namespace {
+
+struct FlushStats {
+  double abs_bias = 0.0;
+  double max_abs_bias = 0.0;
+  double sync_max_err = 0.0;
+};
+
+FlushStats sweep(unsigned depth, bool flush) {
+  ErrorStats bias, max_err;
+  for (std::uint32_t lx = 8; lx <= 248; lx += 8) {
+    for (std::uint32_t ly = 8; ly <= 248; ly += 8) {
+      const Bitstream x = bench::stream(bench::vdc_spec(), lx);
+      const Bitstream y = bench::stream(bench::halton3_spec(), ly);
+      core::Synchronizer sync({depth, flush});
+      const auto out = core::apply(sync, x, y);
+      bias.add(std::abs(out.x.value() - x.value()));
+      bias.add(std::abs(out.y.value() - y.value()));
+      max_err.add(std::abs(core::sync_max(x, y, {depth, flush}).value() -
+                           std::max(lx, ly) / 256.0));
+    }
+  }
+  FlushStats s;
+  s.abs_bias = bias.mean_abs();
+  s.max_abs_bias = bias.max();
+  s.sync_max_err = max_err.mean_abs();
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Ablation: end-of-stream flush (§III-B), VDC x Halton-3, "
+      "N = 256 ===\n\n");
+
+  bench::Table table({"Depth D", "Flush", "Mean |bias|", "Max |bias|",
+                      "sync-max err", "FSM area um2"},
+                     {8, 6, 11, 10, 12, 12});
+  table.print_header();
+  for (unsigned depth : {1u, 2u, 4u, 8u, 16u}) {
+    for (bool flush : {false, true}) {
+      const FlushStats s = sweep(depth, flush);
+      table.print_row(
+          {bench::cell_int(depth), flush ? "yes" : "no", cell(s.abs_bias, 5),
+           cell(s.max_abs_bias, 4), cell(s.sync_max_err, 5),
+           cell(hw::synchronizer_netlist(depth, flush).area_um2(), 1)});
+    }
+    table.print_rule();
+  }
+
+  std::printf(
+      "\nFlush cuts the stranded-bit bias (worst case D/N) at every depth,\n"
+      "at the cost of the offset-tracking hardware - the trade the paper\n"
+      "describes as 'tremendously expensive for large save depth D'.\n");
+  return 0;
+}

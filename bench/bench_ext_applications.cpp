@@ -1,0 +1,137 @@
+/// Extension benchmarks: the paper's circuits inside applications beyond
+/// its own case study.
+///
+///  1. Sobel edge detection - sync-subtract for |gradient| and the desync
+///     saturating adder for the magnitude sum (all three Fig. 5 recipes in
+///     one kernel).
+///  2. ReSC Bernstein function synthesis (gamma correction) - the
+///     decorrelator chain as the copy generator, versus independent
+///     sources and a broken shared source.
+///  3. SC median filter - sync-min/max as sorting-network compare-
+///     exchanges.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "func/bernstein.hpp"
+#include "hw/cost.hpp"
+#include "hw/designs.hpp"
+#include "img/image.hpp"
+#include "img/kernels.hpp"
+#include "img/median.hpp"
+#include "img/sobel.hpp"
+#include "nn/mlp.hpp"
+
+using namespace sc;
+using bench::cell;
+
+int main() {
+  std::printf("=== Extension applications of the correlation circuits ===\n");
+
+  // --- 1. Sobel ------------------------------------------------------------
+  std::printf("\n-- Sobel edge detection (24x24 scene, N = 256) --\n\n");
+  const img::Image scene = img::Image::synthetic_scene(24, 24, 17);
+  img::SobelConfig with;
+  img::SobelConfig without;
+  without.manipulate = false;
+  const img::SobelResult good = img::run_sc_sobel(scene, with);
+  const img::SobelResult bad = img::run_sc_sobel(scene, without);
+
+  bench::Table sobel({"Design", "Abs error", "Manip cells/px",
+                      "Manip power uW/px"},
+                     {26, 10, 14, 17});
+  sobel.print_header();
+  sobel.print_row({"bare XOR/OR (no manip)", cell(bad.error),
+                   bench::cell_int(0), cell(0.0, 2)});
+  sobel.print_row(
+      {"sync-sub + desync-satadd", cell(good.error),
+       bench::cell_int(
+           static_cast<std::int64_t>(good.manipulators.total_cells())),
+       cell(hw::evaluate(good.manipulators).power_uw, 2)});
+  sobel.print_rule();
+  std::printf("error ratio no-manip / manipulated = %.1fx\n",
+              bad.error / good.error);
+
+  // --- 2. ReSC gamma correction ---------------------------------------------
+  std::printf(
+      "\n-- ReSC Bernstein synthesis of gamma = x^2.2 (degree 6, N = 1024) "
+      "--\n\n");
+  const auto gamma = [](double t) { return std::pow(t, 2.2); };
+  const auto coefficients = func::bernstein_coefficients(gamma, 6);
+
+  bench::Table resc({"x", "Bernstein ref", "indep RNGs", "shared RNG",
+                     "decorrelator chain"},
+                    {5, 13, 11, 11, 18});
+  resc.print_header();
+  double err_indep = 0.0, err_shared = 0.0, err_chain = 0.0;
+  int count = 0;
+  for (double x = 0.1; x <= 0.91; x += 0.2) {
+    const double expected = func::bernstein_value(coefficients, x);
+    func::RescConfig config;
+    config.degree = 6;
+    config.stream_length = 1024;
+    config.strategy = func::CopyStrategy::kIndependentSources;
+    const double indep = func::resc_apply(gamma, x, config);
+    config.strategy = func::CopyStrategy::kSharedSource;
+    const double shared = func::resc_apply(gamma, x, config);
+    config.strategy = func::CopyStrategy::kDecorrelatorChain;
+    const double chain = func::resc_apply(gamma, x, config);
+    err_indep += std::abs(indep - expected);
+    err_shared += std::abs(shared - expected);
+    err_chain += std::abs(chain - expected);
+    ++count;
+    resc.print_row({cell(x, 1), cell(expected), cell(indep), cell(shared),
+                    cell(chain)});
+  }
+  resc.print_rule();
+  std::printf(
+      "mean |error|: independent %.3f, shared %.3f, decorrelator chain %.3f\n"
+      "(the chain replaces %d private RNGs with %d shuffle buffers)\n",
+      err_indep / count, err_shared / count, err_chain / count, 5, 5);
+
+  // --- 2b. hybrid SC-binary MLP ------------------------------------------------
+  std::printf(
+      "\n-- hybrid stochastic-binary MLP (XOR net, XNOR+APC MAC, N = 2048) "
+      "--\n\n");
+  {
+    const auto net = nn::xor_network();
+    const double cases[4][2] = {{-0.6, -0.7}, {-0.7, 0.6}, {0.6, -0.6},
+                                {0.7, 0.6}};
+    bench::Table mlp({"RNG strategy", "Mean |out err|", "RNGs needed"},
+                     {18, 14, 11});
+    mlp.print_header();
+    for (auto [strategy, name, rngs] :
+         {std::tuple{nn::RngStrategy::kTwoRngs, "two shared RNGs", 2},
+          std::tuple{nn::RngStrategy::kSingleRng, "single RNG", 1},
+          std::tuple{nn::RngStrategy::kDecorrelated, "RNG + shufflers", 1}}) {
+      nn::MlpConfig config;
+      config.stream_length = 2048;
+      config.strategy = strategy;
+      double err = 0.0;
+      for (const auto& c : cases) {
+        const std::vector<double> x = {c[0], c[1]};
+        err += std::abs(nn::forward_sc(net, x, config)[0] -
+                        nn::forward_float(net, x)[0]);
+      }
+      mlp.print_row({name, cell(err / 4.0), bench::cell_int(rngs)});
+    }
+    mlp.print_rule();
+    std::printf(
+        "the decorrelator-chain row buys two-RNG accuracy with a single\n"
+        "RNG plus per-weight shuffle buffers (paper Fig. 4 in an NN MAC).\n");
+  }
+
+  // --- 3. median filter -------------------------------------------------------
+  std::printf("\n-- SC median filter via sync-min/max network (12x12) --\n\n");
+  const img::Image noisy = img::Image::checkerboard(12, 12, 4);
+  const img::Image reference = img::median3x3(noisy);
+  img::MedianConfig mconfig;
+  const img::Image filtered = img::sc_median_filter(noisy, mconfig);
+  std::printf("  mean |error| vs float median: %.4f\n",
+              img::mean_abs_error(filtered, reference));
+  std::printf("  per-pixel hardware: 25 x (synchronizer + AND + OR) = %.0f "
+              "um2\n",
+              25.0 * (hw::synchronizer_netlist(1).area_um2() + 2.16 + 2.16));
+  return 0;
+}

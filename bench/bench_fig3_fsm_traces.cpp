@@ -1,0 +1,93 @@
+/// Validates and visualizes the Fig. 3 FSMs: prints the full transition
+/// behaviour of the D = 1 synchronizer and desynchronizer on the paper's
+/// canonical stimuli, then the SCC trajectory as streams pass through the
+/// circuits cycle by cycle.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "bitstream/correlation.hpp"
+#include "core/desynchronizer.hpp"
+#include "core/pair_transform.hpp"
+#include "core/synchronizer.hpp"
+
+using namespace sc;
+using bench::cell;
+
+namespace {
+
+void trace_pair_transform(const char* title, core::PairTransform& transform,
+                          const Bitstream& x, const Bitstream& y) {
+  std::printf("%s\n", title);
+  std::printf("  X  in: %s (%.3f)\n", x.to_string().c_str(), x.value());
+  std::printf("  Y  in: %s (%.3f)\n", y.to_string().c_str(), y.value());
+  const auto out = core::apply(transform, x, y);
+  std::printf("  X' out: %s (%.3f)\n", out.x.to_string().c_str(),
+              out.x.value());
+  std::printf("  Y' out: %s (%.3f)\n", out.y.to_string().c_str(),
+              out.y.value());
+  std::printf("  SCC in = %+.3f -> SCC out = %+.3f, residual saved 1s = %u\n\n",
+              scc(x, y), scc(out.x, out.y), transform.saved_ones());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 3: synchronizer / desynchronizer FSM traces ===\n\n");
+
+  {
+    core::Synchronizer sync;
+    trace_pair_transform(
+        "Synchronizer (D=1) on interleaved uncorrelated streams:", sync,
+        Bitstream::from_string("1010101010101010"),
+        Bitstream::from_string("0110011001100110"));
+  }
+  {
+    core::Synchronizer sync;
+    trace_pair_transform("Synchronizer on the paper's Table I SCC=0 pair:",
+                         sync, Bitstream::from_string("10101010"),
+                         Bitstream::from_string("11111100"));
+  }
+  {
+    core::Desynchronizer desync;
+    trace_pair_transform(
+        "Desynchronizer (D=1) on maximally correlated streams:", desync,
+        Bitstream::from_string("1100110011001100"),
+        Bitstream::from_string("1100110011001100"));
+  }
+  {
+    core::Desynchronizer desync;
+    trace_pair_transform("Desynchronizer on the Table I SCC=+1 pair:", desync,
+                         Bitstream::from_string("10101010"),
+                         Bitstream::from_string("10111011"));
+  }
+
+  // SCC trajectory: prefix SCC after k cycles through each FSM.
+  std::printf("Prefix SCC trajectory on VDC x Halton-3 streams (N = 256):\n\n");
+  const Bitstream x = bench::stream(bench::vdc_spec(), 128);
+  const Bitstream y = bench::stream(bench::halton3_spec(), 128);
+  core::Synchronizer sync;
+  core::Desynchronizer desync;
+  const auto synced = core::apply(sync, x, y);
+  const auto desynced = core::apply(desync, x, y);
+
+  bench::Table table({"Prefix", "SCC in", "SCC synced", "SCC desynced"},
+                     {7, 8, 10, 12});
+  table.print_header();
+  for (std::size_t prefix : {16u, 32u, 64u, 128u, 256u}) {
+    auto take = [prefix](const Bitstream& s) {
+      Bitstream out;
+      for (std::size_t i = 0; i < prefix; ++i) out.push_back(s.get(i));
+      return out;
+    };
+    table.print_row({bench::cell_int(static_cast<std::int64_t>(prefix)),
+                     cell(scc(take(x), take(y))),
+                     cell(scc(take(synced.x), take(synced.y))),
+                     cell(scc(take(desynced.x), take(desynced.y)))});
+  }
+  table.print_rule();
+  std::printf(
+      "\nBoth FSMs converge within a few tens of cycles and hold their\n"
+      "target correlation for the rest of the stream.\n");
+  return 0;
+}

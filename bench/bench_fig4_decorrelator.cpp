@@ -1,0 +1,95 @@
+/// Characterizes the Fig. 4 decorrelator: output SCC and bias versus
+/// shuffle-buffer depth, serial composition, downstream multiply accuracy,
+/// and hardware cost - the decorrelator's full design space.
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "bitstream/correlation.hpp"
+#include "bitstream/metrics.hpp"
+#include "core/decorrelator.hpp"
+#include "core/pair_transform.hpp"
+#include "hw/cost.hpp"
+#include "hw/designs.hpp"
+#include "rng/lfsr.hpp"
+
+using namespace sc;
+using bench::cell;
+
+namespace {
+
+struct DepthResult {
+  double out_scc = 0.0;
+  double bias = 0.0;
+  double multiply_error = 0.0;
+};
+
+DepthResult run_depth(std::size_t depth, std::size_t stages) {
+  ErrorStats out_scc, bias, mul_err;
+  for (std::uint32_t lx = 8; lx <= 248; lx += 8) {
+    for (std::uint32_t ly = 8; ly <= 248; ly += 8) {
+      // Same-LFSR pair: maximally positively correlated inputs.
+      const Bitstream x = bench::stream(bench::lfsr_spec(1), lx);
+      const Bitstream y = bench::stream(bench::lfsr_spec(1), ly);
+      sc::StreamPair current{x, y};
+      for (std::size_t s = 0; s < stages; ++s) {
+        core::Decorrelator dec(
+            depth,
+            std::make_unique<rng::Lfsr>(8, static_cast<std::uint32_t>(19 + 2 * s)),
+            std::make_unique<rng::Lfsr>(8, static_cast<std::uint32_t>(37 + 2 * s)));
+        current = core::apply(dec, current.x, current.y);
+      }
+      if (scc_defined(current.x, current.y)) {
+        out_scc.add(scc(current.x, current.y));
+      }
+      bias.add(current.x.value() - x.value());
+      bias.add(current.y.value() - y.value());
+      mul_err.add(std::abs((current.x & current.y).value() -
+                           (lx / 256.0) * (ly / 256.0)));
+    }
+  }
+  return {out_scc.mean(), bias.mean(), mul_err.mean_abs()};
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Fig. 4: decorrelator design space (same-LFSR input pairs, "
+      "input SCC ~ +0.99) ===\n\n");
+
+  std::printf("Depth sweep (single stage):\n\n");
+  bench::Table depth_table({"Depth D", "Out SCC", "Bias", "AND-mult err",
+                            "Area um2", "Power uW"},
+                           {8, 8, 8, 12, 9, 9});
+  depth_table.print_header();
+  for (std::size_t depth : {2u, 4u, 8u, 16u, 32u}) {
+    const DepthResult r = run_depth(depth, 1);
+    const hw::CostReport cost = hw::evaluate(hw::decorrelator_netlist(depth));
+    depth_table.print_row({bench::cell_int(static_cast<std::int64_t>(depth)),
+                           cell(r.out_scc), cell(r.bias),
+                           cell(r.multiply_error), cell(cost.area_um2, 1),
+                           cell(cost.power_uw, 2)});
+  }
+  depth_table.print_rule();
+
+  std::printf("\nSerial composition at D = 4 (paper §III-C):\n\n");
+  bench::Table stage_table({"Stages", "Out SCC", "Bias", "AND-mult err"},
+                           {7, 8, 8, 12});
+  stage_table.print_header();
+  for (std::size_t stages : {1u, 2u, 3u, 4u}) {
+    const DepthResult r = run_depth(4, stages);
+    stage_table.print_row({bench::cell_int(static_cast<std::int64_t>(stages)),
+                           cell(r.out_scc), cell(r.bias),
+                           cell(r.multiply_error)});
+  }
+  stage_table.print_rule();
+
+  std::printf(
+      "\nWithout decorrelation an AND of these same-RNG streams computes\n"
+      "min(pX,pY) instead of the product (Table I); the depth-4 single-stage\n"
+      "decorrelator already recovers multiplication to a few LSBs.\n");
+  return 0;
+}

@@ -1,0 +1,129 @@
+/// Reproduces paper Table III: average absolute error, bias, area, power,
+/// and energy for the SC maximum/minimum designs at N = 256:
+///   OR max | CA max | sync max | AND min | sync min
+///
+/// Accuracy: exhaustive sweep over all input value pairs with the paper's
+/// RNG configuration (VDC for X, base-3 Halton for Y).  Hardware: the
+/// calibrated 65nm-class cost model at the Table III operating point
+/// (see hw/cells.hpp for the calibration note).  Paper numbers printed
+/// alongside for comparison.
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+
+#include "arith/minmax.hpp"
+#include "bench_util.hpp"
+#include "bitstream/metrics.hpp"
+#include "core/ops.hpp"
+#include "hw/cost.hpp"
+#include "hw/designs.hpp"
+
+using namespace sc;
+using bench::cell;
+
+namespace {
+
+struct Accuracy {
+  double abs_error = 0.0;
+  double bias = 0.0;
+};
+
+Accuracy sweep(const std::function<Bitstream(const Bitstream&, const Bitstream&)>& op,
+               bool is_max, std::uint32_t stride) {
+  ErrorStats err;
+  for (std::uint32_t lx = 0; lx <= 256; lx += stride) {
+    for (std::uint32_t ly = 0; ly <= 256; ly += stride) {
+      const Bitstream x = bench::stream(bench::vdc_spec(), lx);
+      const Bitstream y = bench::stream(bench::halton3_spec(), ly);
+      const double exact =
+          (is_max ? std::max(lx, ly) : std::min(lx, ly)) / 256.0;
+      err.add(op(x, y).value() - exact);
+    }
+  }
+  return {err.mean_abs(), err.mean()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint32_t stride = argc > 1 ? std::atoi(argv[1]) : 1;
+
+  std::printf(
+      "=== Table III: SC maximum / minimum designs (N = 256, stride %u) ===\n"
+      "accuracy: exhaustive VDC x Halton-3 sweep; hardware: calibrated\n"
+      "65nm-class model @ 100 MHz, 2^16-cycle op (paper operating point)\n\n",
+      stride);
+
+  struct Design {
+    const char* name;
+    std::function<Bitstream(const Bitstream&, const Bitstream&)> op;
+    bool is_max;
+    hw::Netlist netlist;
+    double paper_err, paper_bias, paper_area, paper_power, paper_energy;
+  };
+
+  const Design designs[] = {
+      {"OR Max", [](const Bitstream& x, const Bitstream& y) { return arith::or_max(x, y); },
+       true, hw::or_gate_netlist(), 0.087, 0.087, 2.16, 0.26, 165},
+      {"CA Max", [](const Bitstream& x, const Bitstream& y) { return arith::ca_max(x, y); },
+       true, hw::ca_max_netlist(), 0.006, 0.001, 252.36, 56.7, 36288},
+      {"Sync Max", [](const Bitstream& x, const Bitstream& y) { return core::sync_max(x, y); },
+       true, hw::sync_max_netlist(1), 0.003, 0.003, 48.6, 4.89, 3130},
+      {"AND Min", [](const Bitstream& x, const Bitstream& y) { return arith::and_min(x, y); },
+       false, hw::and_gate_netlist(), 0.082, -0.082, 2.16, 0.25, 158},
+      {"Sync Min", [](const Bitstream& x, const Bitstream& y) { return core::sync_min(x, y); },
+       false, hw::sync_min_netlist(1), 0.005, 0.005, 45.0, 8.38, 5363},
+  };
+
+  bench::Table table({"Design", "Abs err", "Bias", "Area um2", "Power uW",
+                      "Energy pJ", "paper err/area/energy"},
+                     {9, 8, 8, 9, 9, 10, 22});
+  table.print_header();
+
+  double sync_energy = 0.0, ca_energy = 0.0;
+  double sync_area = 0.0, ca_area = 0.0;
+  for (const Design& d : designs) {
+    const Accuracy acc = sweep(d.op, d.is_max, stride);
+    const hw::CostReport cost = hw::evaluate(d.netlist);
+    if (std::string(d.name) == "Sync Max") {
+      sync_energy = cost.energy_pj;
+      sync_area = cost.area_um2;
+    }
+    if (std::string(d.name) == "CA Max") {
+      ca_energy = cost.energy_pj;
+      ca_area = cost.area_um2;
+    }
+    table.print_row({d.name, cell(acc.abs_error), cell(acc.bias),
+                     cell(cost.area_um2, 1), cell(cost.power_uw, 2),
+                     cell(cost.energy_pj, 0),
+                     cell(d.paper_err) + "/" + cell(d.paper_area, 1) + "/" +
+                         cell(d.paper_energy, 0)});
+  }
+  table.print_rule();
+
+  std::printf(
+      "\nHeadline factors (paper: CA max is 5.2x larger and 11.6x more\n"
+      "energy-hungry than sync max):\n"
+      "  area  ratio CA/sync   = %.1fx\n"
+      "  energy ratio CA/sync  = %.1fx\n",
+      ca_area / sync_area, ca_energy / sync_energy);
+
+  // Depth ablation appendix: accuracy/cost of sync max vs save depth.
+  std::printf("\nSync-max save-depth trade-off (paper §III-D):\n\n");
+  bench::Table depth_table({"Depth D", "Abs err", "Area um2", "Power uW"},
+                           {8, 9, 9, 9});
+  depth_table.print_header();
+  for (unsigned depth : {1u, 2u, 4u, 8u}) {
+    const Accuracy acc = sweep(
+        [depth](const Bitstream& x, const Bitstream& y) {
+          return core::sync_max(x, y, {depth, false});
+        },
+        true, std::max(stride, 4u));
+    const hw::CostReport cost = hw::evaluate(hw::sync_max_netlist(depth));
+    depth_table.print_row({bench::cell_int(depth), cell(acc.abs_error),
+                           cell(cost.area_um2, 1), cell(cost.power_uw, 2)});
+  }
+  depth_table.print_rule();
+  return 0;
+}

@@ -1,0 +1,162 @@
+/// Google-benchmark microbenchmarks: simulation throughput of every
+/// circuit in the library across stream lengths.  These measure *this
+/// implementation's* software speed (bits simulated per second), which is
+/// what determines how large a design-space sweep the repository can run.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "arith/add.hpp"
+#include "arith/minmax.hpp"
+#include "bench_util.hpp"
+#include "bitstream/correlation.hpp"
+#include "convert/regenerator.hpp"
+#include "core/decorrelator.hpp"
+#include "core/desynchronizer.hpp"
+#include "core/ops.hpp"
+#include "core/pair_transform.hpp"
+#include "core/synchronizer.hpp"
+#include "core/tfm.hpp"
+#include "img/image.hpp"
+#include "img/sc_pipeline.hpp"
+#include "rng/lfsr.hpp"
+
+using namespace sc;
+
+namespace {
+
+Bitstream input_x(std::size_t n) {
+  return bench::stream(bench::vdc_spec(), 100, n);
+}
+Bitstream input_y(std::size_t n) {
+  return bench::stream(bench::halton3_spec(), 180, n);
+}
+
+void BM_SngGeneration(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench::stream(bench::lfsr_spec(), 128, n));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SngGeneration)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_WordParallelAnd(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Bitstream x = input_x(n), y = input_y(n);
+  for (auto _ : state) benchmark::DoNotOptimize(x & y);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_WordParallelAnd)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_SccComputation(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Bitstream x = input_x(n), y = input_y(n);
+  for (auto _ : state) benchmark::DoNotOptimize(scc(x, y));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SccComputation)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_Synchronizer(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Bitstream x = input_x(n), y = input_y(n);
+  for (auto _ : state) {
+    core::Synchronizer sync({static_cast<unsigned>(state.range(1)), false});
+    benchmark::DoNotOptimize(core::apply(sync, x, y));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Synchronizer)
+    ->Args({256, 1})
+    ->Args({256, 8})
+    ->Args({4096, 1})
+    ->Args({4096, 8});
+
+void BM_Desynchronizer(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Bitstream x = input_x(n), y = input_y(n);
+  for (auto _ : state) {
+    core::Desynchronizer desync;
+    benchmark::DoNotOptimize(core::apply(desync, x, y));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Desynchronizer)->Arg(256)->Arg(4096);
+
+void BM_Decorrelator(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Bitstream x = input_x(n), y = input_y(n);
+  for (auto _ : state) {
+    core::Decorrelator dec(static_cast<std::size_t>(state.range(1)),
+                           std::make_unique<rng::Lfsr>(8, 19),
+                           std::make_unique<rng::Lfsr>(8, 37));
+    benchmark::DoNotOptimize(core::apply(dec, x, y));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Decorrelator)->Args({256, 4})->Args({256, 32})->Args({4096, 4});
+
+void BM_Tfm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Bitstream x = input_x(n), y = input_y(n);
+  core::TrackingForecastMemory::Config config;
+  for (auto _ : state) {
+    core::TfmPair tfm(config, std::make_unique<rng::Lfsr>(8, 31),
+                      std::make_unique<rng::Lfsr>(8, 47));
+    benchmark::DoNotOptimize(core::apply(tfm, x, y));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Tfm)->Arg(256)->Arg(4096);
+
+void BM_SyncMax(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Bitstream x = input_x(n), y = input_y(n);
+  for (auto _ : state) benchmark::DoNotOptimize(core::sync_max(x, y));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SyncMax)->Arg(256)->Arg(4096);
+
+void BM_CaMax(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Bitstream x = input_x(n), y = input_y(n);
+  for (auto _ : state) benchmark::DoNotOptimize(arith::ca_max(x, y));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_CaMax)->Arg(256)->Arg(4096);
+
+void BM_Regeneration(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Bitstream x = input_x(n);
+  for (auto _ : state) {
+    rng::Lfsr source(8, 41);
+    benchmark::DoNotOptimize(convert::regenerate(x, source));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Regeneration)->Arg(256)->Arg(4096);
+
+void BM_PipelineTile(benchmark::State& state) {
+  const img::Image scene = img::Image::synthetic_scene(10, 10, 5);
+  const auto variant = static_cast<img::Variant>(state.range(0));
+  img::PipelineConfig config;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(img::run_pipeline(scene, variant, config));
+  }
+}
+BENCHMARK(BM_PipelineTile)->Arg(0)->Arg(1)->Arg(2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+/// \file bench_util.hpp
+/// Shared helpers for the reproduction benches: canonical stream
+/// generation from the paper's RNG configurations and fixed-width table
+/// printing that mirrors the paper's table layout.
+
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bitstream/bitstream.hpp"
+#include "convert/sng.hpp"
+#include "rng/factory.hpp"
+
+namespace sc::bench {
+
+inline constexpr unsigned kWidth = 8;   // natural stream length 256
+inline constexpr std::size_t kN = 256;  // paper's evaluation length
+
+/// Fresh stream of integer level `level` in [0, 256] from the given spec.
+inline Bitstream stream(const rng::RngSpec& spec, std::uint32_t level,
+                        std::size_t n = kN) {
+  convert::Sng sng(rng::make_rng(spec));
+  return sng.generate(level, n);
+}
+
+inline rng::RngSpec vdc_spec() {
+  return {rng::RngKind::kVanDerCorput, kWidth, 0, 3, 1, 0};
+}
+inline rng::RngSpec halton3_spec() {
+  return {rng::RngKind::kHalton, kWidth, 0, 3, 1, 0};
+}
+inline rng::RngSpec lfsr_spec(std::uint32_t seed = 1) {
+  return {rng::RngKind::kLfsr, kWidth, seed, 3, 1, 0};
+}
+inline rng::RngSpec sobol_spec(unsigned dimension = 2) {
+  return {rng::RngKind::kSobol, kWidth, 0, 3, dimension, 0};
+}
+
+/// Minimal fixed-width console table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers,
+                 std::vector<int> widths)
+      : headers_(std::move(headers)), widths_(std::move(widths)) {}
+
+  void print_header() const {
+    print_rule();
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      std::printf("| %-*s ", widths_[i], headers_[i].c_str());
+    }
+    std::printf("|\n");
+    print_rule();
+  }
+
+  void print_row(const std::vector<std::string>& cells) const {
+    for (std::size_t i = 0; i < cells.size() && i < widths_.size(); ++i) {
+      std::printf("| %-*s ", widths_[i], cells[i].c_str());
+    }
+    std::printf("|\n");
+  }
+
+  void print_rule() const {
+    for (int w : widths_) {
+      std::printf("+");
+      for (int i = 0; i < w + 2; ++i) std::printf("-");
+    }
+    std::printf("+\n");
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<int> widths_;
+};
+
+/// printf-style float cell.
+inline std::string cell(double value, int precision = 3) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+inline std::string cell_int(std::int64_t value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%lld",
+                static_cast<long long>(value));
+  return buffer;
+}
+
+}  // namespace sc::bench

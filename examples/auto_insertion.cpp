@@ -1,0 +1,59 @@
+/// Example: correlation-aware dataflow construction with automatic
+/// insertion of the paper's manipulating circuits.
+///
+/// Builds the expression  e = |a*b - c|  (a multiply feeding a subtractor),
+/// lets the planner discover that (1) the multiply's operands share an RNG
+/// and need a decorrelator, and (2) the subtractor's operands have shared
+/// ancestry and need a synchronizer - then executes the graph bit-true
+/// under each strategy and prices the inserted hardware.
+
+#include <cstdio>
+
+#include "graph/dataflow.hpp"
+#include "graph/executor.hpp"
+#include "graph/planner.hpp"
+#include "hw/cost.hpp"
+
+using namespace sc::graph;
+
+int main() {
+  // --- build |a*b - c| with a deliberately lazy RNG budget -----------------
+  DataflowGraph g;
+  const NodeId a = g.add_input("a", 0.8, /*rng_group=*/0);
+  const NodeId b = g.add_input("b", 0.6, 0);  // shares a's RNG (cheap!)
+  const NodeId c = g.add_input("c", 0.3, 1);
+  const NodeId ab = g.add_op(OpKind::kMultiply, a, b);
+  const NodeId e = g.add_op(OpKind::kSubtractAbs, ab, c);
+  g.mark_output(e);
+
+  std::printf("expression: e = |a*b - c|, a=0.8 b=0.6 c=0.3\n");
+  std::printf("exact value: %.4f\n\n", g.exact_value(e));
+
+  for (Strategy strategy :
+       {Strategy::kNone, Strategy::kRegeneration, Strategy::kManipulation}) {
+    const Plan plan = plan_insertions(g, strategy);
+    const ExecutionResult result = execute(g, plan);
+    const sc::hw::CostReport cost = sc::hw::evaluate(plan.overhead);
+
+    std::printf("strategy %-16s -> e = %.4f (|err| = %.4f), inserted %zu "
+                "units, %6.1f um2, %5.2f uW\n",
+                to_string(strategy).c_str(), result.values[0],
+                result.abs_errors[0], plan.inserted_units, cost.area_um2,
+                cost.power_uw);
+    for (const PlannedFix& fix : plan.fixes) {
+      if (fix.fix == FixKind::kNone) continue;
+      std::printf("    node %u (%s): operands %s, requirement %s -> insert "
+                  "%s\n",
+                  fix.op_node, to_string(fix.op).c_str(),
+                  to_string(fix.relation).c_str(),
+                  to_string(fix.requirement).c_str(),
+                  to_string(fix.fix).c_str());
+    }
+  }
+
+  std::printf(
+      "\nwithout fixes the same-RNG multiply computes min(a,b) and the\n"
+      "subtractor sees the wrong correlation; the manipulation plan fixes\n"
+      "both in-stream at a fraction of regeneration's power.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+/// Example: the paper's §IV Gaussian-blur + Roberts-cross accelerator on a
+/// user image (PGM) or a synthetic scene, comparing the three correlation
+/// management strategies and writing all outputs as PGM files.
+///
+/// Usage:
+///   ./examples/image_pipeline                 # 48x48 synthetic scene
+///   ./examples/image_pipeline input.pgm       # your own grayscale image
+///   ./examples/image_pipeline input.pgm out/  # choose output directory
+
+#include <cstdio>
+#include <string>
+
+#include "img/image.hpp"
+#include "img/kernels.hpp"
+#include "img/sc_pipeline.hpp"
+
+using namespace sc::img;
+
+int main(int argc, char** argv) {
+  Image input;
+  if (argc > 1) {
+    std::string error;
+    input = Image::load_pgm(argv[1], &error);
+    if (input.empty()) {
+      std::fprintf(stderr, "failed to load %s: %s\n", argv[1], error.c_str());
+      return 1;
+    }
+    std::printf("loaded %s (%zux%zu)\n", argv[1], input.width(),
+                input.height());
+  } else {
+    input = Image::synthetic_scene(48, 48, 2026);
+    std::printf("using 48x48 synthetic scene (pass a .pgm path to override)\n");
+  }
+  const std::string out_dir = argc > 2 ? argv[2] : "/tmp";
+
+  PipelineConfig config;  // N = 256, 10x10 tiles, depth-2 synchronizers
+
+  std::printf("\n%-22s %12s %14s %10s\n", "design", "area (um2)",
+              "energy (nJ/f)", "abs error");
+  std::printf("%-22s %12s %14s %10s\n", "floating point", "-", "-", "0.000");
+
+  const Image reference = reference_pipeline(input);
+  reference.save_pgm(out_dir + "/pipeline_float.pgm");
+
+  for (Variant variant : {Variant::kNoManipulation, Variant::kRegeneration,
+                          Variant::kSynchronizer}) {
+    const PipelineResult result = run_pipeline(input, variant, config);
+    std::printf("%-22s %12.0f %14.1f %10.3f\n", to_string(variant).c_str(),
+                result.cost.report.area_um2, result.cost.energy_nj_frame,
+                result.error);
+    std::string name = out_dir + "/pipeline_";
+    switch (variant) {
+      case Variant::kNoManipulation:
+        name += "none.pgm";
+        break;
+      case Variant::kRegeneration:
+        name += "regen.pgm";
+        break;
+      case Variant::kSynchronizer:
+        name += "sync.pgm";
+        break;
+    }
+    result.output.save_pgm(name);
+  }
+
+  input.save_pgm(out_dir + "/pipeline_input.pgm");
+  std::printf(
+      "\nwrote pipeline_{input,float,none,regen,sync}.pgm to %s\n"
+      "look at pipeline_none.pgm: without correlation manipulation the\n"
+      "XOR edge detector fires everywhere; the synchronizer restores the\n"
+      "clean edge map at a fraction of regeneration's energy.\n",
+      out_dir.c_str());
+  return 0;
+}

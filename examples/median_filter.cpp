@@ -1,0 +1,74 @@
+/// Example: an application the paper enables but does not build - a full
+/// SC 3x3 median filter whose compare-exchange elements are the paper's
+/// synchronizer-based min/max (one synchronizer feeds both the AND-min and
+/// the OR-max of each exchange).  Demonstrates composing the improved
+/// operators into a 25-element sorting network.
+///
+/// Usage:
+///   ./examples/median_filter              # synthetic noisy scene
+///   ./examples/median_filter input.pgm    # your own image
+
+#include <cstdio>
+#include <random>
+#include <string>
+
+#include "img/image.hpp"
+#include "img/kernels.hpp"
+#include "img/median.hpp"
+
+using namespace sc::img;
+
+int main(int argc, char** argv) {
+  Image clean;
+  if (argc > 1) {
+    std::string error;
+    clean = Image::load_pgm(argv[1], &error);
+    if (clean.empty()) {
+      std::fprintf(stderr, "failed to load %s: %s\n", argv[1], error.c_str());
+      return 1;
+    }
+  } else {
+    clean = Image::blobs(32, 32, 77);
+  }
+
+  // Add salt & pepper noise - the workload median filters exist for.
+  Image noisy = clean;
+  std::mt19937 gen(99);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  for (std::size_t y = 0; y < noisy.height(); ++y) {
+    for (std::size_t x = 0; x < noisy.width(); ++x) {
+      const double c = coin(gen);
+      if (c < 0.04) noisy.at(x, y) = 1.0;
+      if (c > 0.96) noisy.at(x, y) = 0.0;
+    }
+  }
+
+  const Image reference = median3x3(noisy);
+
+  MedianConfig config;
+  config.stream_length = 256;
+  config.sync_depth = 1;
+  const Image sc_filtered = sc_median_filter(noisy, config);
+
+  std::printf("3x3 median filter via sync-min/max sorting network\n");
+  std::printf("  image:                 %zux%zu\n", noisy.width(),
+              noisy.height());
+  std::printf("  noisy vs clean:        mean |err| = %.4f\n",
+              mean_abs_error(noisy, clean));
+  std::printf("  float median vs clean: mean |err| = %.4f\n",
+              mean_abs_error(reference, clean));
+  std::printf("  SC median vs float:    mean |err| = %.4f\n",
+              mean_abs_error(sc_filtered, reference));
+  std::printf("  SC median vs clean:    mean |err| = %.4f\n",
+              mean_abs_error(sc_filtered, clean));
+
+  noisy.save_pgm("/tmp/median_noisy.pgm");
+  reference.save_pgm("/tmp/median_float.pgm");
+  sc_filtered.save_pgm("/tmp/median_sc.pgm");
+  std::printf(
+      "\nwrote /tmp/median_{noisy,float,sc}.pgm\n"
+      "25 compare-exchanges x (1 synchronizer + AND + OR) per pixel: the\n"
+      "whole datapath is gates plus 2-flop FSMs - no binary conversion\n"
+      "anywhere inside the network.\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+#include "arith/add.hpp"
+
+#include <cassert>
+
+#include "arith/gates.hpp"
+
+namespace sc::arith {
+
+Bitstream scaled_add(const Bitstream& x, const Bitstream& y,
+                     const Bitstream& sel) {
+  return Bitstream::mux(x, y, sel);
+}
+
+Bitstream scaled_add(const Bitstream& x, const Bitstream& y,
+                     rng::RandomSource& sel_source) {
+  assert(x.size() == y.size());
+  Bitstream sel;
+  sel.reserve(x.size());
+  const std::uint32_t msb = 1u << (sel_source.width() - 1);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sel.push_back((sel_source.next() & msb) != 0);
+  }
+  return Bitstream::mux(x, y, sel);
+}
+
+Bitstream saturating_add(const Bitstream& x, const Bitstream& y) {
+  return or_gate(x, y);
+}
+
+Bitstream toggle_add(const Bitstream& x, const Bitstream& y) {
+  assert(x.size() == y.size());
+  Bitstream out;
+  out.reserve(x.size());
+  ToggleAdder adder;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out.push_back(adder.step(x.get(i), y.get(i)));
+  }
+  return out;
+}
+
+}  // namespace sc::arith

@@ -1,0 +1,18 @@
+#include "arith/divide.hpp"
+
+#include <cassert>
+
+namespace sc::arith {
+
+Bitstream divide(const Bitstream& x, const Bitstream& y) {
+  assert(x.size() == y.size());
+  Bitstream out;
+  out.reserve(x.size());
+  Cordiv div;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out.push_back(div.step(x.get(i), y.get(i)));
+  }
+  return out;
+}
+
+}  // namespace sc::arith

@@ -1,0 +1,22 @@
+#include "arith/gates.hpp"
+
+namespace sc::arith {
+
+Bitstream and_gate(const Bitstream& x, const Bitstream& y) { return x & y; }
+
+Bitstream or_gate(const Bitstream& x, const Bitstream& y) { return x | y; }
+
+Bitstream xor_gate(const Bitstream& x, const Bitstream& y) { return x ^ y; }
+
+Bitstream xnor_gate(const Bitstream& x, const Bitstream& y) {
+  return ~(x ^ y);
+}
+
+Bitstream not_gate(const Bitstream& x) { return ~x; }
+
+Bitstream mux_gate(const Bitstream& x, const Bitstream& y,
+                   const Bitstream& sel) {
+  return Bitstream::mux(x, y, sel);
+}
+
+}  // namespace sc::arith

@@ -1,0 +1,35 @@
+/// \file gates.hpp
+/// Named combinational gate primitives on whole bitstreams.
+///
+/// These are thin wrappers over the word-parallel Bitstream operators; the
+/// names document the SC function each gate computes *when its operands have
+/// the correlation the function requires* (paper Table I / Fig. 2).
+
+#pragma once
+
+#include "bitstream/bitstream.hpp"
+
+namespace sc::arith {
+
+/// AND: multiply for uncorrelated operands; min(pX, pY) at SCC = +1;
+/// max(0, pX + pY - 1) at SCC = -1 (paper Table I).
+Bitstream and_gate(const Bitstream& x, const Bitstream& y);
+
+/// OR: saturating add min(1, pX + pY) at SCC = -1; max(pX, pY) at SCC = +1.
+Bitstream or_gate(const Bitstream& x, const Bitstream& y);
+
+/// XOR: absolute difference |pX - pY| at SCC = +1.
+Bitstream xor_gate(const Bitstream& x, const Bitstream& y);
+
+/// XNOR: bipolar multiply for uncorrelated operands.
+Bitstream xnor_gate(const Bitstream& x, const Bitstream& y);
+
+/// NOT: computes 1 - pX (unipolar) / -pX (bipolar).
+Bitstream not_gate(const Bitstream& x);
+
+/// MUX: out = sel ? y : x.  Scaled add with a pR = 0.5 select stream
+/// uncorrelated with both operands.
+Bitstream mux_gate(const Bitstream& x, const Bitstream& y,
+                   const Bitstream& sel);
+
+}  // namespace sc::arith

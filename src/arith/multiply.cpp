@@ -1,0 +1,15 @@
+#include "arith/multiply.hpp"
+
+#include "arith/gates.hpp"
+
+namespace sc::arith {
+
+Bitstream multiply(const Bitstream& x, const Bitstream& y) {
+  return and_gate(x, y);
+}
+
+Bitstream multiply_bipolar(const Bitstream& x, const Bitstream& y) {
+  return xnor_gate(x, y);
+}
+
+}  // namespace sc::arith

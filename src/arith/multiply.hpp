@@ -1,0 +1,20 @@
+/// \file multiply.hpp
+/// SC multiplication (paper Fig. 2d).
+///
+/// Unipolar multiply is a single AND gate and is exact when the operands are
+/// uncorrelated (SCC = 0): P(X=1, Y=1) = pX * pY.  Bipolar multiply is an
+/// XNOR gate under the same independence requirement.
+
+#pragma once
+
+#include "bitstream/bitstream.hpp"
+
+namespace sc::arith {
+
+/// Unipolar multiply: z = x AND y.  Requires SCC(x, y) = 0 for accuracy.
+Bitstream multiply(const Bitstream& x, const Bitstream& y);
+
+/// Bipolar multiply: z = x XNOR y.  Requires SCC(x, y) = 0 for accuracy.
+Bitstream multiply_bipolar(const Bitstream& x, const Bitstream& y);
+
+}  // namespace sc::arith

@@ -1,0 +1,11 @@
+#include "arith/subtract.hpp"
+
+#include "arith/gates.hpp"
+
+namespace sc::arith {
+
+Bitstream subtract_abs(const Bitstream& x, const Bitstream& y) {
+  return xor_gate(x, y);
+}
+
+}  // namespace sc::arith

@@ -1,0 +1,20 @@
+/// \file subtract.hpp
+/// SC subtraction (paper Fig. 2c): absolute difference via XOR.
+///
+/// With maximally positively correlated operands (SCC = +1) the 1s of the
+/// smaller stream are a subset of the larger stream's 1s, so XOR leaves
+/// exactly |pX - pY|.  At lower correlation the XOR output value grows up to
+/// pX + pY - 2 pX pY (independent operands), so the subtractor *requires*
+/// positive correlation - the motivating consumer for the paper's
+/// synchronizer in the image pipeline's Roberts-cross kernel.
+
+#pragma once
+
+#include "bitstream/bitstream.hpp"
+
+namespace sc::arith {
+
+/// Absolute difference: z = x XOR y.  Requires SCC(x, y) = +1 for accuracy.
+Bitstream subtract_abs(const Bitstream& x, const Bitstream& y);
+
+}  // namespace sc::arith

@@ -1,0 +1,63 @@
+/// \file correlation.hpp
+/// Stochastic cross-correlation (SCC) and related pairwise statistics.
+///
+/// SCC is the standard correlation metric for stochastic computing, defined
+/// by Alaghi & Hayes (ICCD 2013) and restated in Lee et al. (DATE 2018):
+///
+///              ad - bc
+///   SCC = ---------------------------------   if ad > bc
+///          N*min(a+b, a+c) - (a+b)(a+c)
+///
+///              ad - bc
+///       = ---------------------------------   otherwise
+///          (a+b)(a+c) - N*max(a - d, 0)
+///
+/// where over the N stream positions a = #{X=1,Y=1}, b = #{X=1,Y=0},
+/// c = #{X=0,Y=1}, d = #{X=0,Y=0}.  SCC = +1 means maximal positive
+/// correlation (the 1s overlap as much as the values allow), SCC = -1 means
+/// maximal negative correlation (minimal overlap), and SCC = 0 means the
+/// overlap equals the independence expectation a = N*pX*pY.
+
+#pragma once
+
+#include <cstdint>
+
+#include "bitstream/bitstream.hpp"
+
+namespace sc {
+
+/// Joint 2x2 occupancy counts of two equal-length streams.
+struct OverlapCounts {
+  std::uint64_t a = 0;  ///< positions where X=1 and Y=1
+  std::uint64_t b = 0;  ///< positions where X=1 and Y=0
+  std::uint64_t c = 0;  ///< positions where X=0 and Y=1
+  std::uint64_t d = 0;  ///< positions where X=0 and Y=0
+
+  std::uint64_t n() const noexcept { return a + b + c + d; }
+};
+
+/// Computes the joint occupancy counts of X and Y (word-parallel).
+/// Precondition: x.size() == y.size().
+OverlapCounts overlap(const Bitstream& x, const Bitstream& y);
+
+/// SCC computed directly from occupancy counts.
+/// Degenerate pairs (either stream constant, i.e. value 0 or 1) have a zero
+/// denominator; this function returns 0 for them.
+double scc(const OverlapCounts& counts);
+
+/// SCC of two equal-length streams.  See scc(const OverlapCounts&).
+double scc(const Bitstream& x, const Bitstream& y);
+
+/// True when SCC is mathematically defined for this pair, i.e. neither
+/// stream is constant (all-0s or all-1s).  Averages of SCC over value sweeps
+/// (paper Table II) exclude undefined pairs.
+bool scc_defined(const OverlapCounts& counts);
+bool scc_defined(const Bitstream& x, const Bitstream& y);
+
+/// Pearson product-moment correlation of the two bit sequences, an auxiliary
+/// diagnostic (the paper argues SCC is the right metric because it is
+/// insensitive to the stream values; Pearson is not).  Returns 0 when either
+/// stream is constant.
+double pearson(const Bitstream& x, const Bitstream& y);
+
+}  // namespace sc

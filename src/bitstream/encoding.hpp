@@ -1,0 +1,46 @@
+/// \file encoding.hpp
+/// Value <-> level quantization helpers for unipolar and bipolar encodings.
+///
+/// A length-N stream can represent the N+1 levels {0/N, 1/N, ..., N/N}
+/// (unipolar) or {-1, -1+2/N, ..., +1} (bipolar).  Digital-to-stochastic
+/// conversion quantizes a real value to the nearest level; these helpers
+/// centralize that arithmetic so converters, kernels, and tests agree on the
+/// rounding rule (round-half-up, clamped to the representable range).
+
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace sc {
+
+/// Quantizes a unipolar value p in [0,1] to an integer level in [0, n].
+inline std::uint32_t unipolar_level(double p, std::uint32_t n) {
+  const double clamped = std::clamp(p, 0.0, 1.0);
+  return static_cast<std::uint32_t>(
+      std::lround(clamped * static_cast<double>(n)));
+}
+
+/// Value of a unipolar level: level / n.
+inline double unipolar_value(std::uint32_t level, std::uint32_t n) {
+  return n == 0 ? 0.0 : static_cast<double>(level) / static_cast<double>(n);
+}
+
+/// Quantizes a bipolar value v in [-1,1] to an integer level in [0, n]
+/// (the level of the underlying unipolar stream, p = (v+1)/2).
+inline std::uint32_t bipolar_level(double v, std::uint32_t n) {
+  return unipolar_level((std::clamp(v, -1.0, 1.0) + 1.0) / 2.0, n);
+}
+
+/// Bipolar value of a level: 2*(level/n) - 1.
+inline double bipolar_value(std::uint32_t level, std::uint32_t n) {
+  return 2.0 * unipolar_value(level, n) - 1.0;
+}
+
+/// Quantization step of a length-n stream (the LSB weight), 1/n.
+inline double quantum(std::uint32_t n) {
+  return n == 0 ? 0.0 : 1.0 / static_cast<double>(n);
+}
+
+}  // namespace sc

@@ -1,0 +1,42 @@
+#include "bitstream/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sc {
+
+double bias(const Bitstream& x, double reference) {
+  return x.value() - reference;
+}
+
+double abs_error(const Bitstream& x, double reference) {
+  return std::abs(x.value() - reference);
+}
+
+void ErrorStats::add(double sample) {
+  if (count_ == 0) {
+    min_ = sample;
+    max_ = sample;
+  } else {
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+  }
+  ++count_;
+  sum_ += sample;
+  sum_abs_ += std::abs(sample);
+  sum_sq_ += sample * sample;
+}
+
+double ErrorStats::mean() const noexcept {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double ErrorStats::mean_abs() const noexcept {
+  return count_ == 0 ? 0.0 : sum_abs_ / static_cast<double>(count_);
+}
+
+double ErrorStats::rms() const noexcept {
+  return count_ == 0 ? 0.0 : std::sqrt(sum_sq_ / static_cast<double>(count_));
+}
+
+}  // namespace sc

@@ -1,0 +1,47 @@
+/// \file metrics.hpp
+/// Accuracy metrics used throughout the paper's evaluation: bias (signed
+/// value deviation), absolute error, RMSE, and running accumulators for
+/// exhaustive value sweeps.
+
+#pragma once
+
+#include <cstddef>
+
+#include "bitstream/bitstream.hpp"
+
+namespace sc {
+
+/// Signed deviation of a stream's unipolar value from a reference value:
+/// value(x) - reference.  The paper calls the average of this over a sweep
+/// the "bias" of a circuit (ideally zero for correlation manipulators).
+double bias(const Bitstream& x, double reference);
+
+/// |value(x) - reference|.
+double abs_error(const Bitstream& x, double reference);
+
+/// Streaming accumulator for scalar error statistics over a sweep.
+/// Collects mean, mean-absolute, RMS, min and max of the samples.
+class ErrorStats {
+ public:
+  void add(double sample);
+
+  std::size_t count() const noexcept { return count_; }
+  /// Mean of the signed samples (average bias when samples are deviations).
+  double mean() const noexcept;
+  /// Mean of |sample|.
+  double mean_abs() const noexcept;
+  /// sqrt(mean(sample^2)).
+  double rms() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double sum_abs_ = 0.0;
+  double sum_sq_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace sc

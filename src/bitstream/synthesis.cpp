@@ -1,0 +1,95 @@
+#include "bitstream/synthesis.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <random>
+#include <vector>
+
+namespace sc {
+namespace {
+
+/// Seeded random permutation of [0, n).
+std::vector<std::uint32_t> permutation(std::uint64_t n, std::uint64_t seed) {
+  std::vector<std::uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  std::mt19937_64 gen(seed);
+  std::shuffle(perm.begin(), perm.end(), gen);
+  return perm;
+}
+
+}  // namespace
+
+std::uint64_t overlap_for_scc(std::uint64_t ones_x, std::uint64_t ones_y,
+                              std::uint64_t n, double target) {
+  assert(ones_x <= n && ones_y <= n);
+  target = std::clamp(target, -1.0, 1.0);
+  const double nx = static_cast<double>(ones_x);
+  const double ny = static_cast<double>(ones_y);
+  const double nn = static_cast<double>(n);
+  const double a_indep = nn == 0.0 ? 0.0 : nx * ny / nn;
+  const double a_max = static_cast<double>(std::min(ones_x, ones_y));
+  const double a_min =
+      static_cast<double>(ones_x + ones_y > n ? ones_x + ones_y - n : 0);
+  double a = a_indep;
+  if (target > 0.0) {
+    a = a_indep + target * (a_max - a_indep);
+  } else if (target < 0.0) {
+    a = a_indep + (-target) * (a_min - a_indep);
+  }
+  a = std::clamp(a, a_min, a_max);
+  return static_cast<std::uint64_t>(std::lround(a));
+}
+
+StreamPair make_pair_with_scc(std::uint64_t ones_x, std::uint64_t ones_y,
+                              std::uint64_t n, double target_scc,
+                              std::uint64_t seed) {
+  assert(ones_x <= n && ones_y <= n);
+  const std::uint64_t a = overlap_for_scc(ones_x, ones_y, n, target_scc);
+  const std::uint64_t b = ones_x - a;  // X=1, Y=0
+  const std::uint64_t c = ones_y - a;  // X=0, Y=1
+  assert(a + b + c <= n);
+
+  // Lay out the four occupancy classes along a seeded permutation:
+  // the first a slots get (1,1), the next b get (1,0), the next c get (0,1),
+  // and the remainder get (0,0).
+  const auto perm = permutation(n, seed);
+  StreamPair out{Bitstream(n), Bitstream(n)};
+  std::uint64_t idx = 0;
+  for (; idx < a; ++idx) {
+    out.x.set(perm[idx], true);
+    out.y.set(perm[idx], true);
+  }
+  for (; idx < a + b; ++idx) out.x.set(perm[idx], true);
+  for (; idx < a + b + c; ++idx) out.y.set(perm[idx], true);
+  return out;
+}
+
+StreamPair make_positively_correlated(std::uint64_t ones_x,
+                                      std::uint64_t ones_y, std::uint64_t n,
+                                      std::uint64_t seed) {
+  return make_pair_with_scc(ones_x, ones_y, n, 1.0, seed);
+}
+
+StreamPair make_negatively_correlated(std::uint64_t ones_x,
+                                      std::uint64_t ones_y, std::uint64_t n,
+                                      std::uint64_t seed) {
+  return make_pair_with_scc(ones_x, ones_y, n, -1.0, seed);
+}
+
+StreamPair make_uncorrelated(std::uint64_t ones_x, std::uint64_t ones_y,
+                             std::uint64_t n, std::uint64_t seed) {
+  return make_pair_with_scc(ones_x, ones_y, n, 0.0, seed);
+}
+
+Bitstream make_stream(std::uint64_t ones, std::uint64_t n,
+                      std::uint64_t seed) {
+  assert(ones <= n);
+  const auto perm = permutation(n, seed);
+  Bitstream out(n);
+  for (std::uint64_t i = 0; i < ones; ++i) out.set(perm[i], true);
+  return out;
+}
+
+}  // namespace sc

@@ -1,0 +1,57 @@
+/// \file synthesis.hpp
+/// Direct construction of stream pairs with prescribed values and SCC.
+///
+/// Tests and benchmarks frequently need "two streams with values pX, pY and
+/// correlation exactly +1 / 0 / -1" (e.g. paper Table I) or an arbitrary
+/// target SCC.  Rather than searching RNG seeds, these routines construct the
+/// joint occupancy (a,b,c,d) analytically and then lay the bits out along a
+/// seeded random permutation of positions, which realizes the exact overlap
+/// while keeping the streams irregular in time.
+
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "bitstream/bitstream.hpp"
+#include "bitstream/correlation.hpp"
+
+namespace sc {
+
+/// A pair of equal-length streams.
+struct StreamPair {
+  Bitstream x;
+  Bitstream y;
+};
+
+/// Overlap count `a` (positions where both streams are 1) that realizes the
+/// target SCC for streams of length n with ones_x and ones_y 1s.  target is
+/// clamped to [-1, 1].  SCC interpolates linearly in `a` between the
+/// independence point and the min/max overlap bound, so the result is the
+/// rounded interpolant.
+std::uint64_t overlap_for_scc(std::uint64_t ones_x, std::uint64_t ones_y,
+                              std::uint64_t n, double target);
+
+/// Builds a stream pair of length n with exactly ones_x / ones_y 1s and
+/// joint overlap as close as possible to the SCC target.
+/// `seed` selects the random position permutation (same seed => same pair).
+StreamPair make_pair_with_scc(std::uint64_t ones_x, std::uint64_t ones_y,
+                              std::uint64_t n, double target_scc,
+                              std::uint64_t seed = 0x5eed);
+
+/// Convenience wrappers for the three canonical regimes of paper Table I.
+StreamPair make_positively_correlated(std::uint64_t ones_x,
+                                      std::uint64_t ones_y, std::uint64_t n,
+                                      std::uint64_t seed = 0x5eed);
+StreamPair make_negatively_correlated(std::uint64_t ones_x,
+                                      std::uint64_t ones_y, std::uint64_t n,
+                                      std::uint64_t seed = 0x5eed);
+StreamPair make_uncorrelated(std::uint64_t ones_x, std::uint64_t ones_y,
+                             std::uint64_t n, std::uint64_t seed = 0x5eed);
+
+/// Builds a single stream of length n with exactly `ones` 1s scattered by a
+/// seeded permutation.
+Bitstream make_stream(std::uint64_t ones, std::uint64_t n,
+                      std::uint64_t seed = 0x5eed);
+
+}  // namespace sc

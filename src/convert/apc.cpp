@@ -1,0 +1,32 @@
+#include "convert/apc.hpp"
+
+#include <cassert>
+
+namespace sc::convert {
+
+void Apc::step(std::span<const bool> bits) {
+  assert(bits.size() == inputs_);
+  for (bool b : bits) sum_ += b ? 1u : 0u;
+  ++cycles_;
+}
+
+double Apc::mean_value() const {
+  if (cycles_ == 0 || inputs_ == 0) return 0.0;
+  return static_cast<double>(sum_) /
+         static_cast<double>(inputs_ * cycles_);
+}
+
+double apc_scaled_sum(std::span<const Bitstream> streams) {
+  if (streams.empty()) return 0.0;
+  const std::size_t n = streams.front().size();
+  std::uint64_t total = 0;
+  for (const Bitstream& s : streams) {
+    assert(s.size() == n);
+    total += s.count_ones();
+  }
+  if (n == 0) return 0.0;
+  return static_cast<double>(total) /
+         static_cast<double>(streams.size() * n);
+}
+
+}  // namespace sc::convert

@@ -1,0 +1,7 @@
+#include "convert/sd_converter.hpp"
+
+namespace sc::convert {
+
+std::uint64_t to_binary(const Bitstream& stream) { return stream.count_ones(); }
+
+}  // namespace sc::convert

@@ -1,0 +1,30 @@
+#include "convert/sng.hpp"
+
+#include <cassert>
+
+#include "bitstream/encoding.hpp"
+
+namespace sc::convert {
+
+Sng::Sng(rng::RandomSourcePtr source)
+    : source_(std::move(source)),
+      natural_length_(static_cast<std::uint32_t>(
+          std::uint64_t{1} << source_->width())) {
+  assert(source_ != nullptr);
+}
+
+Bitstream Sng::generate(std::uint32_t level, std::size_t n) {
+  assert(level <= natural_length_);
+  Bitstream out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(source_->next() < level);
+  }
+  return out;
+}
+
+Bitstream Sng::generate_value(double p, std::size_t n) {
+  return generate(unipolar_level(p, natural_length_), n);
+}
+
+}  // namespace sc::convert

@@ -1,0 +1,23 @@
+#include "core/decorrelator.hpp"
+
+namespace sc::core {
+
+Decorrelator::Decorrelator(std::size_t depth, rng::RandomSourcePtr source_x,
+                           rng::RandomSourcePtr source_y)
+    : buffer_x_(depth, std::move(source_x)),
+      buffer_y_(depth, std::move(source_y)) {}
+
+BitPair Decorrelator::step(bool x, bool y) {
+  return BitPair{buffer_x_.step(x), buffer_y_.step(y)};
+}
+
+void Decorrelator::reset() {
+  buffer_x_.reset();
+  buffer_y_.reset();
+}
+
+unsigned Decorrelator::saved_ones() const {
+  return buffer_x_.saved_ones() + buffer_y_.saved_ones();
+}
+
+}  // namespace sc::core

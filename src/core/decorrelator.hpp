@@ -1,0 +1,43 @@
+/// \file decorrelator.hpp
+/// The paper's decorrelator (Fig. 4a): two shuffle buffers with *different*
+/// auxiliary RNGs, one per stream, driving SCC toward 0.
+///
+/// Because each stream's bits are permuted by an independent random
+/// schedule, the joint overlap statistics approach the independence point
+/// a = N pX pY while both values are preserved (up to buffer-resident
+/// bits).  Deeper buffers scramble across longer windows and reach lower
+/// |SCC|; decorrelators can also be composed in series (paper §III-C).
+
+#pragma once
+
+#include <cstddef>
+
+#include "core/pair_transform.hpp"
+#include "core/shuffle_buffer.hpp"
+#include "rng/random_source.hpp"
+
+namespace sc::core {
+
+/// Two independent shuffle buffers as a pair transform.
+class Decorrelator final : public PairTransform {
+ public:
+  /// \param depth     slots per shuffle buffer
+  /// \param source_x  address source for the X buffer; owned
+  /// \param source_y  address source for the Y buffer; owned (must differ
+  ///                  from source_x in sequence, or the buffers shuffle in
+  ///                  lockstep and correlation survives)
+  Decorrelator(std::size_t depth, rng::RandomSourcePtr source_x,
+               rng::RandomSourcePtr source_y);
+
+  BitPair step(bool x, bool y) override;
+  void reset() override;
+  unsigned saved_ones() const override;
+
+  std::size_t depth() const { return buffer_x_.depth(); }
+
+ private:
+  ShuffleBuffer buffer_x_;
+  ShuffleBuffer buffer_y_;
+};
+
+}  // namespace sc::core

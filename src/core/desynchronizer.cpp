@@ -1,0 +1,79 @@
+#include "core/desynchronizer.hpp"
+
+#include <cassert>
+
+namespace sc::core {
+
+Desynchronizer::Desynchronizer(Config config) : config_(config) {
+  assert(config_.depth >= 1);
+  save_from_x_ = config_.prefer_x_first;
+}
+
+void Desynchronizer::reset() {
+  saved_x_ = 0;
+  saved_y_ = 0;
+  save_from_x_ = config_.prefer_x_first;
+  remaining_ = 0;
+}
+
+void Desynchronizer::begin_stream(std::size_t length) {
+  saved_x_ = 0;
+  saved_y_ = 0;
+  save_from_x_ = config_.prefer_x_first;
+  remaining_ = length;
+}
+
+BitPair Desynchronizer::step(bool x, bool y) {
+  const unsigned depth = config_.depth;
+
+  const bool force = config_.flush && remaining_ != 0 &&
+                     static_cast<std::size_t>(saved_x_ + saved_y_) >= remaining_;
+  if (remaining_ != 0) --remaining_;
+
+  if (force) {
+    // Emit saved 1s into any 0 slot; stop saving new bits.
+    BitPair out{x, y};
+    if (!out.x && saved_x_ > 0) {
+      out.x = true;
+      --saved_x_;
+    }
+    if (!out.y && saved_y_ > 0) {
+      out.y = true;
+      --saved_y_;
+    }
+    return out;
+  }
+
+  if (x != y) {
+    return BitPair{x, y};  // already unpaired
+  }
+  if (x) {  // both 1: try to unpair by withholding one side's 1
+    if (saved_x_ + saved_y_ < depth) {
+      if (save_from_x_) {
+        ++saved_x_;
+        save_from_x_ = false;
+        return BitPair{false, true};
+      }
+      ++saved_y_;
+      save_from_x_ = true;
+      return BitPair{true, false};
+    }
+    return BitPair{true, true};  // saturated: pass through
+  }
+  // both 0: fill the gap with a saved 1 if available
+  if (saved_x_ == 0 && saved_y_ == 0) {
+    return BitPair{false, false};
+  }
+  // Emit from the fuller side; on a tie, from the side saved longest ago
+  // (the opposite of the next donor).
+  const bool emit_x =
+      saved_x_ != saved_y_ ? (saved_x_ > saved_y_) : !save_from_x_;
+  if (emit_x) {
+    --saved_x_;
+    return BitPair{true, false};
+  }
+  --saved_y_;
+  return BitPair{false, true};
+}
+
+}  // namespace sc::core

@@ -1,0 +1,37 @@
+#include "core/isolator.hpp"
+
+#include <cassert>
+
+namespace sc::core {
+
+DelayLine::DelayLine(std::size_t delay, bool pad)
+    : fifo_(delay, pad ? 1 : 0), pad_(pad) {}
+
+bool DelayLine::step(bool in) {
+  if (fifo_.empty()) return in;
+  const bool out = fifo_[head_] != 0;
+  fifo_[head_] = in ? 1 : 0;
+  head_ = (head_ + 1) % fifo_.size();
+  return out;
+}
+
+void DelayLine::reset() {
+  for (auto& b : fifo_) b = pad_ ? 1 : 0;
+  head_ = 0;
+}
+
+unsigned DelayLine::saved_ones() const {
+  unsigned ones = 0;
+  for (char b : fifo_) ones += static_cast<unsigned>(b);
+  return ones;
+}
+
+IsolatorPair::IsolatorPair(std::size_t delay, bool pad) : line_(delay, pad) {}
+
+BitPair IsolatorPair::step(bool x, bool y) {
+  return BitPair{x, line_.step(y)};
+}
+
+void IsolatorPair::reset() { line_.reset(); }
+
+}  // namespace sc::core

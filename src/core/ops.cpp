@@ -1,0 +1,75 @@
+#include "core/ops.hpp"
+
+#include "arith/divide.hpp"
+#include "arith/gates.hpp"
+#include "core/pair_transform.hpp"
+
+namespace sc::core {
+
+Bitstream sync_max(const Bitstream& x, const Bitstream& y,
+                   Synchronizer::Config config) {
+  Synchronizer sync(config);
+  const sc::StreamPair synced = apply(sync, x, y);
+  return arith::or_gate(synced.x, synced.y);
+}
+
+Bitstream sync_min(const Bitstream& x, const Bitstream& y,
+                   Synchronizer::Config config) {
+  Synchronizer sync(config);
+  const sc::StreamPair synced = apply(sync, x, y);
+  return arith::and_gate(synced.x, synced.y);
+}
+
+Bitstream desync_saturating_add(const Bitstream& x, const Bitstream& y,
+                                Desynchronizer::Config config) {
+  Desynchronizer desync(config);
+  const sc::StreamPair split = apply(desync, x, y);
+  return arith::or_gate(split.x, split.y);
+}
+
+Bitstream sync_subtract(const Bitstream& x, const Bitstream& y,
+                        Synchronizer::Config config) {
+  Synchronizer sync(config);
+  const sc::StreamPair synced = apply(sync, x, y);
+  return arith::xor_gate(synced.x, synced.y);
+}
+
+Bitstream sync_divide(const Bitstream& x, const Bitstream& y,
+                      Synchronizer::Config config) {
+  Synchronizer sync(config);
+  const sc::StreamPair synced = apply(sync, x, y);
+  return arith::divide(synced.x, synced.y);
+}
+
+sc::StreamPair compose_synchronizers(const Bitstream& x, const Bitstream& y,
+                                     std::size_t stages,
+                                     Synchronizer::Config config) {
+  sc::StreamPair current{x, y};
+  for (std::size_t s = 0; s < stages; ++s) {
+    // Paper §III-B: preloading alternate stages with a saved bit offsets
+    // the one-sided stuck-bit loss that would otherwise compound.
+    Synchronizer::Config stage_config = config;
+    if (stage_config.initial_credit == 0 && s % 2 == 1) {
+      stage_config.initial_credit = (s % 4 == 1) ? 1 : -1;
+    }
+    Synchronizer sync(stage_config);
+    current = apply(sync, current.x, current.y);
+  }
+  return current;
+}
+
+sc::StreamPair compose_desynchronizers(const Bitstream& x, const Bitstream& y,
+                                       std::size_t stages,
+                                       Desynchronizer::Config config) {
+  sc::StreamPair current{x, y};
+  for (std::size_t s = 0; s < stages; ++s) {
+    // Alternate the donor side so residual bias splits evenly across X/Y.
+    Desynchronizer::Config stage_config = config;
+    stage_config.prefer_x_first = (s % 2 == 0) == config.prefer_x_first;
+    Desynchronizer desync(stage_config);
+    current = apply(desync, current.x, current.y);
+  }
+  return current;
+}
+
+}  // namespace sc::core

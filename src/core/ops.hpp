@@ -1,0 +1,66 @@
+/// \file ops.hpp
+/// The paper's improved SC operators (Fig. 5) and composition helpers.
+///
+/// * sync_max  = synchronizer + OR gate  (Fig. 5a)
+/// * sync_min  = synchronizer + AND gate (Fig. 5b)
+/// * desync_saturating_add = desynchronizer + OR gate (Fig. 5c)
+///
+/// The synchronizer drives its two outputs toward SCC = +1, where OR
+/// computes max and AND computes min exactly; the desynchronizer drives
+/// SCC toward -1, where OR computes the saturating sum min(1, pX+pY)
+/// exactly.  Accuracy improves with save depth D at the cost of a larger
+/// FSM (paper Table III trade-off).
+///
+/// Serial composition (paper §III-B): chaining k depth-1 stages also
+/// strengthens the induced correlation, with diminishing returns; the
+/// compose_* helpers implement that alternative.
+
+#pragma once
+
+#include <cstddef>
+
+#include "bitstream/bitstream.hpp"
+#include "bitstream/synthesis.hpp"
+#include "core/desynchronizer.hpp"
+#include "core/synchronizer.hpp"
+
+namespace sc::core {
+
+/// max(pX, pY) via synchronizer + OR (paper Fig. 5a).
+Bitstream sync_max(const Bitstream& x, const Bitstream& y,
+                   Synchronizer::Config config = {});
+
+/// min(pX, pY) via synchronizer + AND (paper Fig. 5b).
+Bitstream sync_min(const Bitstream& x, const Bitstream& y,
+                   Synchronizer::Config config = {});
+
+/// min(1, pX + pY) via desynchronizer + OR (paper Fig. 5c).
+Bitstream desync_saturating_add(const Bitstream& x, const Bitstream& y,
+                                Desynchronizer::Config config = {});
+
+/// |pX - pY| via synchronizer + XOR: the same recipe as sync-max applied to
+/// the Fig. 2c subtractor, making absolute difference work on operands of
+/// *any* correlation.  (This is exactly what the §IV pipeline inserts in
+/// front of the Roberts-cross XORs.)
+Bitstream sync_subtract(const Bitstream& x, const Bitstream& y,
+                        Synchronizer::Config config = {});
+
+/// pX / pY via synchronizer + CORDIV: the Fig. 2e divider requires
+/// positively correlated operands; synchronizing first lifts that
+/// requirement.  Accurate for pX <= pY (quotient in [0, 1]).
+Bitstream sync_divide(const Bitstream& x, const Bitstream& y,
+                      Synchronizer::Config config = {});
+
+/// Runs `stages` depth-1 synchronizers in series (paper §III-B).
+/// Stages alternate their initial saved-bit preference to keep residual
+/// biases from compounding in one direction.
+sc::StreamPair compose_synchronizers(const Bitstream& x, const Bitstream& y,
+                                     std::size_t stages,
+                                     Synchronizer::Config config = {});
+
+/// Runs `stages` depth-1 desynchronizers in series (paper §III-B).
+sc::StreamPair compose_desynchronizers(const Bitstream& x, const Bitstream& y,
+                                       std::size_t stages,
+                                       Desynchronizer::Config config = {});
+
+}  // namespace sc::core

@@ -1,0 +1,83 @@
+#include "core/synchronizer.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+
+namespace sc::core {
+
+Synchronizer::Synchronizer(Config config) : config_(config) {
+  assert(config_.depth >= 1);
+  const int depth = static_cast<int>(config_.depth);
+  config_.initial_credit =
+      std::clamp(config_.initial_credit, -depth, depth);
+  credit_ = config_.initial_credit;
+}
+
+void Synchronizer::reset() {
+  credit_ = config_.initial_credit;
+  remaining_ = 0;
+}
+
+unsigned Synchronizer::saved_ones() const {
+  return static_cast<unsigned>(std::abs(credit_));
+}
+
+void Synchronizer::begin_stream(std::size_t length) {
+  credit_ = config_.initial_credit;
+  remaining_ = length;
+}
+
+BitPair Synchronizer::step(bool x, bool y) {
+  const int depth = static_cast<int>(config_.depth);
+
+  // Flush mode: once the saved bits could no longer drain in the remaining
+  // cycles, stop saving and force-emit saved 1s on idle (0) cycles.
+  // remaining_ == 0 means the stream length was never announced; flushing is
+  // then disabled (the plain FSM semantics apply).
+  const bool force =
+      config_.flush && remaining_ != 0 &&
+      static_cast<std::size_t>(std::abs(credit_)) >= remaining_;
+  if (remaining_ != 0) --remaining_;
+
+  if (force) {
+    // A saved 1 (or the incoming 1 on the saturated side) is emitted every
+    // cycle; the credit drains exactly on cycles where the input is 0.
+    BitPair out{x, y};
+    if (credit_ > 0) {
+      out.x = true;
+      if (!x) --credit_;
+    } else if (credit_ < 0) {
+      out.y = true;
+      if (!y) ++credit_;
+    }
+    return out;
+  }
+
+  if (x == y) {
+    return BitPair{x, y};  // already paired
+  }
+  if (x) {  // x = 1, y = 0
+    if (credit_ < 0) {
+      ++credit_;  // pair the incoming X 1 with a saved Y 1
+      return BitPair{true, true};
+    }
+    if (credit_ < depth) {
+      ++credit_;  // save the unpaired X 1
+      return BitPair{false, false};
+    }
+    return BitPair{true, false};  // saturated: pass through
+  }
+  // x = 0, y = 1
+  if (credit_ > 0) {
+    --credit_;  // pair the incoming Y 1 with a saved X 1
+    return BitPair{true, true};
+  }
+  if (credit_ > -depth) {
+    --credit_;  // save the unpaired Y 1
+    return BitPair{false, false};
+  }
+  return BitPair{false, true};  // saturated: pass through
+}
+
+}  // namespace sc::core

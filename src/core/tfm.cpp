@@ -1,0 +1,53 @@
+#include "core/tfm.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sc::core {
+
+TrackingForecastMemory::TrackingForecastMemory(Config config,
+                                               rng::RandomSourcePtr source)
+    : config_(config),
+      source_(std::move(source)),
+      scale_(std::int32_t{1} << config.precision) {
+  assert(source_ != nullptr);
+  assert(source_->width() == config_.precision);
+  const double init = std::clamp(config_.initial, 0.0, 1.0);
+  initial_ = static_cast<std::int32_t>(
+      std::lround(init * static_cast<double>(scale_)));
+  estimate_ = initial_;
+}
+
+bool TrackingForecastMemory::step(bool in) {
+  // EMA update in fixed point; C++20 guarantees arithmetic right shift.
+  const std::int32_t target = in ? scale_ : 0;
+  estimate_ += (target - estimate_) >> config_.shift;
+  // Regenerate from the estimate with the aux RNG.
+  return static_cast<std::int32_t>(source_->next()) < estimate_;
+}
+
+void TrackingForecastMemory::reset() {
+  estimate_ = initial_;
+  source_->reset();
+}
+
+double TrackingForecastMemory::estimate() const {
+  return static_cast<double>(estimate_) / static_cast<double>(scale_);
+}
+
+TfmPair::TfmPair(TrackingForecastMemory::Config config,
+                 rng::RandomSourcePtr source_x, rng::RandomSourcePtr source_y)
+    : tfm_x_(config, std::move(source_x)),
+      tfm_y_(config, std::move(source_y)) {}
+
+BitPair TfmPair::step(bool x, bool y) {
+  return BitPair{tfm_x_.step(x), tfm_y_.step(y)};
+}
+
+void TfmPair::reset() {
+  tfm_x_.reset();
+  tfm_y_.reset();
+}
+
+}  // namespace sc::core

@@ -1,0 +1,43 @@
+#include "func/fsm_function.hpp"
+
+#include <cassert>
+
+namespace sc::func {
+
+SaturatingCounter::SaturatingCounter(unsigned states)
+    : states_(states), state_(states / 2) {
+  assert(states >= 2 && states % 2 == 0);
+}
+
+unsigned SaturatingCounter::step(bool up) {
+  if (up) {
+    if (state_ + 1 < states_) ++state_;
+  } else {
+    if (state_ > 0) --state_;
+  }
+  return state_;
+}
+
+void SaturatingCounter::reset() { state_ = states_ / 2; }
+
+Bitstream stanh(const Bitstream& x, unsigned states) {
+  Stanh unit(states);
+  Bitstream out;
+  out.reserve(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out.push_back(unit.step(x.get(i)));
+  }
+  return out;
+}
+
+Bitstream sexp(const Bitstream& x, unsigned states, unsigned g) {
+  Sexp unit(states, g);
+  Bitstream out;
+  out.reserve(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out.push_back(unit.step(x.get(i)));
+  }
+  return out;
+}
+
+}  // namespace sc::func

@@ -1,0 +1,78 @@
+/// \file fsm_function.hpp
+/// Classic FSM-based SC function units (Brown & Card 2001): a saturating
+/// up/down counter whose state thresholds realize nonlinear functions of a
+/// bipolar stream - stochastic tanh ("stanh") and a bounded exponential
+/// ("sexp").
+///
+/// These are standard SC library blocks the paper's circuits compose with.
+/// Caveat (verified in tests/func_test.cpp): the Brown-Card analysis
+/// assumes i.i.d. Bernoulli input bits.  Low-discrepancy streams (VDC,
+/// Sobol) are maximally *anti*-autocorrelated - at p = 0.5 a VDC stream
+/// alternates 1,0,1,0 deterministically, which parks the counter at the
+/// threshold and saturates the output.  Feed these units LFSR- or
+/// mt19937-generated streams, or re-randomize with a shuffle buffer first
+/// (one more place the paper's decorrelator earns its keep).
+
+#pragma once
+
+#include <cstdint>
+
+#include "bitstream/bitstream.hpp"
+
+namespace sc::func {
+
+/// Saturating up/down counter FSM with `states` states (even).
+/// Input 1 counts up, input 0 counts down, clamped to [0, states-1].
+class SaturatingCounter {
+ public:
+  explicit SaturatingCounter(unsigned states);
+
+  /// Consumes one input bit, returns the new state.
+  unsigned step(bool up);
+
+  unsigned state() const { return state_; }
+  unsigned states() const { return states_; }
+  void reset();
+
+ private:
+  unsigned states_;
+  unsigned state_;
+};
+
+/// Stochastic tanh: output 1 iff the counter sits in the upper half.
+/// For a bipolar input v, the output's bipolar value approximates
+/// tanh((states/2) * v)  (Brown & Card).
+class Stanh {
+ public:
+  explicit Stanh(unsigned states) : counter_(states) {}
+  bool step(bool in) {
+    return counter_.step(in) >= counter_.states() / 2;
+  }
+  void reset() { counter_.reset(); }
+
+ private:
+  SaturatingCounter counter_;
+};
+
+/// Whole-stream stanh.
+Bitstream stanh(const Bitstream& x, unsigned states);
+
+/// Stochastic exponential: output 0 only in the top `g` states, giving
+/// p(out) ~ exp(-2 g v) for bipolar v > 0 (Brown & Card's sexp).
+class Sexp {
+ public:
+  Sexp(unsigned states, unsigned g) : counter_(states), g_(g) {}
+  bool step(bool in) {
+    return counter_.step(in) < counter_.states() - g_;
+  }
+  void reset() { counter_.reset(); }
+
+ private:
+  SaturatingCounter counter_;
+  unsigned g_;
+};
+
+/// Whole-stream sexp.
+Bitstream sexp(const Bitstream& x, unsigned states, unsigned g);
+
+}  // namespace sc::func

@@ -1,0 +1,115 @@
+#include "graph/dataflow.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sc::graph {
+
+std::string to_string(OpKind kind) {
+  switch (kind) {
+    case OpKind::kMultiply:
+      return "multiply";
+    case OpKind::kScaledAdd:
+      return "scaled-add";
+    case OpKind::kSaturatingAdd:
+      return "saturating-add";
+    case OpKind::kSubtractAbs:
+      return "subtract";
+    case OpKind::kMax:
+      return "max";
+    case OpKind::kMin:
+      return "min";
+  }
+  return "?";
+}
+
+std::string to_string(Requirement requirement) {
+  switch (requirement) {
+    case Requirement::kUncorrelated:
+      return "uncorrelated";
+    case Requirement::kPositive:
+      return "positive";
+    case Requirement::kNegative:
+      return "negative";
+    case Requirement::kAgnostic:
+      return "agnostic";
+  }
+  return "?";
+}
+
+Requirement requirement_of(OpKind kind) {
+  switch (kind) {
+    case OpKind::kMultiply:
+      return Requirement::kUncorrelated;
+    case OpKind::kScaledAdd:
+      return Requirement::kAgnostic;
+    case OpKind::kSaturatingAdd:
+      return Requirement::kNegative;
+    case OpKind::kSubtractAbs:
+    case OpKind::kMax:
+    case OpKind::kMin:
+      return Requirement::kPositive;
+  }
+  return Requirement::kAgnostic;
+}
+
+NodeId DataflowGraph::add_input(std::string name, double value,
+                                unsigned rng_group) {
+  Node node;
+  node.kind = Node::Kind::kInput;
+  node.name = std::move(name);
+  node.value = std::clamp(value, 0.0, 1.0);
+  node.rng_group = rng_group;
+  nodes_.push_back(std::move(node));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+NodeId DataflowGraph::add_op(OpKind kind, NodeId lhs, NodeId rhs) {
+  assert(lhs < nodes_.size() && rhs < nodes_.size());
+  Node node;
+  node.kind = Node::Kind::kOp;
+  node.name = to_string(kind);
+  node.op = kind;
+  node.lhs = lhs;
+  node.rhs = rhs;
+  nodes_.push_back(std::move(node));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void DataflowGraph::mark_output(NodeId node) {
+  assert(node < nodes_.size());
+  outputs_.push_back(node);
+}
+
+std::vector<NodeId> DataflowGraph::op_nodes() const {
+  std::vector<NodeId> ops;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (nodes_[id].kind == Node::Kind::kOp) ops.push_back(id);
+  }
+  return ops;
+}
+
+double DataflowGraph::exact_value(NodeId id) const {
+  const Node& n = nodes_[id];
+  if (n.kind == Node::Kind::kInput) return n.value;
+  const double a = exact_value(n.lhs);
+  const double b = exact_value(n.rhs);
+  switch (n.op) {
+    case OpKind::kMultiply:
+      return a * b;
+    case OpKind::kScaledAdd:
+      return 0.5 * (a + b);
+    case OpKind::kSaturatingAdd:
+      return std::min(1.0, a + b);
+    case OpKind::kSubtractAbs:
+      return std::abs(a - b);
+    case OpKind::kMax:
+      return std::max(a, b);
+    case OpKind::kMin:
+      return std::min(a, b);
+  }
+  return 0.0;
+}
+
+}  // namespace sc::graph

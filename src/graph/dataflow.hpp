@@ -1,0 +1,96 @@
+/// \file dataflow.hpp
+/// Correlation-aware SC dataflow graphs.
+///
+/// The paper's circuits exist to be "inserted at appropriate points in the
+/// computation" (§I).  This module provides the computation: a small
+/// dataflow graph of SC operations, each annotated with the operand
+/// correlation it requires (paper Fig. 2), plus exact floating-point
+/// semantics for error measurement.  The planner (planner.hpp) decides
+/// where manipulating circuits (or regenerators) must be inserted, and the
+/// executor (executor.hpp) runs the graph on real bitstreams with the
+/// planned fixes applied.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sc::graph {
+
+/// Two-operand SC operations (the Fig. 2 set plus max/min).
+enum class OpKind {
+  kMultiply,       ///< AND; requires SCC = 0
+  kScaledAdd,      ///< MUX; operand-correlation agnostic (select matters)
+  kSaturatingAdd,  ///< OR; requires SCC = -1
+  kSubtractAbs,    ///< XOR; requires SCC = +1
+  kMax,            ///< OR; requires SCC = +1
+  kMin,            ///< AND; requires SCC = +1
+};
+
+std::string to_string(OpKind kind);
+
+/// Operand-correlation requirement of an operation (paper Fig. 2's
+/// "Operand Correlation" row).
+enum class Requirement {
+  kUncorrelated,
+  kPositive,
+  kNegative,
+  kAgnostic,
+};
+
+std::string to_string(Requirement requirement);
+
+/// Requirement of each op.
+Requirement requirement_of(OpKind kind);
+
+using NodeId = std::uint32_t;
+
+/// One graph node: either a generated input or a two-operand op.
+struct Node {
+  enum class Kind { kInput, kOp };
+  Kind kind = Kind::kInput;
+  std::string name;
+
+  // Input fields.
+  double value = 0.0;        ///< unipolar value in [0, 1]
+  unsigned rng_group = 0;    ///< inputs sharing a group share an RNG trace
+
+  // Op fields.
+  OpKind op = OpKind::kMultiply;
+  NodeId lhs = 0;
+  NodeId rhs = 0;
+};
+
+/// A DAG of SC operations.  Nodes are created in topological order (ops may
+/// only reference already-created nodes).
+class DataflowGraph {
+ public:
+  /// Adds a generated input with a value and an RNG sharing group.
+  /// Inputs in the same group are encoded from one RNG trace (SCC = +1
+  /// between them); different groups use independent sources.
+  NodeId add_input(std::string name, double value, unsigned rng_group);
+
+  /// Adds a two-operand operation.  Operands must already exist.
+  NodeId add_op(OpKind kind, NodeId lhs, NodeId rhs);
+
+  /// Marks a node as a graph output.
+  void mark_output(NodeId node);
+
+  const Node& node(NodeId id) const { return nodes_[id]; }
+  std::size_t node_count() const { return nodes_.size(); }
+  const std::vector<NodeId>& outputs() const { return outputs_; }
+
+  /// Ids of all op nodes, in creation (topological) order.
+  std::vector<NodeId> op_nodes() const;
+
+  /// Exact floating-point value of a node (scaled add = 0.5(a+b),
+  /// saturating add = min(1, a+b), subtract = |a-b|, etc.).
+  double exact_value(NodeId id) const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<NodeId> outputs_;
+};
+
+}  // namespace sc::graph

@@ -1,0 +1,47 @@
+/// \file executor.hpp
+/// Bit-true execution of a dataflow graph under an insertion plan.
+///
+/// Inputs are encoded with comparator SNGs: nodes of the same RNG group
+/// share one LFSR trace (maximally correlated), different groups use
+/// independently seeded LFSRs.  Ops run the real gate/MUX implementations;
+/// planned fixes instantiate the real synchronizer / desynchronizer /
+/// decorrelator FSMs or regeneration, so the executor measures exactly what
+/// the planned hardware would compute.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bitstream/bitstream.hpp"
+#include "graph/dataflow.hpp"
+#include "graph/planner.hpp"
+
+namespace sc::graph {
+
+/// Execution parameters.
+struct ExecConfig {
+  std::size_t stream_length = 256;
+  unsigned width = 8;          ///< SNG comparator width
+  std::uint32_t seed = 3;      ///< base seed for group and auxiliary LFSRs
+  unsigned sync_depth = 2;     ///< depth of inserted (de)synchronizers
+  std::size_t shuffle_depth = 8;
+};
+
+/// Per-output accuracy and the overall summary.
+struct ExecutionResult {
+  std::vector<NodeId> output_nodes;
+  std::vector<double> values;      ///< measured SC values
+  std::vector<double> exact;       ///< float semantics
+  std::vector<double> abs_errors;  ///< |measured - exact|
+  double mean_abs_error = 0.0;
+
+  /// The streams of every node (index = NodeId), for inspection.
+  std::vector<Bitstream> streams;
+};
+
+/// Runs the graph with the plan's fixes applied.
+ExecutionResult execute(const DataflowGraph& graph, const Plan& plan,
+                        const ExecConfig& config = {});
+
+}  // namespace sc::graph

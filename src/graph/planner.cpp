@@ -1,0 +1,186 @@
+#include "graph/planner.hpp"
+
+#include <set>
+
+#include "hw/designs.hpp"
+
+namespace sc::graph {
+namespace {
+
+/// Set of RNG groups a node's stream derives from.
+std::set<unsigned> lineage(const DataflowGraph& graph, NodeId id) {
+  const Node& node = graph.node(id);
+  if (node.kind == Node::Kind::kInput) {
+    return {node.rng_group};
+  }
+  std::set<unsigned> result = lineage(graph, node.lhs);
+  const std::set<unsigned> rhs = lineage(graph, node.rhs);
+  result.insert(rhs.begin(), rhs.end());
+  return result;
+}
+
+bool satisfied(Requirement requirement, Relation relation) {
+  switch (requirement) {
+    case Requirement::kAgnostic:
+      return true;
+    case Requirement::kUncorrelated:
+      return relation == Relation::kIndependent;
+    case Requirement::kPositive:
+      return relation == Relation::kPositive;
+    case Requirement::kNegative:
+      // Generation never proves negative correlation; always needs a fix.
+      return false;
+  }
+  return false;
+}
+
+FixKind fix_for_requirement(Requirement requirement, Strategy strategy) {
+  if (strategy == Strategy::kManipulation) {
+    switch (requirement) {
+      case Requirement::kPositive:
+        return FixKind::kSynchronizer;
+      case Requirement::kNegative:
+        return FixKind::kDesynchronizer;
+      case Requirement::kUncorrelated:
+        return FixKind::kDecorrelator;
+      case Requirement::kAgnostic:
+        return FixKind::kNone;
+    }
+  }
+  if (strategy == Strategy::kRegeneration) {
+    switch (requirement) {
+      case Requirement::kPositive:
+        return FixKind::kRegenerateShared;
+      case Requirement::kNegative:
+        return FixKind::kRegenerateComplementary;
+      case Requirement::kUncorrelated:
+        return FixKind::kRegenerateDistinct;
+      case Requirement::kAgnostic:
+        return FixKind::kNone;
+    }
+  }
+  return FixKind::kNone;
+}
+
+hw::Netlist fix_netlist(FixKind kind, const PlannerConfig& config) {
+  switch (kind) {
+    case FixKind::kNone:
+      return hw::Netlist{};
+    case FixKind::kSynchronizer:
+      return hw::synchronizer_netlist(config.sync_depth);
+    case FixKind::kDesynchronizer:
+      return hw::desynchronizer_netlist(config.sync_depth);
+    case FixKind::kDecorrelator:
+      // Two shuffle buffers; aux RNGs amortized across insertions, charge
+      // one LFSR per decorrelator as a conservative middle ground.
+      return hw::decorrelator_netlist(config.shuffle_depth) +
+             hw::lfsr_netlist(config.width);
+    case FixKind::kRegenerateShared:
+    case FixKind::kRegenerateDistinct:
+    case FixKind::kRegenerateComplementary:
+      // Both operands get an S/D + D/S unit; one RNG charged per fix
+      // (shared) - distinct needs a second.
+      return hw::regenerator_netlist(config.width) * 2 +
+             hw::lfsr_netlist(config.width) *
+                 (kind == FixKind::kRegenerateDistinct ? 2 : 1);
+  }
+  return hw::Netlist{};
+}
+
+}  // namespace
+
+std::string to_string(Relation relation) {
+  switch (relation) {
+    case Relation::kPositive:
+      return "positive";
+    case Relation::kIndependent:
+      return "independent";
+    case Relation::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+std::string to_string(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kNone:
+      return "no-manipulation";
+    case Strategy::kRegeneration:
+      return "regeneration";
+    case Strategy::kManipulation:
+      return "manipulation";
+  }
+  return "?";
+}
+
+std::string to_string(FixKind kind) {
+  switch (kind) {
+    case FixKind::kNone:
+      return "none";
+    case FixKind::kSynchronizer:
+      return "synchronizer";
+    case FixKind::kDesynchronizer:
+      return "desynchronizer";
+    case FixKind::kDecorrelator:
+      return "decorrelator";
+    case FixKind::kRegenerateShared:
+      return "regen-shared";
+    case FixKind::kRegenerateDistinct:
+      return "regen-distinct";
+    case FixKind::kRegenerateComplementary:
+      return "regen-complementary";
+  }
+  return "?";
+}
+
+Relation classify(const DataflowGraph& graph, NodeId a, NodeId b) {
+  const Node& na = graph.node(a);
+  const Node& nb = graph.node(b);
+  if (na.kind == Node::Kind::kInput && nb.kind == Node::Kind::kInput &&
+      na.rng_group == nb.rng_group) {
+    return Relation::kPositive;
+  }
+  const std::set<unsigned> la = lineage(graph, a);
+  const std::set<unsigned> lb = lineage(graph, b);
+  for (unsigned group : la) {
+    if (lb.count(group) != 0) return Relation::kUnknown;
+  }
+  return Relation::kIndependent;
+}
+
+FixKind Plan::fix_for(NodeId op_node) const {
+  for (const PlannedFix& fix : fixes) {
+    if (fix.op_node == op_node) return fix.fix;
+  }
+  return FixKind::kNone;
+}
+
+Plan plan_insertions(const DataflowGraph& graph, Strategy strategy,
+                     const PlannerConfig& config) {
+  Plan plan;
+  plan.strategy = strategy;
+  plan.overhead.set_label("insertion-overhead(" + to_string(strategy) + ")");
+
+  for (NodeId op_node : graph.op_nodes()) {
+    const Node& node = graph.node(op_node);
+    PlannedFix fix;
+    fix.op_node = op_node;
+    fix.op = node.op;
+    fix.requirement = requirement_of(node.op);
+    fix.relation = classify(graph, node.lhs, node.rhs);
+
+    if (!satisfied(fix.requirement, fix.relation)) {
+      fix.fix = fix_for_requirement(fix.requirement, strategy);
+      if (fix.fix == FixKind::kNone) {
+        plan.violations.push_back(op_node);
+      } else {
+        plan.overhead += fix_netlist(fix.fix, config);
+        ++plan.inserted_units;
+      }
+    }
+    plan.fixes.push_back(fix);
+  }
+  return plan;
+}
+
+}  // namespace sc::graph

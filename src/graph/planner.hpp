@@ -1,0 +1,93 @@
+/// \file planner.hpp
+/// Correlation analysis and manipulator insertion for dataflow graphs.
+///
+/// Analysis: every stream carries a *lineage* - the set of RNG groups its
+/// bits derive from.  Two streams are classified
+///   kPositive    if they are inputs of the same RNG group (shared trace),
+///   kIndependent if their lineages are disjoint,
+///   kUnknown     otherwise (shared ancestry through ops - the paper's
+///                "computation-induced correlation" whose exact level "is
+///                not well-understood", §II-B).
+/// The planner is conservative: any op whose requirement is not provably
+/// met gets a fix.
+///
+/// Strategies mirror the paper's §IV comparison:
+///   kNone         - insert nothing; violations are recorded (the paper's
+///                   "SC No Manipulation" design)
+///   kRegeneration - S/D + D/S both operands (shared / distinct /
+///                   complementary RNG for +1 / 0 / -1)
+///   kManipulation - synchronizer / decorrelator / desynchronizer in-stream
+/// Every plan carries the inserted hardware as a netlist so strategies can
+/// be compared on cost as well as accuracy.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/dataflow.hpp"
+#include "hw/netlist.hpp"
+
+namespace sc::graph {
+
+/// Provable correlation relation between two streams.
+enum class Relation { kPositive, kIndependent, kUnknown };
+
+std::string to_string(Relation relation);
+
+/// Classifies the relation between two nodes from lineage analysis.
+Relation classify(const DataflowGraph& graph, NodeId a, NodeId b);
+
+/// Insertion strategy (see file comment).
+enum class Strategy { kNone, kRegeneration, kManipulation };
+
+std::string to_string(Strategy strategy);
+
+/// Fix inserted in front of one op's operand pair.
+enum class FixKind {
+  kNone,
+  kSynchronizer,             ///< drive SCC -> +1 in-stream
+  kDesynchronizer,           ///< drive SCC -> -1 in-stream
+  kDecorrelator,             ///< drive SCC -> 0 in-stream
+  kRegenerateShared,         ///< S/D + D/S both operands, one shared RNG
+  kRegenerateDistinct,       ///< S/D + D/S, independent RNGs
+  kRegenerateComplementary,  ///< S/D + D/S, complementary RNG pair
+};
+
+std::string to_string(FixKind kind);
+
+/// Planned fix for one op node.
+struct PlannedFix {
+  NodeId op_node = 0;
+  OpKind op = OpKind::kMultiply;
+  Requirement requirement = Requirement::kAgnostic;
+  Relation relation = Relation::kUnknown;
+  FixKind fix = FixKind::kNone;
+};
+
+/// Full insertion plan for a graph under one strategy.
+struct Plan {
+  Strategy strategy = Strategy::kNone;
+  std::vector<PlannedFix> fixes;      ///< one entry per op node
+  std::vector<NodeId> violations;     ///< ops left unsatisfied (kNone only)
+  hw::Netlist overhead;               ///< all inserted hardware
+  std::size_t inserted_units = 0;     ///< manipulators or regenerators
+
+  /// Fix planned for a given op node (kNone if none).
+  FixKind fix_for(NodeId op_node) const;
+};
+
+/// Computes the insertion plan for a graph under a strategy.
+/// `sync_depth` configures inserted synchronizers/desynchronizers;
+/// `shuffle_depth` the inserted decorrelators; `width` the regenerator
+/// counters and comparators.
+struct PlannerConfig {
+  unsigned sync_depth = 2;
+  std::size_t shuffle_depth = 8;
+  unsigned width = 8;
+};
+
+Plan plan_insertions(const DataflowGraph& graph, Strategy strategy,
+                     const PlannerConfig& config = {});
+
+}  // namespace sc::graph

@@ -1,0 +1,66 @@
+/// \file cells.hpp
+/// Standard-cell library model for the hardware cost estimates.
+///
+/// The paper synthesizes its designs with Synopsys tools on a TSMC 65nm
+/// library and reports area (um^2), power (uW), and energy (pJ) per design
+/// (Tables III and IV).  We cannot run that flow, so this module models a
+/// 65nm-class cell library: every cell has an area, a leakage power, and a
+/// switching energy per clocked/toggled evaluation.  Design netlists
+/// (designs.hpp) are expanded into cell counts and evaluated with
+///     power  = sum(leakage) + activity * sum(switch_energy) * f_clk
+///     energy = power * cycles / f_clk
+///
+/// Calibration: cell parameters are fitted so the five single-operator
+/// designs of paper Table III land near the published numbers (the OR-max
+/// area of 2.16 um^2 pins the OR2 cell exactly; the published energy/power
+/// ratios imply an operating point of 2^16 cycles at 100 MHz, which is the
+/// default used by the Table III bench).  The claims we must reproduce are
+/// the *relative* factors (5.2x smaller, 11.6x / 3.0x more energy
+/// efficient, 24% pipeline saving); those follow from the netlist structure
+/// rather than the absolute calibration.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace sc::hw {
+
+/// Primitive cells the netlists are built from.
+enum class Cell : std::uint8_t {
+  kInv,
+  kNand2,
+  kNor2,
+  kAnd2,
+  kOr2,
+  kXor2,
+  kXnor2,
+  kMux2,
+  kDff,       ///< D flip-flop (clocked every cycle)
+  kDffEn,     ///< D flip-flop with clock-enable
+  kHalfAdder,
+  kFullAdder,
+};
+inline constexpr std::size_t kCellCount = 12;
+
+/// Physical parameters of one cell.
+struct CellParams {
+  std::string_view name;
+  double area_um2;          ///< placed area
+  double leakage_uw;        ///< static power
+  double switch_energy_fj;  ///< energy per evaluation at full activity
+};
+
+/// Library lookup.
+const CellParams& cell_params(Cell cell);
+
+/// Default signal activity of an SC data net: a Bernoulli(p) stream toggles
+/// with probability 2p(1-p) <= 0.5 per cycle; p = 0.5 gives 0.5.
+inline constexpr double kDefaultActivity = 0.5;
+
+/// Cells whose switching is clock-driven (activity 1.0 regardless of data):
+/// flip-flops burn clock energy every cycle.
+bool is_clocked(Cell cell);
+
+}  // namespace sc::hw

@@ -1,0 +1,35 @@
+#include "hw/cost.hpp"
+
+namespace sc::hw {
+
+CostReport evaluate(const Netlist& netlist, const CostConfig& config) {
+  CostReport report;
+  report.label = netlist.label();
+  report.area_um2 = netlist.area_um2();
+
+  double leakage_uw = 0.0;
+  double switched_fj_per_cycle = 0.0;
+  for (std::size_t i = 0; i < kCellCount; ++i) {
+    const auto cell = static_cast<Cell>(i);
+    const std::uint64_t count = netlist.count(cell);
+    if (count == 0) continue;
+    const CellParams& params = cell_params(cell);
+    leakage_uw += static_cast<double>(count) * params.leakage_uw;
+    const double activity = is_clocked(cell) ? 1.0 : config.activity;
+    switched_fj_per_cycle +=
+        static_cast<double>(count) * activity * params.switch_energy_fj;
+  }
+
+  report.leakage_uw = leakage_uw;
+  // fJ/cycle * cycles/s = fJ/s = 1e-9 uW... careful with units:
+  // 1 fJ/cycle at f Hz = f * 1e-15 J/s = f * 1e-15 W = f * 1e-9 uW.
+  report.dynamic_uw = switched_fj_per_cycle * config.clock_hz * 1e-9;
+  report.power_uw = report.leakage_uw + report.dynamic_uw;
+  // uW * s = 1e-6 J = 1e6 pJ.
+  const double seconds =
+      static_cast<double>(config.cycles) / config.clock_hz;
+  report.energy_pj = report.power_uw * seconds * 1e6;
+  return report;
+}
+
+}  // namespace sc::hw

@@ -1,0 +1,45 @@
+/// \file cost.hpp
+/// Area / power / energy evaluation of netlists.
+///
+/// power  = sum(leakage) + f_clk * sum_cells(activity(cell) * E_switch)
+/// energy = power * cycles / f_clk
+///
+/// Flip-flops switch at clock activity (1.0); combinational cells switch at
+/// the configured data activity (default 0.5, the toggle rate of a p = 0.5
+/// stochastic stream).  The default operating point (100 MHz, 2^16 cycles
+/// per operation) matches the point implied by the paper's Table III
+/// power/energy ratios; see hw/cells.hpp for the calibration note.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hw/netlist.hpp"
+
+namespace sc::hw {
+
+/// Operating point for power/energy evaluation.
+struct CostConfig {
+  double clock_hz = 100e6;       ///< clock frequency
+  std::uint64_t cycles = 65536;  ///< cycles per "operation" (stream length)
+  double activity = kDefaultActivity;  ///< combinational data activity
+};
+
+/// Evaluated costs of one design at one operating point.
+struct CostReport {
+  std::string label;
+  double area_um2 = 0.0;
+  double leakage_uw = 0.0;
+  double dynamic_uw = 0.0;
+  double power_uw = 0.0;   ///< leakage + dynamic
+  double energy_pj = 0.0;  ///< power * cycles / clock
+
+  /// Energy in nJ (paper Table IV convention).
+  double energy_nj() const { return energy_pj / 1000.0; }
+};
+
+/// Evaluates a netlist at the given operating point.
+CostReport evaluate(const Netlist& netlist, const CostConfig& config = {});
+
+}  // namespace sc::hw

@@ -1,0 +1,241 @@
+#include "hw/designs.hpp"
+
+#include <bit>
+#include <cassert>
+#include <sstream>
+
+namespace sc::hw {
+
+unsigned state_bits(std::size_t states) {
+  assert(states >= 1);
+  return states <= 1 ? 1u : static_cast<unsigned>(std::bit_width(states - 1));
+}
+
+Netlist or_gate_netlist() {
+  Netlist n("or");
+  n.add(Cell::kOr2);
+  return n;
+}
+
+Netlist and_gate_netlist() {
+  Netlist n("and");
+  n.add(Cell::kAnd2);
+  return n;
+}
+
+Netlist xor_gate_netlist() {
+  Netlist n("xor");
+  n.add(Cell::kXor2);
+  return n;
+}
+
+Netlist xnor_gate_netlist() {
+  Netlist n("xnor");
+  n.add(Cell::kXnor2);
+  return n;
+}
+
+Netlist mux_adder_netlist() {
+  Netlist n("mux-add");
+  n.add(Cell::kMux2);
+  return n;
+}
+
+Netlist toggle_adder_netlist() {
+  // T flip-flop (DFF + INV feedback) steering a MUX on differing inputs.
+  Netlist n("toggle-add");
+  n.add(Cell::kDff).add(Cell::kInv).add(Cell::kXor2).add(Cell::kMux2);
+  return n;
+}
+
+Netlist cordiv_netlist() {
+  // Quotient-bit hold register + output select.
+  Netlist n("cordiv");
+  n.add(Cell::kDff).add(Cell::kMux2).add(Cell::kAnd2);
+  return n;
+}
+
+namespace {
+
+/// Shared FSM expansion: `bits` state flops plus next-state/output logic
+/// that grows linearly with the state register width (what 2-level
+/// synthesis of these small symmetric FSMs yields in practice).
+Netlist fsm_netlist(std::string label, unsigned bits, unsigned extra_logic) {
+  Netlist n(std::move(label));
+  n.add(Cell::kDff, bits);
+  n.add(Cell::kAnd2, 2 + bits);
+  n.add(Cell::kOr2, 1 + bits);
+  n.add(Cell::kInv, 1 + bits);
+  n.add(Cell::kXor2, 1);
+  n.add(Cell::kNand2, 2 * bits + extra_logic);
+  return n;
+}
+
+/// Offset tracking for flush mode: a down-counter of `offset_bits` plus a
+/// saved-count comparator (paper §III-B calls this "tremendously expensive"
+/// next to the base FSM; the numbers here show why).
+Netlist flush_tracker(unsigned offset_bits) {
+  Netlist n("flush");
+  n.add(Cell::kDff, offset_bits);
+  n.add(Cell::kHalfAdder, offset_bits);
+  n.add(Cell::kNand2, offset_bits);
+  n.add(Cell::kOr2, offset_bits / 2 + 1);
+  return n;
+}
+
+}  // namespace
+
+Netlist synchronizer_netlist(unsigned depth, bool flush,
+                             unsigned offset_bits) {
+  assert(depth >= 1);
+  std::ostringstream label;
+  label << "sync(D=" << depth << (flush ? ",flush" : "") << ")";
+  const unsigned bits = state_bits(2 * static_cast<std::size_t>(depth) + 1);
+  Netlist n = fsm_netlist(label.str(), bits, 0);
+  if (flush) n += flush_tracker(offset_bits);
+  n.set_label(label.str());
+  return n;
+}
+
+Netlist desynchronizer_netlist(unsigned depth, bool flush,
+                               unsigned offset_bits) {
+  assert(depth >= 1);
+  std::ostringstream label;
+  label << "desync(D=" << depth << (flush ? ",flush" : "") << ")";
+  const unsigned bits = state_bits(2 * static_cast<std::size_t>(depth) + 2);
+  // The desynchronizer's transition structure (alternating donor side) needs
+  // a little more output logic than the synchronizer.
+  Netlist n = fsm_netlist(label.str(), bits, 3);
+  if (flush) n += flush_tracker(offset_bits);
+  n.set_label(label.str());
+  return n;
+}
+
+Netlist shuffle_buffer_netlist(std::size_t depth) {
+  assert(depth >= 1);
+  std::ostringstream label;
+  label << "shuffle(D=" << depth << ")";
+  Netlist n(label.str());
+  n.add(Cell::kDffEn, depth);                       // bit slots
+  n.add(Cell::kAnd2, depth);                        // address decode enables
+  n.add(Cell::kMux2, depth);                        // output mux tree + pass
+  n.add(Cell::kInv, state_bits(depth + 1));         // address complement
+  return n;
+}
+
+Netlist decorrelator_netlist(std::size_t depth) {
+  std::ostringstream label;
+  label << "decorrelator(D=" << depth << ")";
+  Netlist n = shuffle_buffer_netlist(depth) + shuffle_buffer_netlist(depth);
+  n.set_label(label.str());
+  return n;
+}
+
+Netlist isolator_netlist(std::size_t delay) {
+  std::ostringstream label;
+  label << "isolator(d=" << delay << ")";
+  Netlist n(label.str());
+  n.add(Cell::kDff, delay);
+  return n;
+}
+
+Netlist tfm_netlist(unsigned precision) {
+  std::ostringstream label;
+  label << "tfm(k=" << precision << ")";
+  Netlist n(label.str());
+  n.add(Cell::kDff, precision + 1);        // EMA register
+  n.add(Cell::kFullAdder, precision);      // EMA update adder/subtractor
+  n += comparator_netlist(precision);      // regeneration comparator
+  n.set_label(label.str());
+  return n;
+}
+
+Netlist lfsr_netlist(unsigned width) {
+  std::ostringstream label;
+  label << "lfsr" << width;
+  Netlist n(label.str());
+  n.add(Cell::kDff, width);
+  n.add(Cell::kXor2, 3);  // feedback taps (<= 4 taps for maximal LFSRs)
+  return n;
+}
+
+Netlist comparator_netlist(unsigned width) {
+  std::ostringstream label;
+  label << "cmp" << width;
+  // Ripple magnitude comparator: per bit XNOR (equality) + AND (chain).
+  Netlist n(label.str());
+  n.add(Cell::kXnor2, width);
+  n.add(Cell::kAnd2, width);
+  return n;
+}
+
+Netlist sng_netlist(unsigned width, bool include_rng) {
+  std::ostringstream label;
+  label << "sng" << width << (include_rng ? "" : "(shared-rng)");
+  Netlist n(label.str());
+  if (include_rng) n += lfsr_netlist(width);
+  n += comparator_netlist(width);
+  n.set_label(label.str());
+  return n;
+}
+
+Netlist sd_converter_netlist(unsigned bits) {
+  std::ostringstream label;
+  label << "sd" << bits;
+  // Ones counter: register + increment chain.
+  Netlist n(label.str());
+  n.add(Cell::kDff, bits);
+  n.add(Cell::kHalfAdder, bits);
+  return n;
+}
+
+Netlist regenerator_netlist(unsigned bits, bool include_rng) {
+  std::ostringstream label;
+  label << "regen" << bits << (include_rng ? "(private-rng)" : "");
+  // S/D counter + holding register (the counted level must persist while
+  // the next stream is counted) + D/S comparator.
+  Netlist n = sd_converter_netlist(bits);
+  n.add(Cell::kDff, bits);
+  n += comparator_netlist(bits);
+  if (include_rng) n += lfsr_netlist(bits);
+  n.set_label(label.str());
+  return n;
+}
+
+Netlist sync_max_netlist(unsigned depth) {
+  std::ostringstream label;
+  label << "sync-max(D=" << depth << ")";
+  Netlist n = synchronizer_netlist(depth) + or_gate_netlist();
+  n.set_label(label.str());
+  return n;
+}
+
+Netlist sync_min_netlist(unsigned depth) {
+  std::ostringstream label;
+  label << "sync-min(D=" << depth << ")";
+  Netlist n = synchronizer_netlist(depth) + and_gate_netlist();
+  n.set_label(label.str());
+  return n;
+}
+
+Netlist desync_sat_add_netlist(unsigned depth) {
+  std::ostringstream label;
+  label << "desync-satadd(D=" << depth << ")";
+  Netlist n = desynchronizer_netlist(depth) + or_gate_netlist();
+  n.set_label(label.str());
+  return n;
+}
+
+Netlist ca_max_netlist(unsigned counter_bits) {
+  std::ostringstream label;
+  label << "ca-max(b=" << counter_bits << ")";
+  // Up/down counter tracking count(x) - count(y), sign bit steers a mux.
+  Netlist n(label.str());
+  n.add(Cell::kDff, counter_bits);
+  n.add(Cell::kFullAdder, counter_bits);
+  n.add(Cell::kMux2, 1);
+  n.add(Cell::kInv, 1);
+  return n;
+}
+
+}  // namespace sc::hw

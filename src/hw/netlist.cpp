@@ -1,0 +1,49 @@
+#include "hw/netlist.hpp"
+
+#include <sstream>
+
+namespace sc::hw {
+
+std::uint64_t Netlist::total_cells() const {
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts_) total += c;
+  return total;
+}
+
+Netlist& Netlist::operator+=(const Netlist& other) {
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  return *this;
+}
+
+Netlist& Netlist::operator*=(std::uint64_t factor) {
+  for (auto& c : counts_) c *= factor;
+  return *this;
+}
+
+double Netlist::area_um2() const {
+  double area = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    area += static_cast<double>(counts_[i]) *
+            cell_params(static_cast<Cell>(i)).area_um2;
+  }
+  return area;
+}
+
+std::string Netlist::to_string() const {
+  std::ostringstream os;
+  if (!label_.empty()) os << label_ << ": ";
+  bool first = true;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    if (!first) os << " ";
+    os << counts_[i] << "x" << cell_params(static_cast<Cell>(i)).name;
+    first = false;
+  }
+  if (first) os << "(empty)";
+  return os.str();
+}
+
+}  // namespace sc::hw

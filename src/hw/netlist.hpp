@@ -1,0 +1,66 @@
+/// \file netlist.hpp
+/// Cell-count netlists and their composition algebra.
+///
+/// A Netlist is a multiset of cells (plus a label).  Designs compose by
+/// addition (a pipeline is the sum of its kernels, converters, and
+/// manipulators), and replicate by integer scaling (a tile processes 100
+/// pixels in parallel => 100 copies of the per-pixel hardware).
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "hw/cells.hpp"
+
+namespace sc::hw {
+
+/// Multiset of standard cells.
+class Netlist {
+ public:
+  Netlist() = default;
+  explicit Netlist(std::string label) : label_(std::move(label)) {}
+
+  /// Adds `count` instances of a cell.
+  Netlist& add(Cell cell, std::uint64_t count = 1) {
+    counts_[static_cast<std::size_t>(cell)] += count;
+    return *this;
+  }
+
+  std::uint64_t count(Cell cell) const {
+    return counts_[static_cast<std::size_t>(cell)];
+  }
+
+  /// Total number of cell instances.
+  std::uint64_t total_cells() const;
+
+  const std::string& label() const { return label_; }
+  void set_label(std::string label) { label_ = std::move(label); }
+
+  /// Merges another netlist into this one.
+  Netlist& operator+=(const Netlist& other);
+  friend Netlist operator+(Netlist lhs, const Netlist& rhs) {
+    lhs += rhs;
+    return lhs;
+  }
+
+  /// Replicates the netlist `factor` times.
+  Netlist& operator*=(std::uint64_t factor);
+  friend Netlist operator*(Netlist lhs, std::uint64_t factor) {
+    lhs *= factor;
+    return lhs;
+  }
+
+  /// Summed placed area in um^2.
+  double area_um2() const;
+
+  /// One-line cell inventory, e.g. "sync(D=1): 2xDFF 4xAND2 ...".
+  std::string to_string() const;
+
+ private:
+  std::array<std::uint64_t, kCellCount> counts_{};
+  std::string label_;
+};
+
+}  // namespace sc::hw

@@ -1,0 +1,68 @@
+#include "img/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sc::img {
+
+Image gaussian_blur3(const Image& input) {
+  Image out(input.width(), input.height());
+  for (std::size_t y = 0; y < input.height(); ++y) {
+    for (std::size_t x = 0; x < input.width(); ++x) {
+      double acc = 0.0;
+      int k = 0;
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          acc += static_cast<double>(kGaussianWeights16[k]) *
+                 input.at_clamped(static_cast<std::ptrdiff_t>(x) + dx,
+                                  static_cast<std::ptrdiff_t>(y) + dy);
+          ++k;
+        }
+      }
+      out.at(x, y) = acc / 16.0;
+    }
+  }
+  return out;
+}
+
+Image roberts_cross(const Image& input) {
+  Image out(input.width(), input.height());
+  for (std::size_t y = 0; y < input.height(); ++y) {
+    for (std::size_t x = 0; x < input.width(); ++x) {
+      const auto ix = static_cast<std::ptrdiff_t>(x);
+      const auto iy = static_cast<std::ptrdiff_t>(y);
+      const double a = input.at_clamped(ix, iy);
+      const double d = input.at_clamped(ix + 1, iy + 1);
+      const double b = input.at_clamped(ix + 1, iy);
+      const double c = input.at_clamped(ix, iy + 1);
+      out.at(x, y) = 0.5 * (std::abs(a - d) + std::abs(b - c));
+    }
+  }
+  return out;
+}
+
+Image reference_pipeline(const Image& input) {
+  return roberts_cross(gaussian_blur3(input));
+}
+
+Image median3x3(const Image& input) {
+  Image out(input.width(), input.height());
+  for (std::size_t y = 0; y < input.height(); ++y) {
+    for (std::size_t x = 0; x < input.width(); ++x) {
+      std::array<double, 9> window;
+      int k = 0;
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          window[static_cast<std::size_t>(k++)] =
+              input.at_clamped(static_cast<std::ptrdiff_t>(x) + dx,
+                               static_cast<std::ptrdiff_t>(y) + dy);
+        }
+      }
+      std::nth_element(window.begin(), window.begin() + 4, window.end());
+      out.at(x, y) = window[4];
+    }
+  }
+  return out;
+}
+
+}  // namespace sc::img

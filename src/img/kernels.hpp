@@ -1,0 +1,37 @@
+/// \file kernels.hpp
+/// Floating-point reference kernels for the §IV pipeline: 3x3 Gaussian blur
+/// and the Roberts cross edge detector (paper refs [13]).
+///
+/// The SC accelerator (sc_pipeline.hpp) approximates exactly these
+/// functions; the paper's image "Abs. Error" compares the SC output against
+/// this float pipeline on the same input.
+
+#pragma once
+
+#include <array>
+
+#include "img/image.hpp"
+
+namespace sc::img {
+
+/// The 3x3 binomial Gaussian kernel (1/16) {1 2 1; 2 4 2; 1 2 1} used by the
+/// SC MUX-tree implementation; weights sum to 1 with 16 "slots".
+inline constexpr std::array<int, 9> kGaussianWeights16 = {1, 2, 1,
+                                                          2, 4, 2,
+                                                          1, 2, 1};
+
+/// 3x3 Gaussian blur with border-clamped sampling.
+Image gaussian_blur3(const Image& input);
+
+/// Roberts cross edge detector on a (blurred) image, matching the SC
+/// dataflow: ED(i,j) = 0.5 * (|G(i,j) - G(i+1,j+1)| + |G(i+1,j) - G(i,j+1)|)
+/// with border clamping.  The 0.5 factor is the SC MUX adder's scale.
+Image roberts_cross(const Image& input);
+
+/// Full float reference pipeline: roberts_cross(gaussian_blur3(input)).
+Image reference_pipeline(const Image& input);
+
+/// 3x3 median filter reference (for the sorting-network example).
+Image median3x3(const Image& input);
+
+}  // namespace sc::img

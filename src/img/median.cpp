@@ -1,0 +1,85 @@
+#include "img/median.hpp"
+
+#include <cassert>
+
+#include "arith/gates.hpp"
+#include "bitstream/encoding.hpp"
+#include "core/pair_transform.hpp"
+#include "core/synchronizer.hpp"
+#include "rng/lfsr.hpp"
+
+namespace sc::img {
+
+const std::array<std::pair<int, int>, 25>& median9_network() {
+  // Optimal 25-CE / depth-9 sorting network for 9 inputs (Knuth TAOCP v3).
+  static const std::array<std::pair<int, int>, 25> kNetwork = {{
+      {0, 3}, {1, 7}, {2, 5}, {4, 8},
+      {0, 7}, {2, 4}, {3, 8}, {5, 6},
+      {0, 2}, {1, 3}, {4, 5}, {7, 8},
+      {1, 4}, {3, 6}, {5, 7},
+      {0, 1}, {2, 4}, {3, 5}, {6, 8},
+      {2, 3}, {4, 5}, {6, 7},
+      {1, 2}, {3, 4}, {5, 6},
+  }};
+  return kNetwork;
+}
+
+Bitstream sc_median9(const std::array<Bitstream, 9>& window,
+                     unsigned sync_depth) {
+  std::array<Bitstream, 9> lanes = window;
+  for (const auto& [lo, hi] : median9_network()) {
+    core::Synchronizer sync({sync_depth, false});
+    const sc::StreamPair synced =
+        core::apply(sync, lanes[static_cast<std::size_t>(lo)],
+                    lanes[static_cast<std::size_t>(hi)]);
+    lanes[static_cast<std::size_t>(lo)] = arith::and_gate(synced.x, synced.y);
+    lanes[static_cast<std::size_t>(hi)] = arith::or_gate(synced.x, synced.y);
+  }
+  return lanes[4];
+}
+
+Image sc_median_filter(const Image& input, const MedianConfig& config) {
+  assert(!input.empty());
+  const std::size_t n = config.stream_length;
+  const auto natural = static_cast<std::uint32_t>(1u << config.sng_width);
+
+  // Shared input RNG bank, free-running across pixels.
+  std::vector<rng::Lfsr> banks;
+  for (unsigned b = 0; b < config.input_banks; ++b) {
+    banks.emplace_back(config.sng_width, config.seed + 17 * (b + 1));
+  }
+
+  Image out(input.width(), input.height());
+  std::vector<std::vector<std::uint32_t>> trace(banks.size());
+
+  for (std::size_t y = 0; y < input.height(); ++y) {
+    for (std::size_t x = 0; x < input.width(); ++x) {
+      // Fresh bank traces per pixel window (free-running LFSRs).
+      for (std::size_t b = 0; b < banks.size(); ++b) {
+        trace[b].resize(n);
+        for (std::size_t i = 0; i < n; ++i) trace[b][i] = banks[b].next();
+      }
+      std::array<Bitstream, 9> window;
+      int k = 0;
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          const double pixel =
+              input.at_clamped(static_cast<std::ptrdiff_t>(x) + dx,
+                               static_cast<std::ptrdiff_t>(y) + dy);
+          const std::uint32_t level = unipolar_level(pixel, natural);
+          const std::size_t bank = static_cast<std::size_t>(k) % banks.size();
+          Bitstream s(n);
+          for (std::size_t i = 0; i < n; ++i) {
+            if (trace[bank][i] < level) s.set(i, true);
+          }
+          window[static_cast<std::size_t>(k)] = std::move(s);
+          ++k;
+        }
+      }
+      out.at(x, y) = sc_median9(window, config.sync_depth).value();
+    }
+  }
+  return out;
+}
+
+}  // namespace sc::img

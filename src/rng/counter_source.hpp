@@ -1,0 +1,54 @@
+/// \file counter_source.hpp
+/// Deterministic ramp sequence 0, 1, ..., 2^w - 1, 0, ...
+///
+/// A counter-driven comparator SNG emits all of a stream's 1s contiguously
+/// ("unary ramp" encoding).  Two counter-generated streams are maximally
+/// positively correlated (SCC = +1), which makes this source useful for
+/// constructing correlated operands and for testing correlation-sensitive
+/// circuits such as the XOR subtractor and CORDIV divider.
+
+#pragma once
+
+#include <cassert>
+#include <sstream>
+
+#include "rng/random_source.hpp"
+
+namespace sc::rng {
+
+/// Wrap-around w-bit up-counter.
+class CounterSource final : public RandomSource {
+ public:
+  explicit CounterSource(unsigned width, std::uint32_t start = 0)
+      : width_(width),
+        mask_(width == 32 ? ~0u : (1u << width) - 1u),
+        start_(start & mask_),
+        state_(start & mask_) {
+    assert(width >= 1 && width <= 32);
+  }
+
+  std::uint32_t next() override {
+    const std::uint32_t out = state_;
+    state_ = (state_ + 1) & mask_;
+    return out;
+  }
+  unsigned width() const override { return width_; }
+  void reset() override { state_ = start_; }
+  std::unique_ptr<RandomSource> clone() const override {
+    return std::make_unique<CounterSource>(*this);
+  }
+  std::string name() const override {
+    std::ostringstream os;
+    os << "counter" << width_;
+    if (start_ != 0) os << "(start=" << start_ << ")";
+    return os.str();
+  }
+
+ private:
+  unsigned width_;
+  std::uint32_t mask_;
+  std::uint32_t start_;
+  std::uint32_t state_;
+};
+
+}  // namespace sc::rng

@@ -1,0 +1,48 @@
+#include "rng/factory.hpp"
+
+#include "rng/counter_source.hpp"
+#include "rng/halton.hpp"
+#include "rng/lfsr.hpp"
+#include "rng/mt_source.hpp"
+#include "rng/sobol.hpp"
+#include "rng/van_der_corput.hpp"
+
+namespace sc::rng {
+
+RandomSourcePtr make_rng(const RngSpec& spec) {
+  switch (spec.kind) {
+    case RngKind::kLfsr:
+      return std::make_unique<Lfsr>(spec.width, spec.seed, spec.rotation);
+    case RngKind::kVanDerCorput:
+      return std::make_unique<VanDerCorput>(spec.width, spec.seed);
+    case RngKind::kHalton:
+      return std::make_unique<Halton>(spec.width, spec.base, spec.seed);
+    case RngKind::kSobol:
+      return std::make_unique<Sobol>(spec.width, spec.dimension);
+    case RngKind::kCounter:
+      return std::make_unique<CounterSource>(spec.width, spec.seed);
+    case RngKind::kMt19937:
+      return std::make_unique<Mt19937Source>(spec.width, spec.seed);
+  }
+  return nullptr;
+}
+
+std::string to_string(RngKind kind) {
+  switch (kind) {
+    case RngKind::kLfsr:
+      return "LFSR";
+    case RngKind::kVanDerCorput:
+      return "VDC";
+    case RngKind::kHalton:
+      return "Halton";
+    case RngKind::kSobol:
+      return "Sobol";
+    case RngKind::kCounter:
+      return "Counter";
+    case RngKind::kMt19937:
+      return "MT19937";
+  }
+  return "?";
+}
+
+}  // namespace sc::rng

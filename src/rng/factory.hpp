@@ -1,0 +1,40 @@
+/// \file factory.hpp
+/// Tagged construction of every RandomSource family, used by benchmarks and
+/// experiment sweeps that iterate over RNG configurations (paper Table II).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "rng/random_source.hpp"
+
+namespace sc::rng {
+
+/// The source families evaluated in the paper plus test-only extras.
+enum class RngKind {
+  kLfsr,          ///< maximal-length LFSR
+  kVanDerCorput,  ///< base-2 bit-reversal sequence
+  kHalton,        ///< base-b radical inverse (paper uses base 3)
+  kSobol,         ///< direction-vector Sobol sequence
+  kCounter,       ///< deterministic ramp (maximal positive correlation)
+  kMt19937,       ///< software i.i.d. reference
+};
+
+/// Full description of a source instance.
+struct RngSpec {
+  RngKind kind = RngKind::kLfsr;
+  unsigned width = 8;
+  std::uint32_t seed = 1;   ///< LFSR seed / mt19937 seed / counter & sequence phase
+  unsigned base = 3;        ///< Halton radix
+  unsigned dimension = 1;   ///< Sobol dimension
+  unsigned rotation = 0;    ///< LFSR output rotation
+};
+
+/// Instantiates the described source.
+RandomSourcePtr make_rng(const RngSpec& spec);
+
+/// Short family name, e.g. "LFSR", "VDC", "Halton".
+std::string to_string(RngKind kind);
+
+}  // namespace sc::rng

@@ -1,0 +1,47 @@
+#include "rng/halton.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace sc::rng {
+
+Halton::Halton(unsigned width, unsigned base, std::uint32_t offset)
+    : width_(width), base_(base), offset_(offset), counter_(offset) {
+  assert(width >= 1 && width <= 31);
+  assert(base >= 2);
+}
+
+double Halton::radical_inverse(std::uint64_t t, unsigned base) {
+  double scale = 1.0;
+  double result = 0.0;
+  while (t > 0) {
+    scale /= static_cast<double>(base);
+    result += scale * static_cast<double>(t % base);
+    t /= base;
+  }
+  return result;
+}
+
+std::uint32_t Halton::next() {
+  const double r = radical_inverse(counter_, base_);
+  ++counter_;
+  const auto scaled = static_cast<std::uint32_t>(
+      r * static_cast<double>(std::uint64_t{1} << width_));
+  // Guard against r * 2^w == 2^w from floating rounding.
+  const std::uint32_t max = (width_ == 32 ? ~0u : (1u << width_) - 1u);
+  return scaled > max ? max : scaled;
+}
+
+std::unique_ptr<RandomSource> Halton::clone() const {
+  return std::make_unique<Halton>(*this);
+}
+
+std::string Halton::name() const {
+  std::ostringstream os;
+  os << "halton" << base_ << "." << width_;
+  if (offset_ != 0) os << "(offset=" << offset_ << ")";
+  return os.str();
+}
+
+}  // namespace sc::rng

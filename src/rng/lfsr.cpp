@@ -1,0 +1,94 @@
+#include "rng/lfsr.hpp"
+
+#include <array>
+#include <bit>
+#include <cassert>
+#include <sstream>
+
+namespace sc::rng {
+namespace {
+
+/// Maximal-period feedback taps for Fibonacci LFSRs of width 3..32
+/// (XAPP052-style tap positions, stored as a mask with bit p-1 set for each
+/// 1-indexed tap position p; feedback is the XOR of the tapped bits and is
+/// shifted into the LSB).
+constexpr std::array<std::uint32_t, 33> kTapTable = [] {
+  std::array<std::uint32_t, 33> t{};
+  auto mask = [](std::initializer_list<unsigned> taps) {
+    std::uint32_t m = 0;
+    for (unsigned p : taps) m |= 1u << (p - 1);
+    return m;
+  };
+  t[3] = mask({3, 2});
+  t[4] = mask({4, 3});
+  t[5] = mask({5, 3});
+  t[6] = mask({6, 5});
+  t[7] = mask({7, 6});
+  t[8] = mask({8, 6, 5, 4});
+  t[9] = mask({9, 5});
+  t[10] = mask({10, 7});
+  t[11] = mask({11, 9});
+  t[12] = mask({12, 6, 4, 1});
+  t[13] = mask({13, 4, 3, 1});
+  t[14] = mask({14, 5, 3, 1});
+  t[15] = mask({15, 14});
+  t[16] = mask({16, 15, 13, 4});
+  t[17] = mask({17, 14});
+  t[18] = mask({18, 11});
+  t[19] = mask({19, 6, 2, 1});
+  t[20] = mask({20, 17});
+  t[21] = mask({21, 19});
+  t[22] = mask({22, 21});
+  t[23] = mask({23, 18});
+  t[24] = mask({24, 23, 22, 17});
+  t[25] = mask({25, 22});
+  t[26] = mask({26, 6, 2, 1});
+  t[27] = mask({27, 5, 2, 1});
+  t[28] = mask({28, 25});
+  t[29] = mask({29, 27});
+  t[30] = mask({30, 6, 4, 1});
+  t[31] = mask({31, 28});
+  t[32] = mask({32, 22, 2, 1});
+  return t;
+}();
+
+}  // namespace
+
+std::uint32_t Lfsr::maximal_taps(unsigned width) {
+  assert(width >= 3 && width <= 32);
+  return kTapTable[width];
+}
+
+Lfsr::Lfsr(unsigned width, std::uint32_t seed, unsigned rotation)
+    : width_(width),
+      rotation_(rotation % width),
+      taps_(maximal_taps(width)),
+      mask_(width == 32 ? ~0u : (1u << width) - 1u) {
+  seed &= mask_;
+  if (seed == 0) seed = 1;  // the all-zero state is a fixed point
+  seed_ = seed;
+  state_ = seed;
+}
+
+std::uint32_t Lfsr::next() {
+  const std::uint32_t out = state_;
+  const std::uint32_t feedback =
+      static_cast<std::uint32_t>(std::popcount(state_ & taps_) & 1);
+  state_ = ((state_ << 1) | feedback) & mask_;
+  if (rotation_ == 0) return out;
+  return ((out >> rotation_) | (out << (width_ - rotation_))) & mask_;
+}
+
+std::unique_ptr<RandomSource> Lfsr::clone() const {
+  return std::make_unique<Lfsr>(*this);
+}
+
+std::string Lfsr::name() const {
+  std::ostringstream os;
+  os << "lfsr" << width_ << "(seed=0x" << std::hex << seed_;
+  if (rotation_ != 0) os << std::dec << ",rot=" << rotation_;
+  os << ")";
+  return os.str();
+}
+
+}  // namespace sc::rng

@@ -1,0 +1,53 @@
+/// \file lfsr.hpp
+/// Maximal-length Fibonacci linear-feedback shift register.
+///
+/// The paper notes LFSRs are the traditional compact SC random source but
+/// that different seeds / rotations are needed to keep streams uncorrelated.
+/// This implementation supports widths 3..32 with known maximal-period tap
+/// sets (period 2^w - 1; the all-zero state is unreachable).  The emitted
+/// value is the full register contents, optionally bit-rotated so that many
+/// decorrelated outputs can be drawn from one register (the standard
+/// amortization trick the paper describes).
+
+#pragma once
+
+#include <cstdint>
+
+#include "rng/random_source.hpp"
+
+namespace sc::rng {
+
+/// Fibonacci LFSR over GF(2) with maximal-period taps.
+class Lfsr final : public RandomSource {
+ public:
+  /// \param width    register width in bits (3..32)
+  /// \param seed     initial state; must be nonzero in the low `width` bits
+  ///                 (0 is remapped to 1, the conventional safe default)
+  /// \param rotation output rotation in bits (models tapping the register at
+  ///                 a different bit offset to obtain a decorrelated copy)
+  explicit Lfsr(unsigned width, std::uint32_t seed = 1, unsigned rotation = 0);
+
+  std::uint32_t next() override;
+  unsigned width() const override { return width_; }
+  void reset() override { state_ = seed_; }
+  std::unique_ptr<RandomSource> clone() const override;
+  std::string name() const override;
+
+  /// Feedback tap mask (XOR of tapped bits feeds bit width-1).
+  std::uint32_t taps() const { return taps_; }
+  /// Current register state (for tests).
+  std::uint32_t state() const { return state_; }
+
+  /// Maximal-period tap mask for a given width (3..32).
+  static std::uint32_t maximal_taps(unsigned width);
+
+ private:
+  unsigned width_;
+  unsigned rotation_;
+  std::uint32_t taps_;
+  std::uint32_t seed_;
+  std::uint32_t state_;
+  std::uint32_t mask_;
+};
+
+}  // namespace sc::rng

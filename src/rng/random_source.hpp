@@ -1,0 +1,54 @@
+/// \file random_source.hpp
+/// Interface for the number sequences that drive stochastic-number
+/// generators, shuffle buffers, and MUX select streams.
+///
+/// A RandomSource emits one w-bit integer per clock cycle, uniformly covering
+/// [0, 2^w).  The paper's evaluation uses four families:
+///  * LFSR            - classic pseudo-random shift register (sc::rng::Lfsr)
+///  * Van der Corput  - base-2 low-discrepancy sequence (bit-reversed counter)
+///  * Halton          - base-b low-discrepancy sequence (radical inverse)
+///  * Sobol           - direction-vector low-discrepancy sequence
+/// plus deterministic counters and mt19937 for tests.
+
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace sc::rng {
+
+/// Abstract per-cycle integer sequence in [0, 2^width()).
+class RandomSource {
+ public:
+  virtual ~RandomSource() = default;
+
+  /// Next value of the sequence.  Advances internal state.
+  virtual std::uint32_t next() = 0;
+
+  /// Output width in bits (1..32).  next() < 2^width().
+  virtual unsigned width() const = 0;
+
+  /// Restarts the sequence from its initial state.
+  virtual void reset() = 0;
+
+  /// Deep copy preserving current state.
+  virtual std::unique_ptr<RandomSource> clone() const = 0;
+
+  /// Human-readable identification, e.g. "lfsr8(seed=0x1)".
+  virtual std::string name() const = 0;
+
+  /// Range of the source: 2^width().
+  std::uint64_t range() const { return std::uint64_t{1} << width(); }
+
+  /// Next value scaled to [0, 1).
+  double next_unit() {
+    return static_cast<double>(next()) / static_cast<double>(range());
+  }
+};
+
+/// Owning handle used across module boundaries.
+using RandomSourcePtr = std::unique_ptr<RandomSource>;
+
+}  // namespace sc::rng

@@ -1,0 +1,41 @@
+#include "rng/van_der_corput.hpp"
+
+#include <cassert>
+#include <sstream>
+
+namespace sc::rng {
+
+VanDerCorput::VanDerCorput(unsigned width, std::uint32_t offset)
+    : width_(width),
+      offset_(offset),
+      counter_(offset),
+      mask_(width == 32 ? ~0u : (1u << width) - 1u) {
+  assert(width >= 1 && width <= 32);
+}
+
+std::uint32_t VanDerCorput::reverse_bits(std::uint32_t v, unsigned width) {
+  std::uint32_t out = 0;
+  for (unsigned i = 0; i < width; ++i) {
+    out = (out << 1) | ((v >> i) & 1u);
+  }
+  return out;
+}
+
+std::uint32_t VanDerCorput::next() {
+  const std::uint32_t out = reverse_bits(counter_ & mask_, width_);
+  ++counter_;
+  return out;
+}
+
+std::unique_ptr<RandomSource> VanDerCorput::clone() const {
+  return std::make_unique<VanDerCorput>(*this);
+}
+
+std::string VanDerCorput::name() const {
+  std::ostringstream os;
+  os << "vdc" << width_;
+  if (offset_ != 0) os << "(offset=" << offset_ << ")";
+  return os.str();
+}
+
+}  // namespace sc::rng

@@ -1,0 +1,28 @@
+#include "sim/circuit.hpp"
+
+namespace sc::sim {
+
+WireId Circuit::make_wire(std::string name) {
+  values_.push_back(0);
+  names_.push_back(std::move(name));
+  return static_cast<WireId>(values_.size() - 1);
+}
+
+void Circuit::step() {
+  for (auto& element : elements_) {
+    element->step(*this);
+  }
+  ++cycle_;
+}
+
+void Circuit::run(std::size_t cycles) {
+  for (std::size_t i = 0; i < cycles; ++i) step();
+}
+
+void Circuit::reset() {
+  for (auto& v : values_) v = 0;
+  for (auto& element : elements_) element->reset();
+  cycle_ = 0;
+}
+
+}  // namespace sc::sim

@@ -1,0 +1,64 @@
+/// \file circuit.hpp
+/// Wire table + element schedule for the cycle-level simulator.
+
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/element.hpp"
+
+namespace sc::sim {
+
+/// A single-clock-domain circuit: named single-bit wires and an ordered
+/// list of elements evaluated once per cycle.
+class Circuit {
+ public:
+  /// Creates a wire, initially 0.
+  WireId make_wire(std::string name = {});
+
+  /// Number of wires.
+  std::size_t wire_count() const { return values_.size(); }
+
+  /// Current value of a wire.
+  bool value(WireId wire) const { return values_[wire] != 0; }
+
+  /// Drives a wire (used by elements and by external stimulus).
+  void set_value(WireId wire, bool value) { values_[wire] = value ? 1 : 0; }
+
+  /// Wire name ("" if unnamed).
+  const std::string& wire_name(WireId wire) const { return names_[wire]; }
+
+  /// Adds an element; returns a stable reference.  Elements are evaluated
+  /// in insertion order each cycle.
+  template <typename T, typename... Args>
+  T& add(Args&&... args) {
+    auto element = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *element;
+    elements_.push_back(std::move(element));
+    return ref;
+  }
+
+  /// Evaluates one clock cycle.
+  void step();
+
+  /// Evaluates `cycles` clock cycles.
+  void run(std::size_t cycles);
+
+  /// Resets every element and clears all wires and the cycle counter.
+  void reset();
+
+  /// Cycles elapsed since construction / reset.
+  std::size_t cycle() const { return cycle_; }
+
+ private:
+  std::vector<char> values_;
+  std::vector<std::string> names_;
+  std::vector<std::unique_ptr<Element>> elements_;
+  std::size_t cycle_ = 0;
+};
+
+}  // namespace sc::sim

@@ -1,0 +1,41 @@
+/// \file element.hpp
+/// Per-cycle circuit element interface for the cycle-level simulator.
+///
+/// The paper's methodology evaluates accelerators with "a cycle-level
+/// simulator which uses models that have been verified against RTL
+/// simulation traces".  This module is that simulator: a Circuit is a set
+/// of single-bit wires and an ordered list of Elements; each clock cycle
+/// every element reads its input wires and writes its output wires in
+/// insertion (topological) order.  Sequential elements advance their
+/// internal state exactly once per cycle.
+///
+/// The same FSM objects (core::Synchronizer etc.) back both this simulator
+/// and the whole-stream functional API; tests assert the two are
+/// bit-identical, mirroring the paper's model-vs-RTL cross-check.
+
+#pragma once
+
+#include <cstdint>
+
+namespace sc::sim {
+
+class Circuit;
+
+/// Wire handle (index into the circuit's wire table).
+using WireId = std::uint32_t;
+
+/// One circuit element, evaluated once per cycle.
+class Element {
+ public:
+  virtual ~Element() = default;
+
+  /// Reads input wires and writes output wires for the current cycle.
+  /// Elements are evaluated in the order they were added to the circuit,
+  /// which must be a topological order of the combinational paths.
+  virtual void step(Circuit& circuit) = 0;
+
+  /// Returns the element to its power-on state.
+  virtual void reset() {}
+};
+
+}  // namespace sc::sim

@@ -1,0 +1,32 @@
+#include "sim/elements.hpp"
+
+namespace sc::sim {
+
+void Gate2::step(Circuit& c) {
+  const bool a = c.value(a_);
+  const bool b = c.value(b_);
+  bool out = false;
+  switch (kind_) {
+    case Kind::kAnd:
+      out = a && b;
+      break;
+    case Kind::kOr:
+      out = a || b;
+      break;
+    case Kind::kXor:
+      out = a != b;
+      break;
+    case Kind::kXnor:
+      out = a == b;
+      break;
+    case Kind::kNand:
+      out = !(a && b);
+      break;
+    case Kind::kNor:
+      out = !(a || b);
+      break;
+  }
+  c.set_value(out_, out);
+}
+
+}  // namespace sc::sim

@@ -1,0 +1,218 @@
+/// \file elements.hpp
+/// Cycle-level elements wrapping every circuit in the library: sources,
+/// gates, correlation manipulators, arithmetic FSMs, and probes.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "arith/add.hpp"
+#include "arith/divide.hpp"
+#include "arith/minmax.hpp"
+#include "bitstream/bitstream.hpp"
+#include "convert/sng.hpp"
+#include "core/decorrelator.hpp"
+#include "core/desynchronizer.hpp"
+#include "core/isolator.hpp"
+#include "core/pair_transform.hpp"
+#include "core/synchronizer.hpp"
+#include "core/tfm.hpp"
+#include "rng/random_source.hpp"
+#include "sim/circuit.hpp"
+#include "sim/element.hpp"
+
+namespace sc::sim {
+
+/// Replays a fixed bitstream onto a wire (0 past the end).
+class StreamSource final : public Element {
+ public:
+  StreamSource(Bitstream stream, WireId out)
+      : stream_(std::move(stream)), out_(out) {}
+  void step(Circuit& c) override {
+    const bool bit = index_ < stream_.size() && stream_.get(index_);
+    ++index_;
+    c.set_value(out_, bit);
+  }
+  void reset() override { index_ = 0; }
+
+ private:
+  Bitstream stream_;
+  WireId out_;
+  std::size_t index_ = 0;
+};
+
+/// Comparator SNG: emits (rng < level) each cycle.
+class SngElement final : public Element {
+ public:
+  SngElement(rng::RandomSourcePtr source, std::uint32_t level, WireId out)
+      : sng_(std::move(source)), level_(level), out_(out) {}
+  void step(Circuit& c) override { c.set_value(out_, sng_.step(level_)); }
+  void reset() override { sng_.reset(); }
+  void set_level(std::uint32_t level) { level_ = level; }
+
+ private:
+  convert::Sng sng_;
+  std::uint32_t level_;
+  WireId out_;
+};
+
+/// Two-input combinational gate.
+class Gate2 final : public Element {
+ public:
+  enum class Kind { kAnd, kOr, kXor, kXnor, kNand, kNor };
+  Gate2(Kind kind, WireId a, WireId b, WireId out)
+      : kind_(kind), a_(a), b_(b), out_(out) {}
+  void step(Circuit& c) override;
+
+ private:
+  Kind kind_;
+  WireId a_, b_, out_;
+};
+
+/// Inverter.
+class NotGate final : public Element {
+ public:
+  NotGate(WireId in, WireId out) : in_(in), out_(out) {}
+  void step(Circuit& c) override { c.set_value(out_, !c.value(in_)); }
+
+ private:
+  WireId in_, out_;
+};
+
+/// Two-input mux: out = sel ? b : a.
+class Mux2 final : public Element {
+ public:
+  Mux2(WireId a, WireId b, WireId sel, WireId out)
+      : a_(a), b_(b), sel_(sel), out_(out) {}
+  void step(Circuit& c) override {
+    c.set_value(out_, c.value(sel_) ? c.value(b_) : c.value(a_));
+  }
+
+ private:
+  WireId a_, b_, sel_, out_;
+};
+
+/// Wraps any core::PairTransform (synchronizer, desynchronizer,
+/// decorrelator, isolator pair, TFM pair) as a 2-in / 2-out element.
+class PairTransformElement final : public Element {
+ public:
+  PairTransformElement(std::unique_ptr<core::PairTransform> transform,
+                       WireId in_x, WireId in_y, WireId out_x, WireId out_y)
+      : transform_(std::move(transform)),
+        in_x_(in_x),
+        in_y_(in_y),
+        out_x_(out_x),
+        out_y_(out_y) {}
+  void step(Circuit& c) override {
+    const core::BitPair out = transform_->step(c.value(in_x_), c.value(in_y_));
+    c.set_value(out_x_, out.x);
+    c.set_value(out_y_, out.y);
+  }
+  void reset() override { transform_->reset(); }
+  core::PairTransform& transform() { return *transform_; }
+
+ private:
+  std::unique_ptr<core::PairTransform> transform_;
+  WireId in_x_, in_y_, out_x_, out_y_;
+};
+
+/// Wraps a core::StreamTransform (shuffle buffer, delay line, TFM).
+class StreamTransformElement final : public Element {
+ public:
+  StreamTransformElement(std::unique_ptr<core::StreamTransform> transform,
+                         WireId in, WireId out)
+      : transform_(std::move(transform)), in_(in), out_(out) {}
+  void step(Circuit& c) override {
+    c.set_value(out_, transform_->step(c.value(in_)));
+  }
+  void reset() override { transform_->reset(); }
+
+ private:
+  std::unique_ptr<core::StreamTransform> transform_;
+  WireId in_, out_;
+};
+
+/// Deterministic correlation-agnostic adder element.
+class ToggleAdderElement final : public Element {
+ public:
+  ToggleAdderElement(WireId a, WireId b, WireId out)
+      : a_(a), b_(b), out_(out) {}
+  void step(Circuit& c) override {
+    c.set_value(out_, adder_.step(c.value(a_), c.value(b_)));
+  }
+  void reset() override { adder_.reset(); }
+
+ private:
+  arith::ToggleAdder adder_;
+  WireId a_, b_, out_;
+};
+
+/// CORDIV divider element.
+class CordivElement final : public Element {
+ public:
+  CordivElement(WireId x, WireId y, WireId out) : x_(x), y_(y), out_(out) {}
+  void step(Circuit& c) override {
+    c.set_value(out_, div_.step(c.value(x_), c.value(y_)));
+  }
+  void reset() override { div_.reset(); }
+
+ private:
+  arith::Cordiv div_;
+  WireId x_, y_, out_;
+};
+
+/// Correlation-agnostic max element.
+class CaMaxElement final : public Element {
+ public:
+  CaMaxElement(WireId x, WireId y, WireId out) : x_(x), y_(y), out_(out) {}
+  void step(Circuit& c) override {
+    c.set_value(out_, unit_.step(c.value(x_), c.value(y_)));
+  }
+  void reset() override { unit_.reset(); }
+
+ private:
+  arith::CaMax unit_;
+  WireId x_, y_, out_;
+};
+
+/// S/D counter probe: accumulates the 1s on a wire.
+class CounterElement final : public Element {
+ public:
+  explicit CounterElement(WireId in) : in_(in) {}
+  void step(Circuit& c) override {
+    count_ += c.value(in_) ? 1 : 0;
+    ++cycles_;
+  }
+  void reset() override {
+    count_ = 0;
+    cycles_ = 0;
+  }
+  std::uint64_t count() const { return count_; }
+  double value() const {
+    return cycles_ == 0
+               ? 0.0
+               : static_cast<double>(count_) / static_cast<double>(cycles_);
+  }
+
+ private:
+  WireId in_;
+  std::uint64_t count_ = 0;
+  std::uint64_t cycles_ = 0;
+};
+
+/// Records the full bit trace of a wire.
+class ProbeElement final : public Element {
+ public:
+  explicit ProbeElement(WireId in) : in_(in) {}
+  void step(Circuit& c) override { trace_.push_back(c.value(in_)); }
+  void reset() override { trace_.clear(); }
+  const Bitstream& trace() const { return trace_; }
+
+ private:
+  WireId in_;
+  Bitstream trace_;
+};
+
+}  // namespace sc::sim

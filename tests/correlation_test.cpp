@@ -1,0 +1,158 @@
+/// Tests for the SCC metric: the paper's Table I examples, the defining
+/// boundary cases (+1 / 0 / -1), invariances, and property sweeps.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "bitstream/bitstream.hpp"
+#include "bitstream/correlation.hpp"
+#include "bitstream/synthesis.hpp"
+#include "test_util.hpp"
+
+namespace sc {
+namespace {
+
+TEST(Overlap, CountsAllFourClasses) {
+  const Bitstream x = Bitstream::from_string("1100");
+  const Bitstream y = Bitstream::from_string("1010");
+  const OverlapCounts k = overlap(x, y);
+  EXPECT_EQ(k.a, 1u);  // position 0
+  EXPECT_EQ(k.b, 1u);  // position 1
+  EXPECT_EQ(k.c, 1u);  // position 2
+  EXPECT_EQ(k.d, 1u);  // position 3
+  EXPECT_EQ(k.n(), 4u);
+}
+
+TEST(Overlap, WorksAcrossWordBoundaries) {
+  Bitstream x(100), y(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    x.set(i, i % 2 == 0);
+    y.set(i, i % 4 == 0);
+  }
+  const OverlapCounts k = overlap(x, y);
+  EXPECT_EQ(k.a, 25u);
+  EXPECT_EQ(k.b, 25u);
+  EXPECT_EQ(k.c, 0u);
+  EXPECT_EQ(k.d, 50u);
+}
+
+TEST(Scc, PaperTableIPositivelyCorrelatedPair) {
+  // X = 10101010 (0.5), Y = 10111011 (0.75): SCC = +1, AND = min.
+  const Bitstream x = Bitstream::from_string("10101010");
+  const Bitstream y = Bitstream::from_string("10111011");
+  EXPECT_DOUBLE_EQ(scc(x, y), 1.0);
+  EXPECT_DOUBLE_EQ((x & y).value(), 0.5);  // min(0.5, 0.75)
+}
+
+TEST(Scc, PaperTableINegativelyCorrelatedPair) {
+  // X = 10101010 (0.5), Y = 11011101 (0.75): SCC = -1,
+  // AND = max(0, x + y - 1) = 0.25.
+  const Bitstream x = Bitstream::from_string("10101010");
+  const Bitstream y = Bitstream::from_string("11011101");
+  EXPECT_DOUBLE_EQ(scc(x, y), -1.0);
+  EXPECT_DOUBLE_EQ((x & y).value(), 0.25);
+}
+
+TEST(Scc, PaperTableIUncorrelatedPair) {
+  // X = 10101010 (0.5), Y = 11111100 (0.75): SCC = 0, AND = product.
+  const Bitstream x = Bitstream::from_string("10101010");
+  const Bitstream y = Bitstream::from_string("11111100");
+  EXPECT_DOUBLE_EQ(scc(x, y), 0.0);
+  EXPECT_DOUBLE_EQ((x & y).value(), 0.375);
+}
+
+TEST(Scc, IdenticalStreamsAreMaximallyPositive) {
+  const Bitstream x = Bitstream::from_string("0110100110010110");
+  EXPECT_DOUBLE_EQ(scc(x, x), 1.0);
+}
+
+TEST(Scc, ComplementStreamsAreMaximallyNegative) {
+  const Bitstream x = Bitstream::from_string("0110100110010110");
+  EXPECT_DOUBLE_EQ(scc(x, ~x), -1.0);
+}
+
+TEST(Scc, IsSymmetric) {
+  const Bitstream x = Bitstream::from_string("0110100110");
+  const Bitstream y = Bitstream::from_string("1110000110");
+  EXPECT_DOUBLE_EQ(scc(x, y), scc(y, x));
+}
+
+TEST(Scc, UndefinedForConstantStreamsReturnsZero) {
+  const Bitstream ones(16, true);
+  const Bitstream zeros(16, false);
+  const Bitstream mixed = Bitstream::from_string("1010101010101010");
+  EXPECT_DOUBLE_EQ(scc(ones, mixed), 0.0);
+  EXPECT_DOUBLE_EQ(scc(zeros, mixed), 0.0);
+  EXPECT_DOUBLE_EQ(scc(ones, zeros), 0.0);
+  EXPECT_FALSE(scc_defined(ones, mixed));
+  EXPECT_FALSE(scc_defined(zeros, mixed));
+  EXPECT_TRUE(scc_defined(mixed, ~mixed));
+}
+
+TEST(Scc, InsensitiveToValueUnlikePearson) {
+  // Same maximal overlap structure at different values: SCC stays +1.
+  const auto p1 = make_positively_correlated(64, 192, 256);
+  const auto p2 = make_positively_correlated(16, 32, 256);
+  EXPECT_DOUBLE_EQ(scc(p1.x, p1.y), 1.0);
+  EXPECT_DOUBLE_EQ(scc(p2.x, p2.y), 1.0);
+  // Pearson differs between the two (it depends on the values).
+  EXPECT_NE(pearson(p1.x, p1.y), pearson(p2.x, p2.y));
+}
+
+TEST(Pearson, MatchesSignOfScc) {
+  const auto pos = make_positively_correlated(100, 150, 256);
+  const auto neg = make_negatively_correlated(100, 150, 256);
+  EXPECT_GT(pearson(pos.x, pos.y), 0.5);
+  EXPECT_LT(pearson(neg.x, neg.y), -0.5);
+}
+
+TEST(Pearson, ZeroForConstantStream) {
+  EXPECT_DOUBLE_EQ(pearson(Bitstream(8, true), Bitstream::from_string("1010")),
+                   0.0);
+}
+
+// --- property sweep: SCC bounds and independence point -------------------
+
+class SccValueSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {
+};
+
+TEST_P(SccValueSweep, BoundedInMinusOnePlusOne) {
+  const auto [ones_x, ones_y] = GetParam();
+  for (double target : {-1.0, -0.5, 0.0, 0.5, 1.0}) {
+    const auto pair = make_pair_with_scc(ones_x, ones_y, 256, target);
+    const double c = scc(pair.x, pair.y);
+    EXPECT_GE(c, -1.0 - 1e-12);
+    EXPECT_LE(c, 1.0 + 1e-12);
+  }
+}
+
+TEST_P(SccValueSweep, ExtremesRealizeMaximalScc) {
+  const auto [ones_x, ones_y] = GetParam();
+  const auto pos = make_positively_correlated(ones_x, ones_y, 256);
+  const auto neg = make_negatively_correlated(ones_x, ones_y, 256);
+  EXPECT_DOUBLE_EQ(scc(pos.x, pos.y), 1.0);
+  EXPECT_DOUBLE_EQ(scc(neg.x, neg.y), -1.0);
+}
+
+TEST_P(SccValueSweep, AndGateRealizesTableIFunctions) {
+  const auto [ones_x, ones_y] = GetParam();
+  const double px = ones_x / 256.0;
+  const double py = ones_y / 256.0;
+  const auto pos = make_positively_correlated(ones_x, ones_y, 256);
+  const auto neg = make_negatively_correlated(ones_x, ones_y, 256);
+  const auto unc = make_uncorrelated(ones_x, ones_y, 256);
+  EXPECT_NEAR((pos.x & pos.y).value(), std::min(px, py), 1e-12);
+  EXPECT_NEAR((neg.x & neg.y).value(), std::max(0.0, px + py - 1.0), 1e-12);
+  // The uncorrelated overlap is the rounded independence point.
+  EXPECT_NEAR((unc.x & unc.y).value(), px * py, 0.5 / 256.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ValueGrid, SccValueSweep,
+    ::testing::Combine(::testing::Values(16u, 64u, 128u, 200u, 240u),
+                       ::testing::Values(32u, 96u, 128u, 192u, 224u)));
+
+}  // namespace
+}  // namespace sc

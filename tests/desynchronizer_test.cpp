@@ -1,0 +1,296 @@
+/// Tests for the desynchronizer (paper Fig. 3b): exact D = 1 four-state
+/// cycle, value conservation, induced negative correlation, depth
+/// generalization, flush, and composition.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "bitstream/correlation.hpp"
+#include "bitstream/synthesis.hpp"
+#include "core/desynchronizer.hpp"
+#include "core/ops.hpp"
+#include "core/pair_transform.hpp"
+#include "test_util.hpp"
+
+namespace sc::core {
+namespace {
+
+// --- exact Fig. 3b FSM semantics at D = 1 -----------------------------------
+
+TEST(DesynchronizerFsm, PassesDifferingInputsInEveryState) {
+  Desynchronizer desync;
+  // S0, then drive into each state and check the X^Y=1 self-loops.
+  auto expect_pass = [&](Desynchronizer& d) {
+    BitPair out = d.step(true, false);
+    EXPECT_TRUE(out.x);
+    EXPECT_FALSE(out.y);
+    out = d.step(false, true);
+    EXPECT_FALSE(out.x);
+    EXPECT_TRUE(out.y);
+  };
+  expect_pass(desync);          // S0
+  desync.step(true, true);      // -> S1 (X bit saved)
+  expect_pass(desync);
+  desync.step(false, false);    // emit -> S3
+  expect_pass(desync);
+  desync.step(true, true);      // -> S2 (Y bit saved)
+  expect_pass(desync);
+}
+
+TEST(DesynchronizerFsm, S0SavesXBitOnDoubleOne) {
+  Desynchronizer desync;
+  const BitPair out = desync.step(true, true);  // S0 --(1,1)/(0,1)--> S1
+  EXPECT_FALSE(out.x);
+  EXPECT_TRUE(out.y);
+  EXPECT_EQ(desync.saved_x(), 1u);
+  EXPECT_EQ(desync.saved_y(), 0u);
+}
+
+TEST(DesynchronizerFsm, S1EmitsSavedXBitOnDoubleZero) {
+  Desynchronizer desync;
+  desync.step(true, true);                        // -> S1
+  const BitPair out = desync.step(false, false);  // S1 --(0,0)/(1,0)--> S3
+  EXPECT_TRUE(out.x);
+  EXPECT_FALSE(out.y);
+  EXPECT_EQ(desync.saved_ones(), 0u);
+}
+
+TEST(DesynchronizerFsm, S3SavesYBitOnNextDoubleOne) {
+  Desynchronizer desync;
+  desync.step(true, true);    // -> S1
+  desync.step(false, false);  // -> S3 (empty, donor now Y)
+  const BitPair out = desync.step(true, true);  // S3 --(1,1)/(1,0)--> S2
+  EXPECT_TRUE(out.x);
+  EXPECT_FALSE(out.y);
+  EXPECT_EQ(desync.saved_y(), 1u);
+}
+
+TEST(DesynchronizerFsm, S2EmitsSavedYBitOnDoubleZero) {
+  Desynchronizer desync;
+  desync.step(true, true);    // -> S1
+  desync.step(false, false);  // -> S3
+  desync.step(true, true);    // -> S2
+  const BitPair out = desync.step(false, false);  // S2 --(0,0)/(0,1)--> S0
+  EXPECT_FALSE(out.x);
+  EXPECT_TRUE(out.y);
+  EXPECT_EQ(desync.saved_ones(), 0u);
+}
+
+TEST(DesynchronizerFsm, SaturatedDoubleOnePassesThrough) {
+  Desynchronizer desync;  // depth 1
+  desync.step(true, true);                      // buffer full
+  const BitPair out = desync.step(true, true);  // (1,1) self-loop on S1
+  EXPECT_TRUE(out.x);
+  EXPECT_TRUE(out.y);
+  EXPECT_EQ(desync.saved_ones(), 1u);
+}
+
+TEST(DesynchronizerFsm, EmptyDoubleZeroPassesThrough) {
+  Desynchronizer desync;
+  const BitPair out = desync.step(false, false);
+  EXPECT_FALSE(out.x);
+  EXPECT_FALSE(out.y);
+}
+
+TEST(DesynchronizerFsm, PreferXFirstConfigSwapsDonor) {
+  Desynchronizer desync({1, false, /*prefer_x_first=*/false});
+  const BitPair out = desync.step(true, true);  // donor Y: out (1,0)
+  EXPECT_TRUE(out.x);
+  EXPECT_FALSE(out.y);
+  EXPECT_EQ(desync.saved_y(), 1u);
+}
+
+TEST(DesynchronizerFsm, ResetRestoresInitialState) {
+  Desynchronizer desync;
+  desync.step(true, true);
+  desync.reset();
+  EXPECT_EQ(desync.saved_ones(), 0u);
+  // After reset the donor is X again.
+  const BitPair out = desync.step(true, true);
+  EXPECT_FALSE(out.x);
+  EXPECT_TRUE(out.y);
+}
+
+// --- invariants over sweeps ------------------------------------------------------
+
+class DesynchronizerSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t, unsigned>> {
+};
+
+TEST_P(DesynchronizerSweep, ConservesOnesUpToResidualSavedBits) {
+  const auto [lx, ly, depth] = GetParam();
+  const Bitstream x = test::vdc_stream(lx);
+  const Bitstream y = test::halton3_stream(ly);
+  Desynchronizer desync({depth, false});
+  const auto out = apply(desync, x, y);
+  EXPECT_EQ(out.x.count_ones() + desync.saved_x(), x.count_ones());
+  EXPECT_EQ(out.y.count_ones() + desync.saved_y(), y.count_ones());
+  EXPECT_LE(desync.saved_ones(), depth);
+}
+
+TEST_P(DesynchronizerSweep, LowersSccTowardMinusOne) {
+  const auto [lx, ly, depth] = GetParam();
+  const Bitstream x = test::vdc_stream(lx);
+  const Bitstream y = test::halton3_stream(ly);
+  if (!scc_defined(x, y)) return;
+  const double before = scc(x, y);
+  Desynchronizer desync({depth, false});
+  const auto out = apply(desync, x, y);
+  if (!scc_defined(out.x, out.y)) return;
+  EXPECT_LE(scc(out.x, out.y), before + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ValueDepthGrid, DesynchronizerSweep,
+    ::testing::Combine(::testing::Values(32u, 96u, 128u, 192u, 240u),
+                       ::testing::Values(16u, 64u, 128u, 176u, 224u),
+                       ::testing::Values(1u, 2u, 4u, 8u)));
+
+TEST(Desynchronizer, StronglyNegativeOnLowDiscrepancyInputs) {
+  // Paper Table II: VDC/Halton inputs reach about -0.98 after one stage.
+  Desynchronizer desync;
+  const auto out =
+      apply(desync, test::vdc_stream(128), test::halton3_stream(128));
+  EXPECT_LT(scc(out.x, out.y), -0.85);
+}
+
+TEST(Desynchronizer, BreaksPositiveCorrelation) {
+  // Paper Table II Halton/Halton row: +0.984 in, about -0.93 out.  A
+  // shared low-discrepancy source interleaves its (1,1)/(0,0) cycles
+  // tightly, which is what lets a depth-1 FSM unpair most of them
+  // (pseudo-random or scrambled agreement patterns cluster instead and
+  // need depth or composition).
+  const Bitstream x = test::halton3_stream(120);
+  const Bitstream y = test::halton3_stream(150);
+  ASSERT_GT(scc(x, y), 0.95);
+  Desynchronizer desync;
+  const auto out = apply(desync, x, y);
+  EXPECT_LT(scc(out.x, out.y), -0.5);
+}
+
+TEST(Desynchronizer, SaturatingSumsCannotDesynchronize) {
+  // px + py > 1 forces overlap; the minimum overlap is px + py - 1 and the
+  // desynchronizer must still realize SCC = -1 (overlap at the bound).
+  const auto pair = make_positively_correlated(200, 180, 256);
+  Desynchronizer desync({4, false});
+  const auto out = apply(desync, pair.x, pair.y);
+  EXPECT_LT(scc(out.x, out.y), -0.8);
+}
+
+TEST(Desynchronizer, DeeperDepthNotWorseOnAverage) {
+  double prev = 2.0;
+  for (unsigned depth : {1u, 2u, 4u, 8u}) {
+    double total = 0.0;
+    int count = 0;
+    for (std::uint32_t lx = 32; lx <= 224; lx += 32) {
+      for (std::uint32_t ly = 32; ly <= 224; ly += 32) {
+        Desynchronizer desync({depth, false});
+        const auto out =
+            apply(desync, test::vdc_stream(lx), test::halton3_stream(ly));
+        if (!scc_defined(out.x, out.y)) continue;
+        total += scc(out.x, out.y);
+        ++count;
+      }
+    }
+    const double average = total / count;
+    EXPECT_LE(average, prev + 0.01) << "depth " << depth;
+    prev = average;
+  }
+}
+
+// --- flush ------------------------------------------------------------------------
+
+TEST(DesynchronizerFlush, DrainsSavedOnesIntoOneSidedCycles) {
+  // X = 1100, Y = 1111: the first (1,1) saves an X bit; the remaining
+  // cycles are (1,1) and (0,1) - no (0,0) ever arrives, so the plain FSM
+  // strands the bit.  Flush force-emits it into a trailing (0,1) cycle.
+  {
+    Desynchronizer plain({1, false});
+    const auto out = apply(plain, Bitstream::from_string("1100"),
+                           Bitstream::from_string("1111"));
+    EXPECT_EQ(out.x.count_ones(), 1u);  // one X 1 lost
+  }
+  {
+    Desynchronizer flushing({1, true});
+    const auto out = apply(flushing, Bitstream::from_string("1100"),
+                           Bitstream::from_string("1111"));
+    EXPECT_EQ(out.x.count_ones(), 2u);  // recovered by the flush
+    EXPECT_EQ(out.y.count_ones(), 4u);
+  }
+}
+
+TEST(DesynchronizerFlush, CannotRecoverWhenNoZeroSlotsExist) {
+  // All-(1,1) input: there is no cycle where an extra 1 could be emitted,
+  // so even flush mode must lose the saved bit (documented limitation).
+  Desynchronizer flushing({1, true});
+  const auto out = apply(flushing, Bitstream::from_string("1111"),
+                         Bitstream::from_string("1111"));
+  EXPECT_EQ(out.x.count_ones() + out.y.count_ones(), 7u);
+}
+
+TEST(DesynchronizerFlush, ReducesAverageAbsBias) {
+  double bias_plain = 0.0;
+  double bias_flush = 0.0;
+  for (std::uint32_t lx = 32; lx <= 224; lx += 32) {
+    for (std::uint32_t ly = 32; ly <= 224; ly += 32) {
+      const Bitstream x = test::vdc_stream(lx);
+      const Bitstream y = test::halton3_stream(ly);
+      Desynchronizer plain({8, false});
+      Desynchronizer flushing({8, true});
+      const auto a = apply(plain, x, y);
+      const auto b = apply(flushing, x, y);
+      bias_plain += std::abs(a.x.value() - x.value()) +
+                    std::abs(a.y.value() - y.value());
+      bias_flush += std::abs(b.x.value() - x.value()) +
+                    std::abs(b.y.value() - y.value());
+    }
+  }
+  EXPECT_LE(bias_flush, bias_plain + 1e-12);
+}
+
+// --- composition ---------------------------------------------------------------------
+
+TEST(DesynchronizerComposition, StagesDriveSccDown) {
+  const Bitstream x = test::halton3_stream(128);
+  const Bitstream y = test::halton3_stream(140);
+  double prev = scc(x, y);
+  for (std::size_t stages : {1u, 2u, 3u}) {
+    const auto out = compose_desynchronizers(x, y, stages);
+    const double c = scc(out.x, out.y);
+    EXPECT_LE(c, prev + 0.05) << stages;
+    prev = c;
+  }
+  EXPECT_LT(prev, -0.7);
+}
+
+TEST(DesynchronizerComposition, StagesHelpScrambledAgreementPatterns) {
+  // A synthetic scrambled pair clusters its (1,1) cycles, which defeats a
+  // single depth-1 stage; composition (paper §III-B) recovers much of the
+  // lost strength.
+  const auto pair = make_positively_correlated(120, 150, 256);
+  Desynchronizer single;
+  const auto one = apply(single, pair.x, pair.y);
+  const auto four = compose_desynchronizers(pair.x, pair.y, 4);
+  EXPECT_LT(scc(four.x, four.y), scc(one.x, one.y) + 0.05);
+  EXPECT_LT(scc(four.x, four.y), -0.3);
+}
+
+TEST(DesynchronizerComposition, ZeroStagesIsIdentity) {
+  const Bitstream x = test::vdc_stream(90);
+  const Bitstream y = test::halton3_stream(166);
+  const auto out = compose_desynchronizers(x, y, 0);
+  EXPECT_EQ(out.x, x);
+  EXPECT_EQ(out.y, y);
+}
+
+TEST(DesynchronizerComposition, ValueDriftBoundedByStages) {
+  const Bitstream x = test::vdc_stream(128);
+  const Bitstream y = test::halton3_stream(128);
+  const auto out = compose_desynchronizers(x, y, 4);
+  EXPECT_NEAR(out.x.value(), x.value(), 5.0 / 256.0);
+  EXPECT_NEAR(out.y.value(), y.value(), 5.0 / 256.0);
+}
+
+}  // namespace
+}  // namespace sc::core

@@ -1,0 +1,281 @@
+/// Tests for the correlation-aware dataflow module: lineage classification,
+/// insertion planning under all three strategies, bit-true execution, and
+/// the end-to-end accuracy/cost ordering the paper's §IV comparison
+/// predicts for any graph.
+
+#include <gtest/gtest.h>
+
+#include "bitstream/correlation.hpp"
+#include "graph/dataflow.hpp"
+#include "graph/executor.hpp"
+#include "graph/planner.hpp"
+#include "hw/cost.hpp"
+
+namespace sc::graph {
+namespace {
+
+/// a*b + c*d with inputs drawn from only two RNG groups - multiplies see
+/// correlated operands and need decorrelation.
+DataflowGraph product_sum_graph() {
+  DataflowGraph g;
+  const NodeId a = g.add_input("a", 0.6, /*rng_group=*/0);
+  const NodeId b = g.add_input("b", 0.5, 0);  // same group as a!
+  const NodeId c = g.add_input("c", 0.3, 1);
+  const NodeId d = g.add_input("d", 0.8, 1);
+  const NodeId ab = g.add_op(OpKind::kMultiply, a, b);
+  const NodeId cd = g.add_op(OpKind::kMultiply, c, d);
+  const NodeId sum = g.add_op(OpKind::kScaledAdd, ab, cd);
+  g.mark_output(sum);
+  return g;
+}
+
+/// |x*y - z| : a subtract that needs positive correlation between two
+/// streams with shared ancestry (the "computation-induced" case).
+DataflowGraph edge_like_graph() {
+  DataflowGraph g;
+  const NodeId x = g.add_input("x", 0.7, 0);
+  const NodeId y = g.add_input("y", 0.9, 1);
+  const NodeId z = g.add_input("z", 0.4, 2);
+  const NodeId xy = g.add_op(OpKind::kMultiply, x, y);
+  const NodeId diff = g.add_op(OpKind::kSubtractAbs, xy, z);
+  g.mark_output(diff);
+  return g;
+}
+
+TEST(Dataflow, RequirementsMatchFig2) {
+  EXPECT_EQ(requirement_of(OpKind::kMultiply), Requirement::kUncorrelated);
+  EXPECT_EQ(requirement_of(OpKind::kScaledAdd), Requirement::kAgnostic);
+  EXPECT_EQ(requirement_of(OpKind::kSaturatingAdd), Requirement::kNegative);
+  EXPECT_EQ(requirement_of(OpKind::kSubtractAbs), Requirement::kPositive);
+  EXPECT_EQ(requirement_of(OpKind::kMax), Requirement::kPositive);
+  EXPECT_EQ(requirement_of(OpKind::kMin), Requirement::kPositive);
+}
+
+TEST(Dataflow, ExactValueSemantics) {
+  DataflowGraph g;
+  const NodeId a = g.add_input("a", 0.6, 0);
+  const NodeId b = g.add_input("b", 0.7, 1);
+  EXPECT_DOUBLE_EQ(g.exact_value(g.add_op(OpKind::kMultiply, a, b)), 0.42);
+  EXPECT_DOUBLE_EQ(g.exact_value(g.add_op(OpKind::kScaledAdd, a, b)), 0.65);
+  EXPECT_DOUBLE_EQ(g.exact_value(g.add_op(OpKind::kSaturatingAdd, a, b)),
+                   1.0);
+  EXPECT_NEAR(g.exact_value(g.add_op(OpKind::kSubtractAbs, a, b)), 0.1,
+              1e-12);
+  EXPECT_DOUBLE_EQ(g.exact_value(g.add_op(OpKind::kMax, a, b)), 0.7);
+  EXPECT_DOUBLE_EQ(g.exact_value(g.add_op(OpKind::kMin, a, b)), 0.6);
+}
+
+TEST(Dataflow, OpNodesInTopologicalOrder) {
+  const DataflowGraph g = product_sum_graph();
+  const auto ops = g.op_nodes();
+  ASSERT_EQ(ops.size(), 3u);
+  EXPECT_LT(ops[0], ops[2]);
+}
+
+// --- classification -------------------------------------------------------------
+
+TEST(Classify, SameGroupInputsArePositive) {
+  DataflowGraph g;
+  const NodeId a = g.add_input("a", 0.5, 0);
+  const NodeId b = g.add_input("b", 0.7, 0);
+  EXPECT_EQ(classify(g, a, b), Relation::kPositive);
+}
+
+TEST(Classify, DifferentGroupInputsAreIndependent) {
+  DataflowGraph g;
+  const NodeId a = g.add_input("a", 0.5, 0);
+  const NodeId b = g.add_input("b", 0.7, 1);
+  EXPECT_EQ(classify(g, a, b), Relation::kIndependent);
+}
+
+TEST(Classify, SharedAncestryIsUnknown) {
+  DataflowGraph g;
+  const NodeId a = g.add_input("a", 0.5, 0);
+  const NodeId b = g.add_input("b", 0.7, 1);
+  const NodeId ab = g.add_op(OpKind::kMultiply, a, b);
+  EXPECT_EQ(classify(g, ab, a), Relation::kUnknown);
+  // A fresh group stays independent of the product.
+  const NodeId c = g.add_input("c", 0.2, 2);
+  EXPECT_EQ(classify(g, ab, c), Relation::kIndependent);
+}
+
+// --- planning --------------------------------------------------------------------
+
+TEST(Planner, NoStrategyRecordsViolations) {
+  const Plan plan = plan_insertions(product_sum_graph(), Strategy::kNone);
+  // Both multiplies use same-group operands -> 2 violations; the scaled
+  // add is agnostic.
+  EXPECT_EQ(plan.violations.size(), 2u);
+  EXPECT_EQ(plan.inserted_units, 0u);
+  EXPECT_EQ(plan.overhead.total_cells(), 0u);
+}
+
+TEST(Planner, ManipulationInsertsDecorrelatorsForMultiplies) {
+  const Plan plan =
+      plan_insertions(product_sum_graph(), Strategy::kManipulation);
+  EXPECT_TRUE(plan.violations.empty());
+  EXPECT_EQ(plan.inserted_units, 2u);
+  const auto ops = product_sum_graph().op_nodes();
+  EXPECT_EQ(plan.fix_for(ops[0]), FixKind::kDecorrelator);
+  EXPECT_EQ(plan.fix_for(ops[1]), FixKind::kDecorrelator);
+  EXPECT_EQ(plan.fix_for(ops[2]), FixKind::kNone);  // scaled add agnostic
+}
+
+TEST(Planner, ManipulationInsertsSynchronizerForSubtract) {
+  const Plan plan =
+      plan_insertions(edge_like_graph(), Strategy::kManipulation);
+  const auto ops = edge_like_graph().op_nodes();
+  EXPECT_EQ(plan.fix_for(ops[0]), FixKind::kNone);  // multiply: indep groups
+  EXPECT_EQ(plan.fix_for(ops[1]), FixKind::kSynchronizer);
+}
+
+TEST(Planner, RegenerationStrategyUsesConverters) {
+  const Plan plan =
+      plan_insertions(edge_like_graph(), Strategy::kRegeneration);
+  const auto ops = edge_like_graph().op_nodes();
+  EXPECT_EQ(plan.fix_for(ops[1]), FixKind::kRegenerateShared);
+}
+
+TEST(Planner, SaturatingAddAlwaysNeedsNegativeFix) {
+  DataflowGraph g;
+  const NodeId a = g.add_input("a", 0.4, 0);
+  const NodeId b = g.add_input("b", 0.3, 1);
+  g.mark_output(g.add_op(OpKind::kSaturatingAdd, a, b));
+  const Plan manip = plan_insertions(g, Strategy::kManipulation);
+  EXPECT_EQ(manip.fixes.back().fix, FixKind::kDesynchronizer);
+  const Plan regen = plan_insertions(g, Strategy::kRegeneration);
+  EXPECT_EQ(regen.fixes.back().fix, FixKind::kRegenerateComplementary);
+}
+
+TEST(Planner, ManipulationIsCheaperThanRegeneration) {
+  // The paper's core hardware claim, at the planning level, for any graph.
+  for (const DataflowGraph& g : {product_sum_graph(), edge_like_graph()}) {
+    const Plan manip = plan_insertions(g, Strategy::kManipulation);
+    const Plan regen = plan_insertions(g, Strategy::kRegeneration);
+    if (manip.inserted_units == 0) continue;
+    const double manip_power = hw::evaluate(manip.overhead).power_uw;
+    const double regen_power = hw::evaluate(regen.overhead).power_uw;
+    EXPECT_LT(manip_power, regen_power);
+  }
+}
+
+// --- execution --------------------------------------------------------------------
+
+TEST(Executor, UnfixedGraphComputesWrongValues) {
+  const DataflowGraph g = product_sum_graph();
+  const Plan plan = plan_insertions(g, Strategy::kNone);
+  const ExecutionResult result = execute(g, plan);
+  // Same-group multiply computes min instead of product:
+  // 0.5(min(.6,.5) + min(.3,.8)) = 0.4 vs exact 0.5*(0.3+0.24) = 0.27.
+  EXPECT_GT(result.mean_abs_error, 0.08);
+}
+
+TEST(Executor, ManipulationPlanRestoresAccuracy) {
+  const DataflowGraph g = product_sum_graph();
+  const ExecutionResult fixed =
+      execute(g, plan_insertions(g, Strategy::kManipulation));
+  EXPECT_LT(fixed.mean_abs_error, 0.05);
+}
+
+TEST(Executor, RegenerationPlanRestoresAccuracy) {
+  const DataflowGraph g = product_sum_graph();
+  const ExecutionResult fixed =
+      execute(g, plan_insertions(g, Strategy::kRegeneration));
+  EXPECT_LT(fixed.mean_abs_error, 0.05);
+}
+
+TEST(Executor, EdgeGraphSubtractNeedsTheSynchronizer) {
+  const DataflowGraph g = edge_like_graph();
+  const double broken =
+      execute(g, plan_insertions(g, Strategy::kNone)).mean_abs_error;
+  const double fixed =
+      execute(g, plan_insertions(g, Strategy::kManipulation)).mean_abs_error;
+  EXPECT_LT(fixed, broken * 0.5);
+  EXPECT_LT(fixed, 0.05);
+}
+
+TEST(Executor, SaturatingAddViaDesynchronizer) {
+  DataflowGraph g;
+  const NodeId a = g.add_input("a", 0.55, 0);
+  const NodeId b = g.add_input("b", 0.6, 1);
+  g.mark_output(g.add_op(OpKind::kSaturatingAdd, a, b));
+  // Default depth-2 desynchronizer gets close; the LFSR streams' run
+  // structure leaves a few paired 1s.
+  const ExecutionResult fixed =
+      execute(g, plan_insertions(g, Strategy::kManipulation));
+  EXPECT_NEAR(fixed.values[0], 1.0, 0.06);
+  // Depth 8 absorbs the runs and saturates exactly.
+  ExecConfig deep;
+  deep.sync_depth = 8;
+  const ExecutionResult deeper =
+      execute(g, plan_insertions(g, Strategy::kManipulation), deep);
+  EXPECT_NEAR(deeper.values[0], 1.0, 0.01);
+}
+
+TEST(Executor, ComplementaryRegenerationProducesNegativeScc) {
+  DataflowGraph g;
+  const NodeId a = g.add_input("a", 0.4, 0);
+  const NodeId b = g.add_input("b", 0.45, 1);
+  const NodeId sum = g.add_op(OpKind::kSaturatingAdd, a, b);
+  g.mark_output(sum);
+  const ExecutionResult fixed =
+      execute(g, plan_insertions(g, Strategy::kRegeneration));
+  // min(1, 0.85) without saturation: only reachable at SCC ~ -1.
+  EXPECT_NEAR(fixed.values[0], 0.85, 0.03);
+}
+
+TEST(Executor, SameGroupInputsAreBitIdenticalForEqualValues) {
+  DataflowGraph g;
+  const NodeId a = g.add_input("a", 0.5, 0);
+  const NodeId b = g.add_input("b", 0.5, 0);
+  g.mark_output(g.add_op(OpKind::kMin, a, b));
+  const ExecutionResult result =
+      execute(g, plan_insertions(g, Strategy::kNone));
+  EXPECT_EQ(result.streams[a], result.streams[b]);
+}
+
+TEST(Executor, OutputsAlignWithMarkedNodes) {
+  DataflowGraph g;
+  const NodeId a = g.add_input("a", 0.25, 0);
+  const NodeId b = g.add_input("b", 0.5, 1);
+  const NodeId prod = g.add_op(OpKind::kMultiply, a, b);
+  g.mark_output(prod);
+  g.mark_output(a);
+  const ExecutionResult result =
+      execute(g, plan_insertions(g, Strategy::kNone));
+  ASSERT_EQ(result.output_nodes.size(), 2u);
+  EXPECT_EQ(result.output_nodes[0], prod);
+  EXPECT_NEAR(result.values[1], 0.25, 0.02);
+  EXPECT_DOUBLE_EQ(result.exact[0], 0.125);
+}
+
+TEST(Executor, DeterministicForFixedSeed) {
+  const DataflowGraph g = edge_like_graph();
+  const Plan plan = plan_insertions(g, Strategy::kManipulation);
+  const ExecutionResult r1 = execute(g, plan);
+  const ExecutionResult r2 = execute(g, plan);
+  EXPECT_EQ(r1.values, r2.values);
+}
+
+// --- end-to-end strategy comparison (the paper's §IV shape on any graph) ----
+
+TEST(GraphIntegration, StrategyOrderingMatchesPaper) {
+  const DataflowGraph g = product_sum_graph();
+  const Plan none = plan_insertions(g, Strategy::kNone);
+  const Plan manip = plan_insertions(g, Strategy::kManipulation);
+  const Plan regen = plan_insertions(g, Strategy::kRegeneration);
+
+  const double err_none = execute(g, none).mean_abs_error;
+  const double err_manip = execute(g, manip).mean_abs_error;
+  const double err_regen = execute(g, regen).mean_abs_error;
+
+  // Accuracy: both fixes beat no manipulation.
+  EXPECT_LT(err_manip, err_none);
+  EXPECT_LT(err_regen, err_none);
+  // Cost: manipulation is the cheaper fix.
+  EXPECT_LT(hw::evaluate(manip.overhead).power_uw,
+            hw::evaluate(regen.overhead).power_uw);
+}
+
+}  // namespace
+}  // namespace sc::graph

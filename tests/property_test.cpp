@@ -1,0 +1,180 @@
+/// Randomized property tests: invariants that must hold for *every* input,
+/// checked over seeded random stream pairs and values.  Complements the
+/// structured sweeps elsewhere with adversarial/irregular inputs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <random>
+
+#include "arith/add.hpp"
+#include "arith/minmax.hpp"
+#include "bitstream/correlation.hpp"
+#include "bitstream/synthesis.hpp"
+#include "core/decorrelator.hpp"
+#include "core/desynchronizer.hpp"
+#include "core/ops.hpp"
+#include "core/pair_transform.hpp"
+#include "core/shuffle_buffer.hpp"
+#include "core/synchronizer.hpp"
+#include "rng/lfsr.hpp"
+
+namespace sc {
+namespace {
+
+/// Seeded random stream of arbitrary structure (not SNG-generated: runs,
+/// bursts, and irregular patterns included by construction).
+Bitstream random_stream(std::mt19937_64& gen, std::size_t n) {
+  Bitstream out(n);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  const double p = unit(gen);
+  // Mix of i.i.d. bits and runs to stress FSM depth.
+  std::size_t i = 0;
+  while (i < n) {
+    if (unit(gen) < 0.2) {
+      // burst of identical bits
+      const bool bit = unit(gen) < p;
+      const std::size_t len = 1 + static_cast<std::size_t>(unit(gen) * 12);
+      for (std::size_t k = 0; k < len && i < n; ++k, ++i) out.set(i, bit);
+    } else {
+      out.set(i, unit(gen) < p);
+      ++i;
+    }
+  }
+  return out;
+}
+
+class RandomPairProperty : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void SetUp() override {
+    std::mt19937_64 gen(GetParam());
+    x_ = random_stream(gen, 512);
+    y_ = random_stream(gen, 512);
+  }
+  Bitstream x_, y_;
+};
+
+TEST_P(RandomPairProperty, SccAlwaysInRange) {
+  const double c = scc(x_, y_);
+  EXPECT_GE(c, -1.0 - 1e-12);
+  EXPECT_LE(c, 1.0 + 1e-12);
+}
+
+TEST_P(RandomPairProperty, SynchronizerNeverLowersScc) {
+  if (!scc_defined(x_, y_)) return;
+  core::Synchronizer sync({2, false});
+  const auto out = core::apply(sync, x_, y_);
+  if (!scc_defined(out.x, out.y)) return;
+  EXPECT_GE(scc(out.x, out.y), scc(x_, y_) - 1e-9);
+}
+
+TEST_P(RandomPairProperty, SynchronizerConservesOnesExactly) {
+  for (unsigned depth : {1u, 3u, 7u}) {
+    core::Synchronizer sync({depth, false});
+    const auto out = core::apply(sync, x_, y_);
+    const int credit = sync.credit();
+    EXPECT_EQ(out.x.count_ones() +
+                  static_cast<std::size_t>(std::max(credit, 0)),
+              x_.count_ones());
+    EXPECT_EQ(out.y.count_ones() +
+                  static_cast<std::size_t>(std::max(-credit, 0)),
+              y_.count_ones());
+  }
+}
+
+TEST_P(RandomPairProperty, SynchronizerFlushNeverIncreasesAbsBias) {
+  core::Synchronizer plain({4, false});
+  core::Synchronizer flushing({4, true});
+  const auto a = core::apply(plain, x_, y_);
+  const auto b = core::apply(flushing, x_, y_);
+  const double bias_plain = std::abs(a.x.value() - x_.value()) +
+                            std::abs(a.y.value() - y_.value());
+  const double bias_flush = std::abs(b.x.value() - x_.value()) +
+                            std::abs(b.y.value() - y_.value());
+  EXPECT_LE(bias_flush, bias_plain + 1e-12);
+}
+
+TEST_P(RandomPairProperty, DesynchronizerNeverRaisesScc) {
+  if (!scc_defined(x_, y_)) return;
+  core::Desynchronizer desync({2, false});
+  const auto out = core::apply(desync, x_, y_);
+  if (!scc_defined(out.x, out.y)) return;
+  EXPECT_LE(scc(out.x, out.y), scc(x_, y_) + 1e-9);
+}
+
+TEST_P(RandomPairProperty, DesynchronizerConservesOnesExactly) {
+  core::Desynchronizer desync({3, false});
+  const auto out = core::apply(desync, x_, y_);
+  EXPECT_EQ(out.x.count_ones() + desync.saved_x(), x_.count_ones());
+  EXPECT_EQ(out.y.count_ones() + desync.saved_y(), y_.count_ones());
+}
+
+TEST_P(RandomPairProperty, ShuffleBufferConservesOnesWithAccounting) {
+  core::ShuffleBuffer buffer(8, std::make_unique<rng::Lfsr>(8, 77));
+  const unsigned initial = buffer.saved_ones();
+  const Bitstream out = core::apply(buffer, x_);
+  EXPECT_EQ(out.count_ones() + buffer.saved_ones(),
+            x_.count_ones() + initial);
+}
+
+TEST_P(RandomPairProperty, SyncMaxAtLeastEachOperandMinusResidual) {
+  // max(pX, pY) >= pX and >= pY; the circuit's output may lose at most
+  // depth bits to stranding.
+  const Bitstream z = core::sync_max(x_, y_, {2, false});
+  const double slack = 3.0 / 512.0;
+  EXPECT_GE(z.value(), x_.value() - slack);
+  EXPECT_GE(z.value(), y_.value() - slack);
+}
+
+TEST_P(RandomPairProperty, SyncMinAtMostEachOperand) {
+  // AND of the synchronized pair can never emit more 1s than either input
+  // stream contributed.
+  const Bitstream z = core::sync_min(x_, y_, {2, false});
+  EXPECT_LE(z.value(), x_.value() + 1e-12);
+  EXPECT_LE(z.value(), y_.value() + 1e-12);
+}
+
+TEST_P(RandomPairProperty, MinMaxSumConservation) {
+  core::Synchronizer sync({2, false});
+  const auto synced = core::apply(sync, x_, y_);
+  const Bitstream mx = synced.x | synced.y;
+  const Bitstream mn = synced.x & synced.y;
+  // OR + AND conserve ones pointwise.
+  EXPECT_EQ(mx.count_ones() + mn.count_ones(),
+            synced.x.count_ones() + synced.y.count_ones());
+}
+
+TEST_P(RandomPairProperty, ToggleAddWithinHalfLsbOfExactSum) {
+  const Bitstream z = arith::toggle_add(x_, y_);
+  const double exact = 0.5 * (x_.value() + y_.value());
+  EXPECT_NEAR(z.value(), exact, 0.5 / 512.0 + 1e-12);
+}
+
+TEST_P(RandomPairProperty, CaMaxCaMinBracketTrueValues) {
+  const double mx = arith::ca_max(x_, y_).value();
+  const double mn = arith::ca_min(x_, y_).value();
+  EXPECT_GE(mx + 0.05, std::max(x_.value(), y_.value()));
+  EXPECT_LE(mn - 0.05, std::min(x_.value(), y_.value()));
+}
+
+TEST_P(RandomPairProperty, TransformsAreDeterministicAfterReset) {
+  core::Synchronizer sync({3, false});
+  const auto first = core::apply(sync, x_, y_);
+  sync.reset();
+  const auto second = core::apply(sync, x_, y_);
+  EXPECT_EQ(first.x, second.x);
+  EXPECT_EQ(first.y, second.y);
+}
+
+TEST_P(RandomPairProperty, SccSymmetryAndSelfIdentity) {
+  EXPECT_DOUBLE_EQ(scc(x_, y_), scc(y_, x_));
+  if (scc_defined(x_, x_)) EXPECT_DOUBLE_EQ(scc(x_, x_), 1.0);
+  if (scc_defined(x_, ~x_)) EXPECT_DOUBLE_EQ(scc(x_, ~x_), -1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPairProperty,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace sc

@@ -1,0 +1,274 @@
+/// Tests for the random-source substrate: LFSR maximal periods, Van der
+/// Corput / Halton / Sobol low-discrepancy structure, counter and mt19937
+/// sources, clone/reset semantics, and the factory.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "rng/counter_source.hpp"
+#include "rng/factory.hpp"
+#include "rng/halton.hpp"
+#include "rng/lfsr.hpp"
+#include "rng/mt_source.hpp"
+#include "rng/sobol.hpp"
+#include "rng/van_der_corput.hpp"
+
+namespace sc::rng {
+namespace {
+
+// --- LFSR ------------------------------------------------------------------
+
+class LfsrPeriod : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(LfsrPeriod, IsMaximal) {
+  const unsigned width = GetParam();
+  Lfsr lfsr(width, 1);
+  const std::uint64_t period = (std::uint64_t{1} << width) - 1;
+  std::set<std::uint32_t> seen;
+  for (std::uint64_t i = 0; i < period; ++i) {
+    EXPECT_TRUE(seen.insert(lfsr.next()).second)
+        << "state repeated before full period, width=" << width;
+  }
+  // After a full period the sequence restarts.
+  Lfsr fresh(width, 1);
+  EXPECT_EQ(lfsr.next(), fresh.next());
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths3To16, LfsrPeriod,
+                         ::testing::Values(3u, 4u, 5u, 6u, 7u, 8u, 9u, 10u,
+                                           11u, 12u, 13u, 14u, 15u, 16u));
+
+TEST(Lfsr, NeverEmitsZeroState) {
+  Lfsr lfsr(8, 1);
+  for (int i = 0; i < 300; ++i) EXPECT_NE(lfsr.next(), 0u);
+}
+
+TEST(Lfsr, ZeroSeedRemappedToOne) {
+  Lfsr a(8, 0);
+  Lfsr b(8, 1);
+  EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Lfsr, SeedIsMaskedToWidth) {
+  Lfsr a(8, 0x101);  // low 8 bits = 0x01
+  Lfsr b(8, 0x001);
+  EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Lfsr, DifferentSeedsGiveShiftedSequences) {
+  Lfsr a(8, 1);
+  Lfsr b(8, 77);
+  std::vector<std::uint32_t> sa, sb;
+  for (int i = 0; i < 32; ++i) {
+    sa.push_back(a.next());
+    sb.push_back(b.next());
+  }
+  EXPECT_NE(sa, sb);
+}
+
+TEST(Lfsr, RotationPermutesOutputBits) {
+  Lfsr plain(8, 1, 0);
+  Lfsr rotated(8, 1, 3);
+  for (int i = 0; i < 64; ++i) {
+    const std::uint32_t p = plain.next();
+    const std::uint32_t r = rotated.next();
+    EXPECT_EQ(r, ((p >> 3) | (p << 5)) & 0xFFu);
+  }
+}
+
+TEST(Lfsr, ResetRestartsSequence) {
+  Lfsr lfsr(8, 5);
+  std::vector<std::uint32_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(lfsr.next());
+  lfsr.reset();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(lfsr.next(), first[static_cast<std::size_t>(i)]);
+}
+
+TEST(Lfsr, ClonePreservesState) {
+  Lfsr lfsr(8, 5);
+  for (int i = 0; i < 7; ++i) lfsr.next();
+  auto copy = lfsr.clone();
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(copy->next(), lfsr.next());
+}
+
+TEST(Lfsr, MaximalTapsKnownValues) {
+  // Width 8 taps {8,6,5,4} -> 0b10111000.
+  EXPECT_EQ(Lfsr::maximal_taps(8), 0xB8u);
+  // Width 3 taps {3,2} -> 0b110.
+  EXPECT_EQ(Lfsr::maximal_taps(3), 0x6u);
+}
+
+// --- Van der Corput ----------------------------------------------------------
+
+TEST(VanDerCorput, ReverseBitsKnownValues) {
+  EXPECT_EQ(VanDerCorput::reverse_bits(0b001, 3), 0b100u);
+  EXPECT_EQ(VanDerCorput::reverse_bits(0b110, 3), 0b011u);
+  EXPECT_EQ(VanDerCorput::reverse_bits(0x01, 8), 0x80u);
+}
+
+TEST(VanDerCorput, IsPermutationOfFullRange) {
+  VanDerCorput vdc(8);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 256; ++i) EXPECT_TRUE(seen.insert(vdc.next()).second);
+  EXPECT_EQ(*seen.rbegin(), 255u);
+}
+
+TEST(VanDerCorput, PrefixesAreBalanced) {
+  // Low-discrepancy property: any 2^k-aligned prefix covers each dyadic
+  // sub-interval equally; check halves over the first 128 outputs.
+  VanDerCorput vdc(8);
+  int low = 0;
+  for (int i = 0; i < 128; ++i) low += (vdc.next() < 128) ? 1 : 0;
+  EXPECT_EQ(low, 64);
+}
+
+TEST(VanDerCorput, OffsetShiftsPhase) {
+  VanDerCorput a(8, 0);
+  VanDerCorput b(8, 1);
+  a.next();  // consume t = 0
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+// --- Halton -----------------------------------------------------------------
+
+TEST(Halton, RadicalInverseBase2MatchesBitReversal) {
+  for (std::uint64_t t = 0; t < 64; ++t) {
+    const double r = Halton::radical_inverse(t, 2);
+    const auto scaled = static_cast<std::uint32_t>(r * 64.0);
+    EXPECT_EQ(scaled, VanDerCorput::reverse_bits(static_cast<std::uint32_t>(t), 6));
+  }
+}
+
+TEST(Halton, RadicalInverseBase3KnownValues) {
+  EXPECT_DOUBLE_EQ(Halton::radical_inverse(0, 3), 0.0);
+  EXPECT_DOUBLE_EQ(Halton::radical_inverse(1, 3), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(Halton::radical_inverse(2, 3), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(Halton::radical_inverse(3, 3), 1.0 / 9.0);
+  EXPECT_DOUBLE_EQ(Halton::radical_inverse(4, 3), 1.0 / 9.0 + 1.0 / 3.0);
+}
+
+TEST(Halton, OutputsCoverRangeUniformly) {
+  Halton h(8, 3);
+  double sum = 0.0;
+  const int samples = 729;  // 3^6 for balance
+  for (int i = 0; i < samples; ++i) sum += h.next();
+  const double mean = sum / samples;
+  EXPECT_NEAR(mean, 127.5, 2.0);
+}
+
+TEST(Halton, StaysBelowRange) {
+  Halton h(8, 3);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(h.next(), 256u);
+}
+
+TEST(Halton, ResetAndCloneSemantics) {
+  Halton h(8, 3);
+  for (int i = 0; i < 5; ++i) h.next();
+  auto copy = h.clone();
+  EXPECT_EQ(copy->next(), h.next());
+  h.reset();
+  Halton fresh(8, 3);
+  EXPECT_EQ(h.next(), fresh.next());
+}
+
+// --- Sobol ------------------------------------------------------------------
+
+TEST(Sobol, Dimension1IsBitReversalSequence) {
+  Sobol sobol(8, 1);
+  VanDerCorput vdc(8);
+  // Gray-code Sobol dim 1 visits the same set per 2^k block as VDC; check
+  // the full 256-block is a permutation and starts at 0.
+  std::set<std::uint32_t> seen;
+  EXPECT_EQ(sobol.next(), 0u);
+  seen.insert(0);
+  for (int i = 1; i < 256; ++i) EXPECT_TRUE(seen.insert(sobol.next()).second);
+}
+
+class SobolDimension : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SobolDimension, FullPeriodIsPermutation) {
+  Sobol sobol(8, GetParam());
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 256; ++i) {
+    EXPECT_TRUE(seen.insert(sobol.next()).second) << "dim=" << GetParam();
+  }
+}
+
+TEST_P(SobolDimension, BalancedHalves) {
+  Sobol sobol(8, GetParam());
+  int low = 0;
+  for (int i = 0; i < 128; ++i) low += (sobol.next() < 128) ? 1 : 0;
+  EXPECT_EQ(low, 64) << "dim=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, SobolDimension,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u,
+                                           10u, 11u, 12u));
+
+// --- Counter / MT -------------------------------------------------------------
+
+TEST(CounterSource, WrapsAtRange) {
+  CounterSource ctr(3, 6);
+  EXPECT_EQ(ctr.next(), 6u);
+  EXPECT_EQ(ctr.next(), 7u);
+  EXPECT_EQ(ctr.next(), 0u);
+}
+
+TEST(CounterSource, ResetRestoresStart) {
+  CounterSource ctr(4, 3);
+  ctr.next();
+  ctr.next();
+  ctr.reset();
+  EXPECT_EQ(ctr.next(), 3u);
+}
+
+TEST(Mt19937Source, MaskedToWidth) {
+  Mt19937Source src(6, 99);
+  for (int i = 0; i < 200; ++i) EXPECT_LT(src.next(), 64u);
+}
+
+TEST(Mt19937Source, SeededReproducibility) {
+  Mt19937Source a(16, 5);
+  Mt19937Source b(16, 5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+// --- factory ------------------------------------------------------------------
+
+TEST(Factory, CreatesEveryKind) {
+  for (RngKind kind :
+       {RngKind::kLfsr, RngKind::kVanDerCorput, RngKind::kHalton,
+        RngKind::kSobol, RngKind::kCounter, RngKind::kMt19937}) {
+    RngSpec spec;
+    spec.kind = kind;
+    spec.width = 8;
+    auto src = make_rng(spec);
+    ASSERT_NE(src, nullptr) << to_string(kind);
+    EXPECT_EQ(src->width(), 8u);
+    EXPECT_LT(src->next(), 256u);
+    EXPECT_FALSE(src->name().empty());
+  }
+}
+
+TEST(Factory, KindNames) {
+  EXPECT_EQ(to_string(RngKind::kLfsr), "LFSR");
+  EXPECT_EQ(to_string(RngKind::kVanDerCorput), "VDC");
+  EXPECT_EQ(to_string(RngKind::kHalton), "Halton");
+  EXPECT_EQ(to_string(RngKind::kSobol), "Sobol");
+}
+
+TEST(RandomSourceInterface, NextUnitInUnitInterval) {
+  Lfsr lfsr(8, 1);
+  for (int i = 0; i < 100; ++i) {
+    const double u = lfsr.next_unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace sc::rng

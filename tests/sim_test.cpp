@@ -1,0 +1,281 @@
+/// Tests for the cycle-level simulator, including the model-vs-model
+/// cross-check the paper's methodology calls for: every circuit's element
+/// form must be bit-identical to its whole-stream functional form.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "arith/add.hpp"
+#include "arith/divide.hpp"
+#include "arith/minmax.hpp"
+#include "core/decorrelator.hpp"
+#include "core/ops.hpp"
+#include "core/pair_transform.hpp"
+#include "core/synchronizer.hpp"
+#include "rng/lfsr.hpp"
+#include "rng/van_der_corput.hpp"
+#include "sim/circuit.hpp"
+#include "sim/elements.hpp"
+#include "test_util.hpp"
+
+namespace sc::sim {
+namespace {
+
+TEST(Circuit, WiresStartLowAndAreSettable) {
+  Circuit c;
+  const WireId w = c.make_wire("w");
+  EXPECT_FALSE(c.value(w));
+  c.set_value(w, true);
+  EXPECT_TRUE(c.value(w));
+  EXPECT_EQ(c.wire_name(w), "w");
+  EXPECT_EQ(c.wire_count(), 1u);
+}
+
+TEST(Circuit, StepAdvancesCycleCounter) {
+  Circuit c;
+  c.run(5);
+  EXPECT_EQ(c.cycle(), 5u);
+  c.reset();
+  EXPECT_EQ(c.cycle(), 0u);
+}
+
+TEST(Circuit, ElementsEvaluateInInsertionOrder) {
+  Circuit c;
+  const WireId a = c.make_wire();
+  const WireId b = c.make_wire();
+  const WireId z = c.make_wire();
+  c.add<StreamSource>(Bitstream::from_string("1111"), a);
+  c.add<NotGate>(a, b);          // b = !a, same cycle
+  c.add<Gate2>(Gate2::Kind::kOr, a, b, z);
+  c.step();
+  EXPECT_TRUE(c.value(a));
+  EXPECT_FALSE(c.value(b));
+  EXPECT_TRUE(c.value(z));
+}
+
+TEST(StreamSource, ReplaysAndPadsWithZero) {
+  Circuit c;
+  const WireId w = c.make_wire();
+  c.add<StreamSource>(Bitstream::from_string("101"), w);
+  auto& probe = c.add<ProbeElement>(w);
+  c.run(5);
+  EXPECT_EQ(probe.trace().to_string(), "10100");
+}
+
+TEST(Gate2, AllKindsComputeTruthTables) {
+  Circuit c;
+  const WireId a = c.make_wire();
+  const WireId b = c.make_wire();
+  const WireId and_w = c.make_wire();
+  const WireId or_w = c.make_wire();
+  const WireId xor_w = c.make_wire();
+  const WireId xnor_w = c.make_wire();
+  const WireId nand_w = c.make_wire();
+  const WireId nor_w = c.make_wire();
+  c.add<Gate2>(Gate2::Kind::kAnd, a, b, and_w);
+  c.add<Gate2>(Gate2::Kind::kOr, a, b, or_w);
+  c.add<Gate2>(Gate2::Kind::kXor, a, b, xor_w);
+  c.add<Gate2>(Gate2::Kind::kXnor, a, b, xnor_w);
+  c.add<Gate2>(Gate2::Kind::kNand, a, b, nand_w);
+  c.add<Gate2>(Gate2::Kind::kNor, a, b, nor_w);
+  for (int av = 0; av <= 1; ++av) {
+    for (int bv = 0; bv <= 1; ++bv) {
+      c.set_value(a, av != 0);
+      c.set_value(b, bv != 0);
+      c.step();
+      EXPECT_EQ(c.value(and_w), av && bv);
+      EXPECT_EQ(c.value(or_w), av || bv);
+      EXPECT_EQ(c.value(xor_w), av != bv);
+      EXPECT_EQ(c.value(xnor_w), av == bv);
+      EXPECT_EQ(c.value(nand_w), !(av && bv));
+      EXPECT_EQ(c.value(nor_w), !(av || bv));
+    }
+  }
+}
+
+TEST(Mux2, SelectsBetweenInputs) {
+  Circuit c;
+  const WireId a = c.make_wire();
+  const WireId b = c.make_wire();
+  const WireId sel = c.make_wire();
+  const WireId z = c.make_wire();
+  c.add<Mux2>(a, b, sel, z);
+  c.set_value(a, true);
+  c.set_value(b, false);
+  c.set_value(sel, false);
+  c.step();
+  EXPECT_TRUE(c.value(z));
+  c.set_value(sel, true);
+  c.step();
+  EXPECT_FALSE(c.value(z));
+}
+
+TEST(SngElement, MatchesFunctionalSng) {
+  Circuit c;
+  const WireId w = c.make_wire();
+  c.add<SngElement>(std::make_unique<rng::VanDerCorput>(8), 100, w);
+  auto& probe = c.add<ProbeElement>(w);
+  c.run(256);
+  EXPECT_EQ(probe.trace(), test::vdc_stream(100));
+}
+
+TEST(CounterElement, MatchesPopcount) {
+  Circuit c;
+  const WireId w = c.make_wire();
+  const Bitstream s = test::vdc_stream(90);
+  c.add<StreamSource>(s, w);
+  auto& counter = c.add<CounterElement>(w);
+  c.run(256);
+  EXPECT_EQ(counter.count(), 90u);
+  EXPECT_DOUBLE_EQ(counter.value(), 90.0 / 256.0);
+}
+
+// --- cross-check: element simulation vs whole-stream functional API ---------
+
+TEST(CrossCheck, SynchronizerElementMatchesFunctionalForm) {
+  const Bitstream x = test::vdc_stream(100);
+  const Bitstream y = test::halton3_stream(170);
+
+  // Functional form.
+  core::Synchronizer reference({2, false});
+  const auto expected = core::apply(reference, x, y);
+
+  // Element form.
+  Circuit c;
+  const WireId in_x = c.make_wire();
+  const WireId in_y = c.make_wire();
+  const WireId out_x = c.make_wire();
+  const WireId out_y = c.make_wire();
+  c.add<StreamSource>(x, in_x);
+  c.add<StreamSource>(y, in_y);
+  c.add<PairTransformElement>(
+      std::make_unique<core::Synchronizer>(core::Synchronizer::Config{2, false}),
+      in_x, in_y, out_x, out_y);
+  auto& probe_x = c.add<ProbeElement>(out_x);
+  auto& probe_y = c.add<ProbeElement>(out_y);
+  c.run(256);
+
+  EXPECT_EQ(probe_x.trace(), expected.x);
+  EXPECT_EQ(probe_y.trace(), expected.y);
+}
+
+TEST(CrossCheck, DecorrelatorElementMatchesFunctionalForm) {
+  const Bitstream x = test::lfsr_stream(120, 1);
+  const Bitstream y = test::lfsr_stream(220, 1);
+
+  core::Decorrelator reference(4, std::make_unique<rng::Lfsr>(8, 19),
+                               std::make_unique<rng::Lfsr>(8, 37));
+  const auto expected = core::apply(reference, x, y);
+
+  Circuit c;
+  const WireId in_x = c.make_wire();
+  const WireId in_y = c.make_wire();
+  const WireId out_x = c.make_wire();
+  const WireId out_y = c.make_wire();
+  c.add<StreamSource>(x, in_x);
+  c.add<StreamSource>(y, in_y);
+  c.add<PairTransformElement>(
+      std::make_unique<core::Decorrelator>(4, std::make_unique<rng::Lfsr>(8, 19),
+                                           std::make_unique<rng::Lfsr>(8, 37)),
+      in_x, in_y, out_x, out_y);
+  auto& probe_x = c.add<ProbeElement>(out_x);
+  auto& probe_y = c.add<ProbeElement>(out_y);
+  c.run(256);
+
+  EXPECT_EQ(probe_x.trace(), expected.x);
+  EXPECT_EQ(probe_y.trace(), expected.y);
+}
+
+TEST(CrossCheck, ToggleAdderElementMatchesFunctionalForm) {
+  const Bitstream x = test::vdc_stream(111);
+  const Bitstream y = test::halton3_stream(77);
+  const Bitstream expected = arith::toggle_add(x, y);
+
+  Circuit c;
+  const WireId a = c.make_wire();
+  const WireId b = c.make_wire();
+  const WireId z = c.make_wire();
+  c.add<StreamSource>(x, a);
+  c.add<StreamSource>(y, b);
+  c.add<ToggleAdderElement>(a, b, z);
+  auto& probe = c.add<ProbeElement>(z);
+  c.run(256);
+  EXPECT_EQ(probe.trace(), expected);
+}
+
+TEST(CrossCheck, CordivElementMatchesFunctionalForm) {
+  rng::VanDerCorput vdc(8);
+  Bitstream x, y;
+  for (int i = 0; i < 256; ++i) {
+    const std::uint32_t r = vdc.next();
+    x.push_back(r < 64);
+    y.push_back(r < 192);
+  }
+  const Bitstream expected = arith::divide(x, y);
+
+  Circuit c;
+  const WireId a = c.make_wire();
+  const WireId b = c.make_wire();
+  const WireId z = c.make_wire();
+  c.add<StreamSource>(x, a);
+  c.add<StreamSource>(y, b);
+  c.add<CordivElement>(a, b, z);
+  auto& probe = c.add<ProbeElement>(z);
+  c.run(256);
+  EXPECT_EQ(probe.trace(), expected);
+}
+
+TEST(CrossCheck, CaMaxElementMatchesFunctionalForm) {
+  const Bitstream x = test::vdc_stream(130);
+  const Bitstream y = test::halton3_stream(99);
+  const Bitstream expected = arith::ca_max(x, y);
+
+  Circuit c;
+  const WireId a = c.make_wire();
+  const WireId b = c.make_wire();
+  const WireId z = c.make_wire();
+  c.add<StreamSource>(x, a);
+  c.add<StreamSource>(y, b);
+  c.add<CaMaxElement>(a, b, z);
+  auto& probe = c.add<ProbeElement>(z);
+  c.run(256);
+  EXPECT_EQ(probe.trace(), expected);
+}
+
+TEST(CrossCheck, FullSyncMaxCircuitMatchesOpsImplementation) {
+  // End-to-end: two SNGs -> synchronizer -> OR, entirely in the simulator,
+  // against core::sync_max on the same generated streams.
+  Circuit c;
+  const WireId in_x = c.make_wire("x");
+  const WireId in_y = c.make_wire("y");
+  const WireId sx = c.make_wire("sync_x");
+  const WireId sy = c.make_wire("sync_y");
+  const WireId z = c.make_wire("max");
+  c.add<SngElement>(std::make_unique<rng::VanDerCorput>(8), 90, in_x);
+  c.add<SngElement>(std::make_unique<rng::Halton>(8, 3), 200, in_y);
+  c.add<PairTransformElement>(std::make_unique<core::Synchronizer>(),
+                              in_x, in_y, sx, sy);
+  c.add<Gate2>(Gate2::Kind::kOr, sx, sy, z);
+  auto& probe = c.add<ProbeElement>(z);
+  c.run(256);
+
+  const Bitstream expected =
+      core::sync_max(test::vdc_stream(90), test::halton3_stream(200));
+  EXPECT_EQ(probe.trace(), expected);
+}
+
+TEST(CircuitReset, ReproducesIdenticalRun) {
+  Circuit c;
+  const WireId w = c.make_wire();
+  c.add<SngElement>(std::make_unique<rng::Lfsr>(8, 5), 120, w);
+  auto& probe = c.add<ProbeElement>(w);
+  c.run(64);
+  const Bitstream first = probe.trace();
+  c.reset();
+  c.run(64);
+  EXPECT_EQ(probe.trace(), first);
+}
+
+}  // namespace
+}  // namespace sc::sim

@@ -1,0 +1,320 @@
+/// Tests for the synchronizer (paper Fig. 3a): exact D = 1 FSM semantics,
+/// value conservation, induced positive correlation, depth generalization,
+/// flush mode, and serial composition.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "bitstream/correlation.hpp"
+#include "bitstream/synthesis.hpp"
+#include "core/ops.hpp"
+#include "core/pair_transform.hpp"
+#include "core/synchronizer.hpp"
+#include "test_util.hpp"
+
+namespace sc::core {
+namespace {
+
+// --- exact Fig. 3a FSM semantics at D = 1 ---------------------------------
+
+TEST(SynchronizerFsm, S0PassesEqualInputs) {
+  Synchronizer sync;
+  for (auto bit : {false, true}) {
+    const BitPair out = sync.step(bit, bit);
+    EXPECT_EQ(out.x, bit);
+    EXPECT_EQ(out.y, bit);
+    EXPECT_EQ(sync.credit(), 0);
+  }
+}
+
+TEST(SynchronizerFsm, S0SavesUnpairedXBit) {
+  Synchronizer sync;
+  const BitPair out = sync.step(true, false);  // S0 --(1,0)/(0,0)--> S1
+  EXPECT_FALSE(out.x);
+  EXPECT_FALSE(out.y);
+  EXPECT_EQ(sync.credit(), 1);
+  EXPECT_EQ(sync.saved_ones(), 1u);
+}
+
+TEST(SynchronizerFsm, S0SavesUnpairedYBit) {
+  Synchronizer sync;
+  const BitPair out = sync.step(false, true);  // S0 --(0,1)/(0,0)--> S2
+  EXPECT_FALSE(out.x);
+  EXPECT_FALSE(out.y);
+  EXPECT_EQ(sync.credit(), -1);
+}
+
+TEST(SynchronizerFsm, S1PairsSavedXBitWithIncomingY) {
+  Synchronizer sync;
+  sync.step(true, false);                       // -> S1
+  const BitPair out = sync.step(false, true);   // S1 --(0,1)/(1,1)--> S0
+  EXPECT_TRUE(out.x);
+  EXPECT_TRUE(out.y);
+  EXPECT_EQ(sync.credit(), 0);
+}
+
+TEST(SynchronizerFsm, S2PairsSavedYBitWithIncomingX) {
+  Synchronizer sync;
+  sync.step(false, true);                       // -> S2
+  const BitPair out = sync.step(true, false);   // S2 --(1,0)/(1,1)--> S0
+  EXPECT_TRUE(out.x);
+  EXPECT_TRUE(out.y);
+  EXPECT_EQ(sync.credit(), 0);
+}
+
+TEST(SynchronizerFsm, S1PassesEqualInputs) {
+  Synchronizer sync;
+  sync.step(true, false);  // -> S1
+  const BitPair out = sync.step(true, true);
+  EXPECT_TRUE(out.x);
+  EXPECT_TRUE(out.y);
+  EXPECT_EQ(sync.credit(), 1);  // still saved
+}
+
+TEST(SynchronizerFsm, S1SaturatedPassesSecondUnpairedX) {
+  // D = 1: a second (1,0) while one X bit is saved passes through
+  // (the figure's "In: X=1, Y=0 / Out: X'=1, Y'=0" self-loop).
+  Synchronizer sync;
+  sync.step(true, false);  // -> S1
+  const BitPair out = sync.step(true, false);
+  EXPECT_TRUE(out.x);
+  EXPECT_FALSE(out.y);
+  EXPECT_EQ(sync.credit(), 1);
+}
+
+TEST(SynchronizerFsm, S2SaturatedPassesSecondUnpairedY) {
+  Synchronizer sync;
+  sync.step(false, true);  // -> S2
+  const BitPair out = sync.step(false, true);
+  EXPECT_FALSE(out.x);
+  EXPECT_TRUE(out.y);
+  EXPECT_EQ(sync.credit(), -1);
+}
+
+TEST(SynchronizerFsm, ResetReturnsToInitialState) {
+  Synchronizer sync;
+  sync.step(true, false);
+  sync.reset();
+  EXPECT_EQ(sync.credit(), 0);
+  EXPECT_EQ(sync.saved_ones(), 0u);
+}
+
+// --- worked example -----------------------------------------------------------
+
+TEST(Synchronizer, PairsTableIStyleStreams) {
+  // X = 10101010 (0.5), Y = 11111100 (0.75), SCC = 0: after the
+  // synchronizer the pair realizes min-overlap... i.e. SCC -> +1.
+  const Bitstream x = Bitstream::from_string("10101010");
+  const Bitstream y = Bitstream::from_string("11111100");
+  Synchronizer sync;
+  const auto out = apply(sync, x, y);
+  EXPECT_DOUBLE_EQ(scc(out.x, out.y), 1.0);
+  // Values preserved exactly here (no residual bits for this input).
+  EXPECT_EQ(out.x.count_ones() + sync.saved_ones(), x.count_ones());
+}
+
+// --- invariants over exhaustive-ish sweeps -------------------------------------
+
+class SynchronizerSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t, unsigned>> {
+};
+
+TEST_P(SynchronizerSweep, ConservesOnesUpToResidualCredit) {
+  const auto [lx, ly, depth] = GetParam();
+  const Bitstream x = test::vdc_stream(lx);
+  const Bitstream y = test::halton3_stream(ly);
+  Synchronizer sync({depth, false});
+  const auto out = apply(sync, x, y);
+  const int credit = sync.credit();
+  // ones_out_x = ones_in_x - max(credit, 0); ones_out_y = ones_in_y + min(credit, 0).
+  EXPECT_EQ(out.x.count_ones() + static_cast<std::size_t>(std::max(credit, 0)),
+            x.count_ones());
+  EXPECT_EQ(out.y.count_ones(),
+            y.count_ones() - static_cast<std::size_t>(std::max(-credit, 0)));
+  // Residual is bounded by the depth.
+  EXPECT_LE(sync.saved_ones(), depth);
+}
+
+TEST_P(SynchronizerSweep, RaisesSccTowardPlusOne) {
+  const auto [lx, ly, depth] = GetParam();
+  const Bitstream x = test::vdc_stream(lx);
+  const Bitstream y = test::halton3_stream(ly);
+  if (!scc_defined(x, y)) return;
+  const double before = scc(x, y);
+  Synchronizer sync({depth, false});
+  const auto out = apply(sync, x, y);
+  if (!scc_defined(out.x, out.y)) return;
+  const double after = scc(out.x, out.y);
+  EXPECT_GE(after, before - 1e-9);
+  EXPECT_GT(after, 0.85) << "lx=" << lx << " ly=" << ly << " D=" << depth;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ValueDepthGrid, SynchronizerSweep,
+    ::testing::Combine(::testing::Values(32u, 96u, 128u, 192u, 240u),
+                       ::testing::Values(16u, 64u, 128u, 176u, 224u),
+                       ::testing::Values(1u, 2u, 4u, 8u)));
+
+TEST(Synchronizer, DeeperSaveDepthNotWorseOnAverage) {
+  // Average output SCC over a value grid must not degrade with depth.
+  double prev = -2.0;
+  for (unsigned depth : {1u, 2u, 4u, 8u}) {
+    double total = 0.0;
+    int count = 0;
+    for (std::uint32_t lx = 16; lx <= 240; lx += 32) {
+      for (std::uint32_t ly = 16; ly <= 240; ly += 32) {
+        Synchronizer sync({depth, false});
+        const auto out =
+            apply(sync, test::vdc_stream(lx), test::halton3_stream(ly));
+        if (!scc_defined(out.x, out.y)) continue;
+        total += scc(out.x, out.y);
+        ++count;
+      }
+    }
+    const double average = total / count;
+    EXPECT_GE(average, prev - 0.01) << "depth transition to " << depth;
+    prev = average;
+  }
+}
+
+TEST(Synchronizer, AlreadyCorrelatedInputsStayCorrelated) {
+  // Paper Table II Halton/Halton row: input SCC ~0.98 stays ~0.99.
+  const auto pair = make_positively_correlated(100, 180, 256);
+  Synchronizer sync;
+  const auto out = apply(sync, pair.x, pair.y);
+  EXPECT_GT(scc(out.x, out.y), 0.98);
+  // Values preserved up to the residual saved bit (conservation identity).
+  const int credit = sync.credit();
+  EXPECT_EQ(out.x.count_ones() + static_cast<std::size_t>(std::max(credit, 0)),
+            100u);
+  EXPECT_EQ(out.y.count_ones() + static_cast<std::size_t>(std::max(-credit, 0)),
+            180u);
+}
+
+TEST(Synchronizer, BiasIsNonPositiveWithoutFlush) {
+  // Saved bits can only be lost, never invented: each output has at most
+  // as many 1s as its own input stream (note Halton streams are not
+  // exactly level-accurate, so compare against the actual input counts).
+  for (std::uint32_t lx : {30u, 128u, 220u}) {
+    for (std::uint32_t ly : {50u, 128u, 200u}) {
+      const Bitstream x = test::vdc_stream(lx);
+      const Bitstream y = test::halton3_stream(ly);
+      Synchronizer sync({4, false});
+      const auto out = apply(sync, x, y);
+      EXPECT_LE(out.x.count_ones(), x.count_ones());
+      EXPECT_LE(out.y.count_ones(), y.count_ones());
+    }
+  }
+}
+
+TEST(Synchronizer, InitialCreditPreloadEmitsExtraOne) {
+  // A preloaded saved X bit pairs with the first lone Y 1.
+  Synchronizer sync({1, false, +1});
+  EXPECT_EQ(sync.credit(), 1);
+  const BitPair out = sync.step(false, true);
+  EXPECT_TRUE(out.x);  // phantom saved bit emitted
+  EXPECT_TRUE(out.y);
+  EXPECT_EQ(sync.credit(), 0);
+}
+
+TEST(Synchronizer, InitialCreditClampedToDepth) {
+  Synchronizer sync({2, false, +9});
+  EXPECT_EQ(sync.credit(), 2);
+}
+
+// --- flush mode -----------------------------------------------------------------
+
+TEST(SynchronizerFlush, DrainsResidualOnTrailingZeros) {
+  // X = 1,0,0,0  Y = 0,0,0,0: without flush the saved X 1 is lost.
+  {
+    Synchronizer plain({1, false});
+    const auto out = apply(plain, Bitstream::from_string("1000"),
+                           Bitstream::from_string("0000"));
+    EXPECT_EQ(out.x.count_ones(), 0u);
+  }
+  {
+    Synchronizer flushing({1, true});
+    const auto out = apply(flushing, Bitstream::from_string("1000"),
+                           Bitstream::from_string("0000"));
+    EXPECT_EQ(out.x.count_ones(), 1u);  // force-emitted before the end
+  }
+}
+
+TEST(SynchronizerFlush, ReducesAverageAbsBias) {
+  double bias_plain = 0.0;
+  double bias_flush = 0.0;
+  int count = 0;
+  for (std::uint32_t lx = 16; lx <= 240; lx += 16) {
+    for (std::uint32_t ly = 16; ly <= 240; ly += 16) {
+      const Bitstream x = test::vdc_stream(lx);
+      const Bitstream y = test::halton3_stream(ly);
+      Synchronizer plain({8, false});
+      Synchronizer flushing({8, true});
+      const auto a = apply(plain, x, y);
+      const auto b = apply(flushing, x, y);
+      bias_plain += std::abs(a.x.value() - x.value()) +
+                    std::abs(a.y.value() - y.value());
+      bias_flush += std::abs(b.x.value() - x.value()) +
+                    std::abs(b.y.value() - y.value());
+      ++count;
+    }
+  }
+  EXPECT_LT(bias_flush, bias_plain + 1e-12);
+}
+
+TEST(SynchronizerFlush, StillRaisesScc) {
+  Synchronizer sync({2, true});
+  const auto out = apply(sync, test::vdc_stream(96), test::halton3_stream(160));
+  EXPECT_GT(scc(out.x, out.y), 0.8);
+}
+
+TEST(SynchronizerFlush, WithoutBeginStreamBehavesLikePlainFsm) {
+  // Unknown stream length disables forcing; semantics match flush=false.
+  Synchronizer flushing({1, true});
+  Synchronizer plain({1, false});
+  const Bitstream x = test::vdc_stream(100);
+  const Bitstream y = test::halton3_stream(150);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const BitPair a = flushing.step(x.get(i), y.get(i));
+    const BitPair b = plain.step(x.get(i), y.get(i));
+    EXPECT_EQ(a.x, b.x) << i;
+    EXPECT_EQ(a.y, b.y) << i;
+  }
+}
+
+// --- composition (paper §III-B) ---------------------------------------------------
+
+TEST(SynchronizerComposition, StagesImproveCorrelation) {
+  const Bitstream x = test::lfsr_stream(128, 1);
+  const Bitstream y = test::vdc_stream(128);
+  double prev = scc(x, y);
+  for (std::size_t stages : {1u, 2u, 4u}) {
+    const auto out = compose_synchronizers(x, y, stages);
+    const double c = scc(out.x, out.y);
+    EXPECT_GE(c, prev - 0.02) << stages;
+    prev = c;
+  }
+  EXPECT_GT(prev, 0.9);
+}
+
+TEST(SynchronizerComposition, ZeroStagesIsIdentity) {
+  const Bitstream x = test::vdc_stream(77);
+  const Bitstream y = test::halton3_stream(181);
+  const auto out = compose_synchronizers(x, y, 0);
+  EXPECT_EQ(out.x, x);
+  EXPECT_EQ(out.y, y);
+}
+
+TEST(SynchronizerComposition, ValueDriftBoundedByStages) {
+  const Bitstream x = test::vdc_stream(128);
+  const Bitstream y = test::halton3_stream(128);
+  const std::size_t stages = 4;
+  const auto out = compose_synchronizers(x, y, stages);
+  // Each stage can strand at most D = 1 one per side; preloads can add one.
+  EXPECT_NEAR(out.x.value(), x.value(), (stages + 2) / 256.0);
+  EXPECT_NEAR(out.y.value(), y.value(), (stages + 2) / 256.0);
+}
+
+}  // namespace
+}  // namespace sc::core

@@ -1,0 +1,131 @@
+/// Tests for analytic stream-pair synthesis (target value + target SCC)
+/// and the ErrorStats accumulator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bitstream/correlation.hpp"
+#include "bitstream/metrics.hpp"
+#include "bitstream/synthesis.hpp"
+
+namespace sc {
+namespace {
+
+TEST(OverlapForScc, IndependencePointAtZeroTarget) {
+  // 128 * 128 / 256 = 64.
+  EXPECT_EQ(overlap_for_scc(128, 128, 256, 0.0), 64u);
+}
+
+TEST(OverlapForScc, MaxOverlapAtPlusOne) {
+  EXPECT_EQ(overlap_for_scc(100, 200, 256, 1.0), 100u);
+  EXPECT_EQ(overlap_for_scc(200, 100, 256, 1.0), 100u);
+}
+
+TEST(OverlapForScc, MinOverlapAtMinusOne) {
+  // 200 + 100 - 256 = 44 forced overlaps.
+  EXPECT_EQ(overlap_for_scc(200, 100, 256, -1.0), 44u);
+  // Disjoint possible: zero overlap.
+  EXPECT_EQ(overlap_for_scc(100, 100, 256, -1.0), 0u);
+}
+
+TEST(OverlapForScc, TargetClampedToValidRange) {
+  EXPECT_EQ(overlap_for_scc(100, 200, 256, 5.0), 100u);
+  EXPECT_EQ(overlap_for_scc(100, 100, 256, -7.0), 0u);
+}
+
+TEST(OverlapForScc, InterpolatesMonotonically) {
+  std::uint64_t prev = 0;
+  for (double target = -1.0; target <= 1.0 + 1e-9; target += 0.25) {
+    const std::uint64_t a = overlap_for_scc(128, 128, 256, target);
+    EXPECT_GE(a, prev);
+    prev = a;
+  }
+}
+
+TEST(MakePair, ExactValuesAlways) {
+  for (double target : {-1.0, -0.3, 0.0, 0.7, 1.0}) {
+    const auto pair = make_pair_with_scc(77, 180, 256, target);
+    EXPECT_EQ(pair.x.count_ones(), 77u) << target;
+    EXPECT_EQ(pair.y.count_ones(), 180u) << target;
+    EXPECT_EQ(pair.x.size(), 256u);
+  }
+}
+
+TEST(MakePair, RealizedSccTracksTarget) {
+  for (double target : {-0.75, -0.5, -0.25, 0.25, 0.5, 0.75}) {
+    const auto pair = make_pair_with_scc(128, 128, 256, target);
+    EXPECT_NEAR(scc(pair.x, pair.y), target, 0.05) << target;
+  }
+}
+
+TEST(MakePair, DeterministicPerSeed) {
+  const auto a = make_pair_with_scc(100, 150, 256, 0.5, 42);
+  const auto b = make_pair_with_scc(100, 150, 256, 0.5, 42);
+  const auto c = make_pair_with_scc(100, 150, 256, 0.5, 43);
+  EXPECT_EQ(a.x, b.x);
+  EXPECT_EQ(a.y, b.y);
+  EXPECT_NE(a.x, c.x);
+}
+
+TEST(MakePair, EdgeValuesDoNotCrash) {
+  const auto zero = make_pair_with_scc(0, 128, 256, 1.0);
+  EXPECT_EQ(zero.x.count_ones(), 0u);
+  const auto full = make_pair_with_scc(256, 128, 256, -1.0);
+  EXPECT_EQ(full.x.count_ones(), 256u);
+  EXPECT_EQ(full.y.count_ones(), 128u);
+}
+
+TEST(MakeStream, ExactOnesCount) {
+  for (std::uint64_t ones : {0u, 1u, 100u, 255u, 256u}) {
+    EXPECT_EQ(make_stream(ones, 256).count_ones(), ones);
+  }
+}
+
+TEST(MakeStream, SpreadAcrossStream) {
+  // A seeded permutation should not cluster all ones in one half.
+  const Bitstream s = make_stream(128, 256);
+  std::size_t first_half = 0;
+  for (std::size_t i = 0; i < 128; ++i) first_half += s.get(i);
+  EXPECT_GT(first_half, 40u);
+  EXPECT_LT(first_half, 88u);
+}
+
+TEST(ErrorStats, EmptyIsZero) {
+  ErrorStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.mean_abs(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.rms(), 0.0);
+}
+
+TEST(ErrorStats, AccumulatesMoments) {
+  ErrorStats stats;
+  stats.add(1.0);
+  stats.add(-1.0);
+  stats.add(3.0);
+  stats.add(-3.0);
+  EXPECT_EQ(stats.count(), 4u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.mean_abs(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.rms(), std::sqrt(5.0));
+  EXPECT_DOUBLE_EQ(stats.min(), -3.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 3.0);
+}
+
+TEST(ErrorStats, SingleSampleMinMax) {
+  ErrorStats stats;
+  stats.add(-0.5);
+  EXPECT_DOUBLE_EQ(stats.min(), -0.5);
+  EXPECT_DOUBLE_EQ(stats.max(), -0.5);
+}
+
+TEST(MetricsFunctions, BiasAndAbsError) {
+  const Bitstream x = Bitstream::from_string("11110000");
+  EXPECT_DOUBLE_EQ(bias(x, 0.25), 0.25);
+  EXPECT_DOUBLE_EQ(bias(x, 0.75), -0.25);
+  EXPECT_DOUBLE_EQ(abs_error(x, 0.75), 0.25);
+}
+
+}  // namespace
+}  // namespace sc

@@ -1,0 +1,41 @@
+/// \file test_util.hpp
+/// Shared helpers for the test suite: canonical stream generation from the
+/// paper's RNG configurations and small convenience assertions.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "bitstream/bitstream.hpp"
+#include "convert/sng.hpp"
+#include "rng/halton.hpp"
+#include "rng/lfsr.hpp"
+#include "rng/van_der_corput.hpp"
+
+namespace sc::test {
+
+inline constexpr unsigned kWidth = 8;       // natural length 256
+inline constexpr std::size_t kN = 256;      // paper's stream length
+
+/// Stream of level x in [0, 256] from a fresh base-2 VDC sequence.
+inline Bitstream vdc_stream(std::uint32_t level, std::size_t n = kN) {
+  convert::Sng sng(std::make_unique<rng::VanDerCorput>(kWidth));
+  return sng.generate(level, n);
+}
+
+/// Stream of level y in [0, 256] from a fresh base-3 Halton sequence
+/// (the paper's second uncorrelated source).
+inline Bitstream halton3_stream(std::uint32_t level, std::size_t n = kN) {
+  convert::Sng sng(std::make_unique<rng::Halton>(kWidth, 3));
+  return sng.generate(level, n);
+}
+
+/// Stream of level x from a fresh LFSR with the given seed.
+inline Bitstream lfsr_stream(std::uint32_t level, std::uint32_t seed = 1,
+                             std::size_t n = kN) {
+  convert::Sng sng(std::make_unique<rng::Lfsr>(kWidth, seed));
+  return sng.generate(level, n);
+}
+
+}  // namespace sc::test
