@@ -1,0 +1,288 @@
+/// \file bench_engine_throughput.cpp
+/// Throughput of the batched streaming execution engine.
+///
+/// Three workloads, each swept over worker-thread counts:
+///   1. chunked-stream: a 2^24-bit maximally correlated pair generated,
+///      decorrelated, and reduced chunk-at-a-time (never materialized) —
+///      reports Mbit/s and the peak engine-side buffer.
+///   2. graph-batch: independent seeded executions of the planner's
+///      product-sum graph fanned through BatchRunner — reports jobs/s and
+///      verifies bit-identical results against the single-thread run.
+///   3. tiled-pipeline: the §IV image accelerator with tiles fanned across
+///      the pool — reports tiles/s.
+///
+/// Usage: bench_engine_throughput [--json PATH] [--threads 1,2,4,8]
+///        [--stream-bits LOG2] [--jobs N]
+/// With --json the results are written as a machine-readable baseline
+/// (BENCH_engine.json in this repo tracks the perf trajectory across PRs).
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/decorrelator.hpp"
+#include "engine/batch.hpp"
+#include "engine/chunked_stream.hpp"
+#include "engine/session.hpp"
+#include "engine/thread_pool.hpp"
+#include "graph/dataflow.hpp"
+#include "graph/executor.hpp"
+#include "graph/planner.hpp"
+#include "img/image.hpp"
+#include "img/sc_pipeline.hpp"
+#include "rng/lfsr.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct StreamResult {
+  std::size_t bits = 0;
+  std::size_t peak_buffer_bits = 0;
+  double seconds = 0.0;
+  double scc = 0.0;
+  double mbit_per_s() const { return bits / seconds / 1e6; }
+};
+
+/// Workload 1: one 2^24-bit pair through the chunked decorrelator.
+StreamResult run_stream_workload(std::size_t stream_bits,
+                                 std::size_t chunk_bits) {
+  using namespace sc;
+  StreamResult r;
+  engine::SngChunkSource sx(std::make_unique<rng::Lfsr>(16, 0xACE1), 24000,
+                            stream_bits);
+  engine::SngChunkSource sy(std::make_unique<rng::Lfsr>(16, 0xACE1), 24000,
+                            stream_bits);
+  core::Decorrelator dec(16, std::make_unique<rng::Lfsr>(16, 0xBEEF),
+                         std::make_unique<rng::Lfsr>(16, 0xCAFE, 5));
+  engine::PairStatsSink sink;
+
+  const auto start = Clock::now();
+  const engine::ChunkedRunStats stats =
+      engine::run_chunked_pair(sx, sy, &dec, sink, chunk_bits);
+  r.seconds = seconds_since(start);
+  r.bits = stats.bits;
+  r.peak_buffer_bits = stats.peak_buffer_bits;
+  r.scc = sink.scc();
+  return r;
+}
+
+sc::graph::DataflowGraph bench_graph() {
+  using namespace sc::graph;
+  DataflowGraph g;
+  const NodeId a = g.add_input("a", 0.6, 0);
+  const NodeId b = g.add_input("b", 0.5, 0);
+  const NodeId c = g.add_input("c", 0.3, 1);
+  const NodeId d = g.add_input("d", 0.8, 1);
+  const NodeId ab = g.add_op(OpKind::kMultiply, a, b);
+  const NodeId cd = g.add_op(OpKind::kMultiply, c, d);
+  g.mark_output(g.add_op(OpKind::kScaledAdd, ab, cd));
+  return g;
+}
+
+struct BatchResult {
+  unsigned threads = 0;
+  std::size_t jobs = 0;
+  double seconds = 0.0;
+  bool identical_to_baseline = true;
+  double jobs_per_s() const { return jobs / seconds; }
+};
+
+/// Workload 2: seeded graph executions, checked bit-identical across
+/// thread counts.
+BatchResult run_graph_batch(unsigned threads, std::size_t jobs,
+                            std::vector<sc::graph::ExecutionResult>* baseline) {
+  using namespace sc;
+  const graph::DataflowGraph g = bench_graph();
+  const graph::Plan plan =
+      graph::plan_insertions(g, graph::Strategy::kManipulation);
+
+  engine::Session session({threads, engine::kDefaultChunkBits, 42});
+  graph::ExecConfig base;
+  base.stream_length = 4096;
+  const auto configs = graph::seeded_sweep(base, jobs, session);
+
+  const auto start = Clock::now();
+  auto results = graph::execute_batch(g, plan, configs, session);
+  BatchResult r;
+  r.seconds = seconds_since(start);
+  r.threads = session.threads();
+  r.jobs = jobs;
+
+  if (baseline->empty()) {
+    *baseline = std::move(results);
+  } else {
+    for (std::size_t j = 0; j < results.size(); ++j) {
+      if (results[j].streams != (*baseline)[j].streams) {
+        r.identical_to_baseline = false;
+        break;
+      }
+    }
+  }
+  return r;
+}
+
+struct TileResult {
+  unsigned threads = 0;
+  std::size_t tiles = 0;
+  double seconds = 0.0;
+  double error = 0.0;
+  double tiles_per_s() const { return tiles / seconds; }
+};
+
+/// Workload 3: the §IV accelerator with tiles fanned across the pool.
+TileResult run_tiled_pipeline(unsigned threads, const sc::img::Image& input) {
+  using namespace sc;
+  engine::Session session({threads});
+  img::PipelineConfig config;
+  config.tile = 10;
+
+  const auto start = Clock::now();
+  const img::PipelineResult result = img::run_pipeline_tiled(
+      input, img::Variant::kSynchronizer, config, session);
+  TileResult r;
+  r.seconds = seconds_since(start);
+  r.threads = session.threads();
+  r.tiles = result.cost.tiles;
+  r.error = result.error;
+  return r;
+}
+
+std::vector<unsigned> parse_threads(const char* arg) {
+  std::vector<unsigned> out;
+  const std::string s(arg);
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    out.push_back(static_cast<unsigned>(std::strtoul(s.c_str() + pos, nullptr, 10)));
+    const std::size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::vector<unsigned> thread_counts = {1, 2, 4, 8};
+  unsigned log2_bits = 24;
+  std::size_t jobs = 256;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      thread_counts = parse_threads(argv[++i]);
+    } else if (std::strcmp(argv[i], "--stream-bits") == 0 && i + 1 < argc) {
+      log2_bits = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--json PATH] [--threads 1,2,4] "
+                   "[--stream-bits LOG2] [--jobs N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const unsigned hw = sc::engine::ThreadPool::resolve_threads(0);
+  std::printf("engine throughput bench (hardware threads: %u)\n\n", hw);
+
+  // --- workload 1: chunked long-stream decorrelation -----------------------
+  const std::size_t stream_bits = std::size_t{1} << log2_bits;
+  const StreamResult stream =
+      run_stream_workload(stream_bits, sc::engine::kDefaultChunkBits);
+  std::printf("chunked decorrelator: 2^%u bits in %.3f s = %.2f Mbit/s\n",
+              log2_bits, stream.seconds, stream.mbit_per_s());
+  std::printf("  peak engine buffer: %zu bits (chunk budget %zu x 2), "
+              "output SCC %.4f\n\n",
+              stream.peak_buffer_bits, sc::engine::kDefaultChunkBits,
+              stream.scc);
+
+  // --- workload 2: graph execution batch -----------------------------------
+  std::vector<sc::graph::ExecutionResult> baseline;
+  std::vector<BatchResult> batches;
+  std::printf("graph batch (%zu jobs, N=4096):\n", jobs);
+  std::printf("  %-8s %-10s %-12s %-10s %s\n", "threads", "seconds", "jobs/s",
+              "speedup", "identical");
+  double batch_base_rate = 0.0;
+  for (const unsigned t : thread_counts) {
+    const BatchResult r = run_graph_batch(t, jobs, &baseline);
+    if (batch_base_rate == 0.0) batch_base_rate = r.jobs_per_s();
+    batches.push_back(r);
+    const double speedup =
+        batch_base_rate > 0.0 ? r.jobs_per_s() / batch_base_rate : 1.0;
+    std::printf("  %-8u %-10.3f %-12.1f %-10.2f %s\n", r.threads, r.seconds,
+                r.jobs_per_s(), speedup,
+                r.identical_to_baseline ? "yes" : "NO (BUG)");
+  }
+  std::printf("\n");
+
+  // --- workload 3: tiled image pipeline -------------------------------------
+  const sc::img::Image scene = sc::img::Image::synthetic_scene(40, 40, 7);
+  std::vector<TileResult> tile_results;
+  std::printf("tiled pipeline (40x40 scene, synchronizer variant):\n");
+  std::printf("  %-8s %-10s %-12s %s\n", "threads", "seconds", "tiles/s",
+              "mean abs err");
+  for (const unsigned t : thread_counts) {
+    const TileResult r = run_tiled_pipeline(t, scene);
+    tile_results.push_back(r);
+    std::printf("  %-8u %-10.3f %-12.1f %.4f\n", r.threads, r.seconds,
+                r.tiles_per_s(), r.error);
+  }
+
+  bool all_identical = true;
+  for (const BatchResult& r : batches) {
+    all_identical = all_identical && r.identical_to_baseline;
+  }
+  if (!all_identical) {
+    std::fprintf(stderr, "FAIL: batch results not thread-count invariant\n");
+    return 1;
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n"
+        << "  \"hardware_threads\": " << hw << ",\n"
+        << "  \"chunked_stream\": {\n"
+        << "    \"bits\": " << stream.bits << ",\n"
+        << "    \"chunk_bits\": " << sc::engine::kDefaultChunkBits << ",\n"
+        << "    \"peak_buffer_bits\": " << stream.peak_buffer_bits << ",\n"
+        << "    \"seconds\": " << stream.seconds << ",\n"
+        << "    \"mbit_per_s\": " << stream.mbit_per_s() << ",\n"
+        << "    \"output_scc\": " << stream.scc << "\n"
+        << "  },\n"
+        << "  \"graph_batch\": {\n    \"jobs\": " << jobs
+        << ",\n    \"stream_length\": 4096,\n    \"per_thread\": [\n";
+    for (std::size_t i = 0; i < batches.size(); ++i) {
+      const BatchResult& r = batches[i];
+      out << "      {\"threads\": " << r.threads
+          << ", \"seconds\": " << r.seconds
+          << ", \"jobs_per_s\": " << r.jobs_per_s()
+          << ", \"identical\": " << (r.identical_to_baseline ? "true" : "false")
+          << "}" << (i + 1 < batches.size() ? "," : "") << "\n";
+    }
+    out << "    ]\n  },\n  \"tiled_pipeline\": {\n    \"per_thread\": [\n";
+    for (std::size_t i = 0; i < tile_results.size(); ++i) {
+      const TileResult& r = tile_results[i];
+      out << "      {\"threads\": " << r.threads
+          << ", \"seconds\": " << r.seconds
+          << ", \"tiles_per_s\": " << r.tiles_per_s() << "}"
+          << (i + 1 < tile_results.size() ? "," : "") << "\n";
+    }
+    out << "    ]\n  }\n}\n";
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

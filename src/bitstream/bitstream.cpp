@@ -1,6 +1,6 @@
 #include "bitstream/bitstream.hpp"
 
-#include <bit>
+#include "common/bitops.hpp"
 #include <cassert>
 
 namespace sc {
@@ -40,6 +40,11 @@ void Bitstream::push_back(bool value) {
 
 void Bitstream::reserve(std::size_t length) { words_.reserve(words_for(length)); }
 
+void Bitstream::assign_zero(std::size_t length) {
+  words_.assign(words_for(length), 0);
+  size_ = length;
+}
+
 void Bitstream::clear() noexcept {
   words_.clear();
   size_ = 0;
@@ -47,7 +52,7 @@ void Bitstream::clear() noexcept {
 
 std::size_t Bitstream::count_ones() const noexcept {
   std::size_t ones = 0;
-  for (Word w : words_) ones += static_cast<std::size_t>(std::popcount(w));
+  for (Word w : words_) ones += static_cast<std::size_t>(sc::popcount64(w));
   return ones;
 }
 

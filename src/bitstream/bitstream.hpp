@@ -72,6 +72,11 @@ class Bitstream {
   /// Pre-sizes the underlying storage for `length` bits.
   void reserve(std::size_t length);
 
+  /// Resizes to `length` bits, all cleared.  Reuses existing capacity, so
+  /// repeated calls (e.g. per-chunk buffers in the streaming engine) do
+  /// not reallocate.
+  void assign_zero(std::size_t length);
+
   /// Removes all bits.
   void clear() noexcept;
 
@@ -93,7 +98,12 @@ class Bitstream {
   /// Number of storage words.
   std::size_t word_count() const noexcept { return words_.size(); }
 
-  bool operator==(const Bitstream& other) const = default;
+  bool operator==(const Bitstream& other) const noexcept {
+    return size_ == other.size_ && words_ == other.words_;
+  }
+  bool operator!=(const Bitstream& other) const noexcept {
+    return !(*this == other);
+  }
 
   /// Word-parallel combinational gates.  Operand sizes must match.
   friend Bitstream operator&(const Bitstream& x, const Bitstream& y);

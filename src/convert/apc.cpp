@@ -4,7 +4,7 @@
 
 namespace sc::convert {
 
-void Apc::step(std::span<const bool> bits) {
+void Apc::step(sc::span<const bool> bits) {
   assert(bits.size() == inputs_);
   for (bool b : bits) sum_ += b ? 1u : 0u;
   ++cycles_;
@@ -16,7 +16,7 @@ double Apc::mean_value() const {
          static_cast<double>(inputs_ * cycles_);
 }
 
-double apc_scaled_sum(std::span<const Bitstream> streams) {
+double apc_scaled_sum(sc::span<const Bitstream> streams) {
   if (streams.empty()) return 0.0;
   const std::size_t n = streams.front().size();
   std::uint64_t total = 0;

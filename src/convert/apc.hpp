@@ -9,7 +9,7 @@
 #pragma once
 
 #include <cstdint>
-#include <span>
+#include "common/span.hpp"
 #include <vector>
 
 #include "bitstream/bitstream.hpp"
@@ -22,7 +22,7 @@ class Apc {
   explicit Apc(std::size_t inputs) : inputs_(inputs) {}
 
   /// Adds one cycle's worth of input bits.  bits.size() must equal inputs().
-  void step(std::span<const bool> bits);
+  void step(sc::span<const bool> bits);
 
   std::size_t inputs() const { return inputs_; }
   std::uint64_t sum() const { return sum_; }
@@ -47,6 +47,6 @@ class Apc {
 /// Whole-stream APC: exact sum of all 1s across the input streams.
 /// All streams must share one length.  Returns sum / (k * N), the exact
 /// scaled sum the MUX adder approximates.
-double apc_scaled_sum(std::span<const Bitstream> streams);
+double apc_scaled_sum(sc::span<const Bitstream> streams);
 
 }  // namespace sc::convert

@@ -17,7 +17,7 @@
 #pragma once
 
 #include <cstdint>
-#include <span>
+#include "common/span.hpp"
 #include <vector>
 
 #include "rng/random_source.hpp"
@@ -42,7 +42,7 @@ class WeightedSampler {
 
   void reset() { source_->reset(); }
 
-  std::span<const std::uint32_t> weights() const { return weights_; }
+  sc::span<const std::uint32_t> weights() const { return weights_; }
   std::uint32_t total_weight() const { return total_; }
 
  private:

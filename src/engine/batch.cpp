@@ -1,0 +1,46 @@
+#include "engine/batch.hpp"
+
+#include <chrono>
+
+namespace sc::engine {
+
+std::uint64_t job_seed(std::uint64_t base_seed, std::size_t job_index) {
+  // splitmix64: advance by the index, then finalize.
+  std::uint64_t z = base_seed + 0x9e3779b97f4a7c15ULL *
+                                    (static_cast<std::uint64_t>(job_index) + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint32_t job_seed32(std::uint64_t base_seed, std::size_t job_index) {
+  const std::uint64_t mixed = job_seed(base_seed, job_index);
+  // Fold and force nonzero: a zero seed would park an LFSR in its
+  // absorbing state.
+  const auto folded =
+      static_cast<std::uint32_t>(mixed ^ (mixed >> 32));
+  return folded == 0 ? 0x5eedu : folded;
+}
+
+std::uint32_t strided_seed32(std::uint64_t base_seed, std::size_t job_index) {
+  const auto base = static_cast<std::uint32_t>(job_seed(base_seed, 0));
+  // 0x9e3779b1 is odd, hence invertible mod 2^w for every w: consecutive
+  // indices cover all residues of a width-w register before repeating.
+  return base + static_cast<std::uint32_t>(job_index) * 0x9e3779b1u;
+}
+
+void BatchRunner::run_indexed(std::size_t count,
+                              const std::function<void(std::size_t)>& body) {
+  const auto start = std::chrono::steady_clock::now();
+  parallel_for(*pool_, 0, count, body);
+  const auto stop = std::chrono::steady_clock::now();
+
+  BatchStats stats;
+  stats.jobs = count;
+  stats.threads = pool_->size();
+  stats.seconds = std::chrono::duration<double>(stop - start).count();
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  last_stats_ = stats;
+}
+
+}  // namespace sc::engine

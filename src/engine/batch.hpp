@@ -1,0 +1,102 @@
+/// \file batch.hpp
+/// Deterministic fan-out of independent jobs across the thread pool.
+///
+/// A *batch* is a vector of jobs that are pure functions of their index:
+/// job i derives everything random it needs from `job_seed(base, i)`, so
+/// the batch result is a function of (base seed, job count) alone and is
+/// bit-identical for every thread count.  This is the engine's workhorse
+/// for op-accuracy sweeps, per-seed graph executions, and image tiles.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "engine/thread_pool.hpp"
+
+namespace sc::engine {
+
+/// Mixes a base seed and a job index into an independent 64-bit seed
+/// (splitmix64 finalizer: consecutive indices land far apart, so per-job
+/// LFSRs / generators start decorrelated).
+std::uint64_t job_seed(std::uint64_t base_seed, std::size_t job_index);
+
+/// job_seed truncated to the nonzero 32-bit range the library's LFSR seeds
+/// use (an all-zero LFSR state is absorbing).
+std::uint32_t job_seed32(std::uint64_t base_seed, std::size_t job_index);
+
+/// Per-job 32-bit seed for width-masked generators.  The library's LFSRs
+/// keep only the low `width` bits of their seed (rng::Lfsr masks, then
+/// remaps 0 to 1), so hashed seeds like job_seed32 birthday-collide in the
+/// low 8 bits after a few dozen jobs — silently running duplicate RNG
+/// schedules.  This variant walks an odd stride from a hashed base, which
+/// is a unit mod every power of two: any 2^w consecutive indices yield
+/// 2^w *distinct* residues mod 2^w, the strongest decorrelation a
+/// width-w generator can express.  Use it whenever the consumer is an
+/// LFSR-style seed; use job_seed/job_seed32 for full-width consumers.
+///
+/// Residual limit (pigeonhole): a width-w LFSR has only 2^w - 1 nonzero
+/// states, and rng::Lfsr remaps a masked-zero seed to 1 — so in each
+/// window of 2^w consecutive jobs, the one job whose masked seed is 0
+/// shares that single generator's schedule with the residue-1 job.
+/// Consumers that derive several generators with distinct offsets (the
+/// executor, the pipeline tile engines) only ever alias one
+/// sub-generator per window this way, never a whole job.
+std::uint32_t strided_seed32(std::uint64_t base_seed, std::size_t job_index);
+
+/// Wall-clock accounting of one batch.
+struct BatchStats {
+  std::size_t jobs = 0;
+  unsigned threads = 0;
+  double seconds = 0.0;
+  double jobs_per_second() const {
+    return seconds > 0.0 ? static_cast<double>(jobs) / seconds : 0.0;
+  }
+};
+
+/// Fans jobs across a pool, preserving result order by index.
+class BatchRunner {
+ public:
+  explicit BatchRunner(ThreadPool& pool) : pool_(&pool) {}
+
+  /// Runs fn(i) for i in [0, count) and returns the results ordered by
+  /// index.  R must be default-constructible (results are written into
+  /// preallocated slots).  Rethrows the first job exception.
+  template <typename R>
+  std::vector<R> map(std::size_t count,
+                     const std::function<R(std::size_t)>& fn) {
+    static_assert(!std::is_same_v<R, bool>,
+                  "std::vector<bool> packs bits: concurrent writes to "
+                  "distinct indices race; map to char/int instead");
+    std::vector<R> results(count);
+    run_indexed(count,
+                [&results, &fn](std::size_t i) { results[i] = fn(i); });
+    return results;
+  }
+
+  /// Index-only form for jobs that write their own output slots.
+  void for_each(std::size_t count, const std::function<void(std::size_t)>& fn) {
+    run_indexed(count, fn);
+  }
+
+  ThreadPool& pool() noexcept { return *pool_; }
+
+  /// Stats of the most recent map()/for_each() call (thread-safe snapshot).
+  BatchStats last_stats() const {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    return last_stats_;
+  }
+
+ private:
+  void run_indexed(std::size_t count,
+                   const std::function<void(std::size_t)>& body);
+
+  ThreadPool* pool_;
+  mutable std::mutex stats_mutex_;
+  BatchStats last_stats_;
+};
+
+}  // namespace sc::engine

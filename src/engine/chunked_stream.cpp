@@ -1,0 +1,164 @@
+#include "engine/chunked_stream.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace sc::engine {
+
+// --------------------------------------------------------------- sources
+
+SngChunkSource::SngChunkSource(rng::RandomSourcePtr source,
+                               std::uint32_t level, std::size_t length)
+    : source_(std::move(source)), level_(level), length_(length) {
+  assert(source_ != nullptr);
+}
+
+std::size_t SngChunkSource::next_chunk(Bitstream& chunk,
+                                       std::size_t max_bits) {
+  const std::size_t take = std::min(max_bits, length_ - produced_);
+  chunk.assign_zero(take);  // reuses the buffer's capacity across chunks
+  for (std::size_t i = 0; i < take; ++i) {
+    if (source_->next() < level_) chunk.set(i, true);
+  }
+  produced_ += take;
+  return take;
+}
+
+void SngChunkSource::reset() {
+  source_->reset();
+  produced_ = 0;
+}
+
+std::size_t BitstreamChunkSource::next_chunk(Bitstream& chunk,
+                                             std::size_t max_bits) {
+  const std::size_t take = std::min(max_bits, stream_->size() - position_);
+  chunk.assign_zero(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    if (stream_->get(position_ + i)) chunk.set(i, true);
+  }
+  position_ += take;
+  return take;
+}
+
+// ----------------------------------------------------------------- sinks
+
+void ValueSink::consume(const Bitstream& chunk) {
+  ones_ += chunk.count_ones();
+  bits_ += chunk.size();
+}
+
+double ValueSink::value() const noexcept {
+  return bits_ == 0 ? 0.0
+                    : static_cast<double>(ones_) / static_cast<double>(bits_);
+}
+
+void CollectSink::consume(const Bitstream& chunk) {
+  stream_.reserve(stream_.size() + chunk.size());
+  for (std::size_t i = 0; i < chunk.size(); ++i) {
+    stream_.push_back(chunk.get(i));
+  }
+}
+
+void PairStatsSink::consume(const Bitstream& chunk_x,
+                            const Bitstream& chunk_y) {
+  const OverlapCounts piece = overlap(chunk_x, chunk_y);
+  counts_.a += piece.a;
+  counts_.b += piece.b;
+  counts_.c += piece.c;
+  counts_.d += piece.d;
+}
+
+double PairStatsSink::value_x() const noexcept {
+  const std::uint64_t n = counts_.n();
+  return n == 0 ? 0.0
+                : static_cast<double>(counts_.a + counts_.b) /
+                      static_cast<double>(n);
+}
+
+double PairStatsSink::value_y() const noexcept {
+  const std::uint64_t n = counts_.n();
+  return n == 0 ? 0.0
+                : static_cast<double>(counts_.a + counts_.c) /
+                      static_cast<double>(n);
+}
+
+double PairStatsSink::scc() const { return sc::scc(counts_); }
+
+void CollectPairSink::consume(const Bitstream& chunk_x,
+                              const Bitstream& chunk_y) {
+  x_.reserve(x_.size() + chunk_x.size());
+  y_.reserve(y_.size() + chunk_y.size());
+  for (std::size_t i = 0; i < chunk_x.size(); ++i) x_.push_back(chunk_x.get(i));
+  for (std::size_t i = 0; i < chunk_y.size(); ++i) y_.push_back(chunk_y.get(i));
+}
+
+// --------------------------------------------------------------- drivers
+
+ChunkedRunStats run_chunked(ChunkSource& source,
+                            core::StreamTransform* transform, ChunkSink& sink,
+                            std::size_t chunk_bits) {
+  if (chunk_bits == 0) throw std::invalid_argument("chunk_bits must be > 0");
+
+  ChunkedRunStats stats;
+  if (transform != nullptr) transform->begin_stream(source.length());
+
+  Bitstream chunk;
+  while (source.next_chunk(chunk, chunk_bits) > 0) {
+    if (transform != nullptr) {
+      for (std::size_t i = 0; i < chunk.size(); ++i) {
+        chunk.set(i, transform->step(chunk.get(i)));
+      }
+    }
+    stats.bits += chunk.size();
+    ++stats.chunks;
+    stats.peak_buffer_bits = std::max(stats.peak_buffer_bits, chunk.size());
+    sink.consume(chunk);
+  }
+  return stats;
+}
+
+ChunkedRunStats run_chunked_pair(ChunkSource& source_x, ChunkSource& source_y,
+                                 core::PairTransform* transform,
+                                 PairChunkSink& sink,
+                                 std::size_t chunk_bits) {
+  if (chunk_bits == 0) throw std::invalid_argument("chunk_bits must be > 0");
+  if (source_x.length() != source_y.length()) {
+    throw std::invalid_argument("pair sources must have equal length");
+  }
+
+  ChunkedRunStats stats;
+  if (transform != nullptr) transform->begin_stream(source_x.length());
+
+  Bitstream chunk_x;
+  Bitstream chunk_y;
+  for (;;) {
+    const std::size_t nx = source_x.next_chunk(chunk_x, chunk_bits);
+    const std::size_t ny = source_y.next_chunk(chunk_y, chunk_bits);
+    if (nx != ny) {
+      // A short-reading source would shear the pair out of phase and feed
+      // unequal chunks into word-parallel sinks; fail loudly instead.
+      throw std::logic_error(
+          "ChunkSource produced a short chunk; next_chunk must return "
+          "exactly min(max_bits, remaining)");
+    }
+    if (nx == 0) break;
+    if (transform != nullptr) {
+      for (std::size_t i = 0; i < nx; ++i) {
+        const core::BitPair out =
+            transform->step(chunk_x.get(i), chunk_y.get(i));
+        chunk_x.set(i, out.x);
+        chunk_y.set(i, out.y);
+      }
+    }
+    stats.bits += nx;
+    ++stats.chunks;
+    stats.peak_buffer_bits =
+        std::max(stats.peak_buffer_bits, chunk_x.size() + chunk_y.size());
+    sink.consume(chunk_x, chunk_y);
+    (void)ny;
+  }
+  return stats;
+}
+
+}  // namespace sc::engine

@@ -1,0 +1,27 @@
+#include "engine/session.hpp"
+
+namespace sc::engine {
+
+Session::Session(SessionConfig config)
+    : config_(config), pool_(config.threads), runner_(pool_) {
+  if (config_.chunk_bits == 0) config_.chunk_bits = kDefaultChunkBits;
+}
+
+void Session::note_chunked(const ChunkedRunStats& stats) {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.chunked_runs;
+  stats_.stream_bits += stats.bits;
+}
+
+void Session::note_batch(std::size_t jobs) {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.batches;
+  stats_.jobs += jobs;
+}
+
+SessionStats Session::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace sc::engine

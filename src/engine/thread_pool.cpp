@@ -1,0 +1,93 @@
+#include "engine/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace sc::engine {
+
+unsigned ThreadPool::resolve_threads(unsigned requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1u : hw;
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  const unsigned count = resolve_threads(threads);
+  workers_.reserve(count);
+  for (unsigned i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::size_t ThreadPool::tasks_executed() const noexcept {
+  return executed_.load(std::memory_order_relaxed);
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      // Drain the queue even when stopping so destruction never drops work
+      // whose futures are still awaited.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    executed_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain) {
+  if (begin >= end) return;
+  grain = std::max<std::size_t>(grain, 1);
+  const std::size_t count = end - begin;
+  // Aim for a few blocks per worker so a slow block does not serialize the
+  // tail, without flooding the queue with single-index tasks.
+  const std::size_t target_blocks =
+      std::max<std::size_t>(1, std::min(count, std::size_t{4} * pool.size()));
+  const std::size_t block = std::max(grain, (count + target_blocks - 1) / target_blocks);
+
+  std::vector<std::future<void>> futures;
+  futures.reserve((count + block - 1) / block);
+  for (std::size_t lo = begin; lo < end; lo += block) {
+    const std::size_t hi = std::min(end, lo + block);
+    futures.push_back(pool.submit([lo, hi, &body] {
+      for (std::size_t i = lo; i < hi; ++i) body(i);
+    }));
+  }
+  // Wait for every block before rethrowing: bailing on the first error
+  // would unwind the caller's stack while queued blocks still hold
+  // references into it.
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace sc::engine

@@ -1,0 +1,83 @@
+/// \file thread_pool.hpp
+/// Fixed-size worker pool with a task queue and futures.
+///
+/// The engine's unit of parallelism is the *job*: an independent,
+/// deterministic function of its inputs (a graph execution, an image tile,
+/// a sweep point).  Jobs never share mutable state, so the pool needs no
+/// work stealing or priorities — a single locked queue drained by N workers
+/// saturates the embarrassingly parallel workloads this library produces.
+///
+/// Determinism contract: the pool schedules jobs in an arbitrary order, so
+/// callers that need reproducible output must make every job a pure
+/// function of its index (see BatchRunner::map, which writes each result
+/// into a preallocated slot).  Under that contract results are bit-identical
+/// for every pool size, including 1.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace sc::engine {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means one per hardware thread.
+  explicit ThreadPool(unsigned threads = 0);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
+
+  /// Total tasks completed since construction.
+  std::size_t tasks_executed() const noexcept;
+
+  /// Enqueues a callable; the returned future delivers its result (or
+  /// rethrows its exception).
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    enqueue([task] { (*task)(); });
+    return result;
+  }
+
+  /// Resolved worker count for a requested thread count (0 = hardware).
+  static unsigned resolve_threads(unsigned requested);
+
+ private:
+  void enqueue(std::function<void()> task);
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::atomic<std::size_t> executed_{0};
+};
+
+/// Runs body(i) for every i in [begin, end) across the pool and waits for
+/// completion.  Indices are grouped into contiguous blocks (at least `grain`
+/// indices per task) to amortize queue traffic.  Rethrows the first task
+/// exception.
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain = 1);
+
+}  // namespace sc::engine

@@ -27,7 +27,7 @@ std::vector<double> bernstein_coefficients(
   return coefficients;
 }
 
-double bernstein_value(std::span<const double> coefficients, double x) {
+double bernstein_value(sc::span<const double> coefficients, double x) {
   assert(!coefficients.empty());
   const std::size_t n = coefficients.size() - 1;
   // de Casteljau evaluation: numerically stable for any degree.
@@ -40,8 +40,8 @@ double bernstein_value(std::span<const double> coefficients, double x) {
   return beta[0];
 }
 
-Bitstream resc_evaluate(std::span<const Bitstream> copies,
-                        std::span<const Bitstream> coefficient_streams) {
+Bitstream resc_evaluate(sc::span<const Bitstream> copies,
+                        sc::span<const Bitstream> coefficient_streams) {
   assert(!copies.empty());
   assert(coefficient_streams.size() == copies.size() + 1);
   const std::size_t n = copies.front().size();

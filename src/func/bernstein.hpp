@@ -20,7 +20,7 @@
 
 #include <cstddef>
 #include <functional>
-#include <span>
+#include "common/span.hpp"
 #include <vector>
 
 #include "bitstream/bitstream.hpp"
@@ -34,13 +34,13 @@ std::vector<double> bernstein_coefficients(
     const std::function<double(double)>& f, std::size_t degree);
 
 /// Reference evaluation of sum_i b_i B_{i,n}(x) in floating point.
-double bernstein_value(std::span<const double> coefficients, double x);
+double bernstein_value(sc::span<const double> coefficients, double x);
 
 /// Core ReSC evaluation: per cycle, count the 1s among the x-copies and
 /// emit that coefficient stream's bit.  copies.size() = n,
 /// coefficient_streams.size() = n + 1, all streams one length.
-Bitstream resc_evaluate(std::span<const Bitstream> copies,
-                        std::span<const Bitstream> coefficient_streams);
+Bitstream resc_evaluate(sc::span<const Bitstream> copies,
+                        sc::span<const Bitstream> coefficient_streams);
 
 /// How the n copies of x are produced (see file comment).
 enum class CopyStrategy {

@@ -7,6 +7,7 @@
 #include "bitstream/encoding.hpp"
 #include "convert/regenerator.hpp"
 #include "core/decorrelator.hpp"
+#include "engine/session.hpp"
 #include "core/desynchronizer.hpp"
 #include "core/pair_transform.hpp"
 #include "core/synchronizer.hpp"
@@ -177,6 +178,28 @@ ExecutionResult execute(const DataflowGraph& graph, const Plan& plan,
           ? 0.0
           : total / static_cast<double>(result.output_nodes.size());
   return result;
+}
+
+std::vector<ExecConfig> seeded_sweep(const ExecConfig& base, std::size_t count,
+                                     const engine::Session& session) {
+  std::vector<ExecConfig> configs(count, base);
+  for (std::size_t i = 0; i < count; ++i) {
+    // Strided, not hashed: the executor's LFSRs keep only config.width
+    // seed bits, and the sweep must stay collision-free in that range.
+    configs[i].seed =
+        engine::strided_seed32(session.config().base_seed, i);
+  }
+  return configs;
+}
+
+std::vector<ExecutionResult> execute_batch(const DataflowGraph& graph,
+                                           const Plan& plan,
+                                           const std::vector<ExecConfig>& configs,
+                                           engine::Session& session) {
+  return session.map<ExecutionResult>(
+      configs.size(), [&graph, &plan, &configs](std::size_t i) {
+        return execute(graph, plan, configs[i]);
+      });
 }
 
 }  // namespace sc::graph

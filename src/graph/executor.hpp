@@ -17,6 +17,10 @@
 #include "graph/dataflow.hpp"
 #include "graph/planner.hpp"
 
+namespace sc::engine {
+class Session;
+}
+
 namespace sc::graph {
 
 /// Execution parameters.
@@ -43,5 +47,19 @@ struct ExecutionResult {
 /// Runs the graph with the plan's fixes applied.
 ExecutionResult execute(const DataflowGraph& graph, const Plan& plan,
                         const ExecConfig& config = {});
+
+/// `count` copies of `base` whose seeds are the session's deterministic
+/// per-job seeds — the standard way to set up an accuracy sweep batch.
+std::vector<ExecConfig> seeded_sweep(const ExecConfig& base, std::size_t count,
+                                     const engine::Session& session);
+
+/// Executes the graph once per config, fanned across the session's pool.
+/// Each job is a pure function of its config, so results are ordered by
+/// config index and bit-identical for every thread count (including a
+/// sequential loop over execute()).
+std::vector<ExecutionResult> execute_batch(const DataflowGraph& graph,
+                                           const Plan& plan,
+                                           const std::vector<ExecConfig>& configs,
+                                           engine::Session& session);
 
 }  // namespace sc::graph

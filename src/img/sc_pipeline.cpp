@@ -10,6 +10,8 @@
 #include "convert/regenerator.hpp"
 #include "core/pair_transform.hpp"
 #include "core/synchronizer.hpp"
+#include "engine/batch.hpp"
+#include "engine/session.hpp"
 #include "hw/designs.hpp"
 #include "img/kernels.hpp"
 #include "rng/lfsr.hpp"
@@ -50,6 +52,148 @@ struct Generators {
     }
   }
 };
+
+/// Simulates one output tile, writing its pixels into `output`.  Streams
+/// are produced by `gen`, whose LFSRs advance as a hardware tile engine's
+/// would; the caller decides whether generators free-run across tiles
+/// (serial engine) or are freshly seeded per tile (tile-engine array).
+void process_tile(const Image& input, Variant variant,
+                  const PipelineConfig& config, std::size_t tx, std::size_t ty,
+                  Generators& gen, Image& output) {
+  const std::size_t n = config.stream_length;
+  const std::size_t t = config.tile;
+  const std::uint32_t natural =
+      static_cast<std::uint32_t>(1u << config.sng_width);
+
+  const std::ptrdiff_t c0 = static_cast<std::ptrdiff_t>(tx * t);
+  const std::ptrdiff_t r0 = static_cast<std::ptrdiff_t>(ty * t);
+
+  // --- input SN generation: (t+3)^2 streams from the shared bank ----
+  // Bank traces are generated once per tile; every comparator on the
+  // same bank sees the same per-cycle random value.
+  const std::size_t in_side = t + 3;
+  std::vector<std::vector<std::uint32_t>> bank_trace(gen.banks.size());
+  for (std::size_t b = 0; b < gen.banks.size(); ++b) {
+    bank_trace[b].resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      bank_trace[b][i] = gen.banks[b].next();
+    }
+  }
+  std::vector<Bitstream> in_streams(in_side * in_side);
+  for (std::size_t iy = 0; iy < in_side; ++iy) {
+    for (std::size_t ix = 0; ix < in_side; ++ix) {
+      const double pixel =
+          input.at_clamped(c0 - 1 + static_cast<std::ptrdiff_t>(ix),
+                           r0 - 1 + static_cast<std::ptrdiff_t>(iy));
+      const std::uint32_t level = unipolar_level(pixel, natural);
+      const std::size_t bank = (ix + iy) % gen.banks.size();
+      Bitstream s(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (bank_trace[bank][i] < level) s.set(i, true);
+      }
+      in_streams[iy * in_side + ix] = std::move(s);
+    }
+  }
+
+  // --- Gaussian blur: shared select trace, 9-to-1 sampling ----------
+  const std::size_t gb_side = t + 1;
+  std::vector<int> gb_pick(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    gb_pick[i] = select_neighbor(gen.gb_select.next() & 15u);
+  }
+  std::vector<Bitstream> gb_streams(gb_side * gb_side);
+  for (std::size_t gy = 0; gy < gb_side; ++gy) {
+    for (std::size_t gx = 0; gx < gb_side; ++gx) {
+      Bitstream g(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        const int k = gb_pick[i];
+        const std::size_t nx = gx + static_cast<std::size_t>(k % 3);
+        const std::size_t ny = gy + static_cast<std::size_t>(k / 3);
+        // Window of GB output (gx,gy) covers input pixels
+        // (gx .. gx+2, gy .. gy+2) in halo coordinates.
+        if (in_streams[ny * in_side + nx].get(i)) g.set(i, true);
+      }
+      gb_streams[gy * gb_side + gx] = std::move(g);
+    }
+  }
+
+  // --- variant: correlation manipulation between GB and ED ----------
+  if (variant == Variant::kRegeneration) {
+    gb_streams = convert::regenerate_bus_correlated(gb_streams, gen.regen);
+  }
+
+  // --- edge detection ------------------------------------------------
+  Bitstream ed_sel(n);
+  {
+    const std::uint32_t half = natural / 2;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (gen.ed_select.next() < half) ed_sel.set(i, true);
+    }
+  }
+  for (std::size_t y = 0; y < t; ++y) {
+    for (std::size_t x = 0; x < t; ++x) {
+      const std::size_t ox = tx * t + x;
+      const std::size_t oy = ty * t + y;
+      if (ox >= input.width() || oy >= input.height()) continue;
+
+      const Bitstream& a = gb_streams[y * gb_side + x];
+      const Bitstream& d = gb_streams[(y + 1) * gb_side + (x + 1)];
+      const Bitstream& b = gb_streams[y * gb_side + (x + 1)];
+      const Bitstream& c = gb_streams[(y + 1) * gb_side + x];
+
+      Bitstream diff_ad;
+      Bitstream diff_bc;
+      if (variant == Variant::kSynchronizer) {
+        core::Synchronizer s1({config.sync_depth, false});
+        core::Synchronizer s2({config.sync_depth, false});
+        const sc::StreamPair ad = core::apply(s1, a, d);
+        const sc::StreamPair bc = core::apply(s2, b, c);
+        diff_ad = ad.x ^ ad.y;
+        diff_bc = bc.x ^ bc.y;
+      } else {
+        diff_ad = a ^ d;
+        diff_bc = b ^ c;
+      }
+      const Bitstream ed = Bitstream::mux(diff_ad, diff_bc, ed_sel);
+      output.at(ox, oy) = ed.value();
+    }
+  }
+}
+
+/// Hardware accounting shared by the serial and tiled paths (one tile
+/// engine processing all tiles serially, the paper's operating model).
+void account_cost(PipelineResult& result, Variant variant,
+                  const PipelineConfig& config, std::size_t tiles) {
+  const hw::Netlist base = pipeline_base_netlist(config);
+  const hw::Netlist overhead = pipeline_overhead_netlist(variant, config);
+  hw::Netlist full = base + overhead;
+  full.set_label(to_string(variant));
+
+  hw::CostConfig cost_config;
+  cost_config.clock_hz = config.clock_hz;
+  cost_config.cycles = tiles * config.stream_length;
+
+  result.cost.netlist = full;
+  result.cost.report = hw::evaluate(full, cost_config);
+  result.cost.energy_nj_frame = result.cost.report.energy_nj();
+  result.cost.tiles = tiles;
+
+  const hw::CostReport overhead_report = hw::evaluate(overhead, cost_config);
+  result.cost.overhead_power_uw = overhead_report.power_uw;
+  result.cost.overhead_energy_nj = overhead_report.energy_nj();
+  const std::size_t t = config.tile;
+  switch (variant) {
+    case Variant::kNoManipulation:
+      result.cost.manipulator_units = 0;
+      break;
+    case Variant::kRegeneration:
+      result.cost.manipulator_units = (t + 1) * (t + 1);
+      break;
+    case Variant::kSynchronizer:
+      result.cost.manipulator_units = 2 * t * t;
+      break;
+  }
+}
 
 }  // namespace
 
@@ -129,16 +273,14 @@ hw::Netlist pipeline_overhead_netlist(Variant variant,
 PipelineResult run_pipeline(const Image& input, Variant variant,
                             const PipelineConfig& config) {
   assert(!input.empty());
-  const std::size_t n = config.stream_length;
   const std::size_t t = config.tile;
-  const std::uint32_t natural =
-      static_cast<std::uint32_t>(1u << config.sng_width);
 
   PipelineResult result;
   result.variant = variant;
   result.reference = reference_pipeline(input);
   result.output = Image(input.width(), input.height());
 
+  // One tile engine with free-running LFSRs, processing tiles serially.
   Generators gen(config);
 
   const std::size_t tiles_x = (input.width() + t - 1) / t;
@@ -146,135 +288,47 @@ PipelineResult run_pipeline(const Image& input, Variant variant,
 
   for (std::size_t ty = 0; ty < tiles_y; ++ty) {
     for (std::size_t tx = 0; tx < tiles_x; ++tx) {
-      const std::ptrdiff_t c0 = static_cast<std::ptrdiff_t>(tx * t);
-      const std::ptrdiff_t r0 = static_cast<std::ptrdiff_t>(ty * t);
-
-      // --- input SN generation: (t+3)^2 streams from the shared bank ----
-      // Bank traces are generated once per tile; every comparator on the
-      // same bank sees the same per-cycle random value.
-      const std::size_t in_side = t + 3;
-      std::vector<std::vector<std::uint32_t>> bank_trace(gen.banks.size());
-      for (std::size_t b = 0; b < gen.banks.size(); ++b) {
-        bank_trace[b].resize(n);
-        for (std::size_t i = 0; i < n; ++i) {
-          bank_trace[b][i] = gen.banks[b].next();
-        }
-      }
-      std::vector<Bitstream> in_streams(in_side * in_side);
-      for (std::size_t iy = 0; iy < in_side; ++iy) {
-        for (std::size_t ix = 0; ix < in_side; ++ix) {
-          const double pixel =
-              input.at_clamped(c0 - 1 + static_cast<std::ptrdiff_t>(ix),
-                               r0 - 1 + static_cast<std::ptrdiff_t>(iy));
-          const std::uint32_t level = unipolar_level(pixel, natural);
-          const std::size_t bank = (ix + iy) % gen.banks.size();
-          Bitstream s(n);
-          for (std::size_t i = 0; i < n; ++i) {
-            if (bank_trace[bank][i] < level) s.set(i, true);
-          }
-          in_streams[iy * in_side + ix] = std::move(s);
-        }
-      }
-
-      // --- Gaussian blur: shared select trace, 9-to-1 sampling ----------
-      const std::size_t gb_side = t + 1;
-      std::vector<int> gb_pick(n);
-      for (std::size_t i = 0; i < n; ++i) {
-        gb_pick[i] = select_neighbor(gen.gb_select.next() & 15u);
-      }
-      std::vector<Bitstream> gb_streams(gb_side * gb_side);
-      for (std::size_t gy = 0; gy < gb_side; ++gy) {
-        for (std::size_t gx = 0; gx < gb_side; ++gx) {
-          Bitstream g(n);
-          for (std::size_t i = 0; i < n; ++i) {
-            const int k = gb_pick[i];
-            const std::size_t nx = gx + static_cast<std::size_t>(k % 3);
-            const std::size_t ny = gy + static_cast<std::size_t>(k / 3);
-            // Window of GB output (gx,gy) covers input pixels
-            // (gx .. gx+2, gy .. gy+2) in halo coordinates.
-            if (in_streams[ny * in_side + nx].get(i)) g.set(i, true);
-          }
-          gb_streams[gy * gb_side + gx] = std::move(g);
-        }
-      }
-
-      // --- variant: correlation manipulation between GB and ED ----------
-      if (variant == Variant::kRegeneration) {
-        gb_streams =
-            convert::regenerate_bus_correlated(gb_streams, gen.regen);
-      }
-
-      // --- edge detection ------------------------------------------------
-      Bitstream ed_sel(n);
-      {
-        const std::uint32_t half = natural / 2;
-        for (std::size_t i = 0; i < n; ++i) {
-          if (gen.ed_select.next() < half) ed_sel.set(i, true);
-        }
-      }
-      for (std::size_t y = 0; y < t; ++y) {
-        for (std::size_t x = 0; x < t; ++x) {
-          const std::size_t ox = tx * t + x;
-          const std::size_t oy = ty * t + y;
-          if (ox >= input.width() || oy >= input.height()) continue;
-
-          const Bitstream& a = gb_streams[y * gb_side + x];
-          const Bitstream& d = gb_streams[(y + 1) * gb_side + (x + 1)];
-          const Bitstream& b = gb_streams[y * gb_side + (x + 1)];
-          const Bitstream& c = gb_streams[(y + 1) * gb_side + x];
-
-          Bitstream diff_ad;
-          Bitstream diff_bc;
-          if (variant == Variant::kSynchronizer) {
-            core::Synchronizer s1({config.sync_depth, false});
-            core::Synchronizer s2({config.sync_depth, false});
-            const sc::StreamPair ad = core::apply(s1, a, d);
-            const sc::StreamPair bc = core::apply(s2, b, c);
-            diff_ad = ad.x ^ ad.y;
-            diff_bc = bc.x ^ bc.y;
-          } else {
-            diff_ad = a ^ d;
-            diff_bc = b ^ c;
-          }
-          const Bitstream ed = Bitstream::mux(diff_ad, diff_bc, ed_sel);
-          result.output.at(ox, oy) = ed.value();
-        }
-      }
+      process_tile(input, variant, config, tx, ty, gen, result.output);
     }
   }
 
   result.error = mean_abs_error(result.output, result.reference);
+  account_cost(result, variant, config, tiles_x * tiles_y);
+  return result;
+}
 
-  // --- hardware accounting ------------------------------------------------
-  const hw::Netlist base = pipeline_base_netlist(config);
-  const hw::Netlist overhead = pipeline_overhead_netlist(variant, config);
-  hw::Netlist full = base + overhead;
-  full.set_label(to_string(variant));
+PipelineResult run_pipeline_tiled(const Image& input, Variant variant,
+                                  const PipelineConfig& config,
+                                  engine::Session& session) {
+  assert(!input.empty());
+  const std::size_t t = config.tile;
 
+  PipelineResult result;
+  result.variant = variant;
+  result.reference = reference_pipeline(input);
+  result.output = Image(input.width(), input.height());
+
+  const std::size_t tiles_x = (input.width() + t - 1) / t;
+  const std::size_t tiles_y = (input.height() + t - 1) / t;
   const std::size_t tiles = tiles_x * tiles_y;
-  hw::CostConfig cost_config;
-  cost_config.clock_hz = config.clock_hz;
-  cost_config.cycles = tiles * n;  // one engine processes tiles serially
 
-  result.cost.netlist = full;
-  result.cost.report = hw::evaluate(full, cost_config);
-  result.cost.energy_nj_frame = result.cost.report.energy_nj();
-  result.cost.tiles = tiles;
+  // Each tile gets its own generators, seeded from the tile index: the
+  // hardware analog is an array of identical tile engines with per-engine
+  // seed registers.  Tiles touch disjoint output pixels, so the fan-out
+  // needs no synchronization, and the output depends only on `config` —
+  // not on the session's thread count or scheduling.
+  session.for_each(tiles, [&](std::size_t tile_index) {
+    PipelineConfig tile_config = config;
+    // Strided so tile seeds stay distinct after the generators' LFSRs
+    // mask them down to sng_width bits.
+    tile_config.seed = engine::strided_seed32(config.seed, tile_index);
+    Generators gen(tile_config);
+    process_tile(input, variant, tile_config, tile_index % tiles_x,
+                 tile_index / tiles_x, gen, result.output);
+  });
 
-  const hw::CostReport overhead_report = hw::evaluate(overhead, cost_config);
-  result.cost.overhead_power_uw = overhead_report.power_uw;
-  result.cost.overhead_energy_nj = overhead_report.energy_nj();
-  switch (variant) {
-    case Variant::kNoManipulation:
-      result.cost.manipulator_units = 0;
-      break;
-    case Variant::kRegeneration:
-      result.cost.manipulator_units = (t + 1) * (t + 1);
-      break;
-    case Variant::kSynchronizer:
-      result.cost.manipulator_units = 2 * t * t;
-      break;
-  }
+  result.error = mean_abs_error(result.output, result.reference);
+  account_cost(result, variant, config, tiles);
   return result;
 }
 

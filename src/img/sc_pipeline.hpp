@@ -34,6 +34,10 @@
 #include "hw/netlist.hpp"
 #include "img/image.hpp"
 
+namespace sc::engine {
+class Session;
+}
+
 namespace sc::img {
 
 /// Correlation-management strategy between the GB and ED kernels.
@@ -80,6 +84,18 @@ struct PipelineResult {
 /// hardware cost (paper Table IV row for the given variant).
 PipelineResult run_pipeline(const Image& input, Variant variant,
                             const PipelineConfig& config = {});
+
+/// Tile-parallel simulation: fans the image's tiles across the session's
+/// thread pool.  Unlike run_pipeline (one tile engine whose LFSRs free-run
+/// across tiles), every tile runs on its own generators seeded
+/// deterministically from (config.seed, tile index) — the analog of an
+/// array of tile engines.  The output is therefore a function of `config`
+/// alone: bit-identical for every thread count, but not bit-identical to
+/// the serial engine's free-running schedule (both are valid hardware
+/// realizations with statistically equivalent accuracy).
+PipelineResult run_pipeline_tiled(const Image& input, Variant variant,
+                                  const PipelineConfig& config,
+                                  engine::Session& session);
 
 /// Netlist of the kernels + converters common to all variants (per tile
 /// engine).

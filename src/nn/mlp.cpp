@@ -14,7 +14,7 @@ namespace sc::nn {
 namespace {
 
 /// Encodes a bipolar value from a shared per-call trace.
-Bitstream encode_bipolar(double v, std::span<const std::uint32_t> trace,
+Bitstream encode_bipolar(double v, sc::span<const std::uint32_t> trace,
                          std::uint32_t natural) {
   const std::uint32_t level = bipolar_level(v, natural);
   Bitstream out(trace.size());
@@ -32,8 +32,8 @@ std::vector<std::uint32_t> make_trace(rng::Lfsr& source, std::size_t n) {
 
 }  // namespace
 
-double sc_dot_bipolar(std::span<const Bitstream> x,
-                      std::span<const Bitstream> w) {
+double sc_dot_bipolar(sc::span<const Bitstream> x,
+                      sc::span<const Bitstream> w) {
   assert(x.size() == w.size());
   assert(!x.empty());
   // XNOR products accumulated by an APC: total ones / (k * N) is the mean
@@ -49,7 +49,7 @@ double sc_dot_bipolar(std::span<const Bitstream> x,
 }
 
 std::vector<double> forward_float(const Dense& layer,
-                                  std::span<const double> x) {
+                                  sc::span<const double> x) {
   assert(x.size() == layer.inputs());
   std::vector<double> out(layer.outputs());
   for (std::size_t j = 0; j < layer.outputs(); ++j) {
@@ -64,7 +64,7 @@ std::vector<double> forward_float(const Dense& layer,
   return out;
 }
 
-std::vector<double> forward_sc(const Dense& layer, std::span<const double> x,
+std::vector<double> forward_sc(const Dense& layer, sc::span<const double> x,
                                const MlpConfig& config) {
   assert(x.size() == layer.inputs());
   const std::size_t n = config.stream_length;
@@ -108,8 +108,8 @@ std::vector<double> forward_sc(const Dense& layer, std::span<const double> x,
   return out;
 }
 
-std::vector<double> forward_sc(std::span<const Dense> layers,
-                               std::span<const double> x,
+std::vector<double> forward_sc(sc::span<const Dense> layers,
+                               sc::span<const double> x,
                                const MlpConfig& config) {
   std::vector<double> current(x.begin(), x.end());
   MlpConfig layer_config = config;
@@ -120,8 +120,8 @@ std::vector<double> forward_sc(std::span<const Dense> layers,
   return current;
 }
 
-std::vector<double> forward_float(std::span<const Dense> layers,
-                                  std::span<const double> x) {
+std::vector<double> forward_float(sc::span<const Dense> layers,
+                                  sc::span<const double> x) {
   std::vector<double> current(x.begin(), x.end());
   for (const Dense& layer : layers) {
     current = forward_float(layer, current);

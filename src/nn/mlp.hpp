@@ -24,7 +24,7 @@
 #pragma once
 
 #include <cstdint>
-#include <span>
+#include "common/span.hpp"
 #include <vector>
 
 #include "bitstream/bitstream.hpp"
@@ -34,8 +34,8 @@ namespace sc::nn {
 /// Bipolar stochastic dot product: mean_i over XNOR(x_i, w_i), read back
 /// through an APC.  Returns the bipolar mean (1/k) sum_i w_i x_i, exact up
 /// to stream quantization when all pairs are uncorrelated.
-double sc_dot_bipolar(std::span<const Bitstream> x,
-                      std::span<const Bitstream> w);
+double sc_dot_bipolar(sc::span<const Bitstream> x,
+                      sc::span<const Bitstream> w);
 
 /// One dense layer: weights[j][i], bias[j], activation tanh(alpha * pre).
 struct Dense {
@@ -51,7 +51,7 @@ struct Dense {
 
 /// Floating-point reference forward pass of one layer.
 std::vector<double> forward_float(const Dense& layer,
-                                  std::span<const double> x);
+                                  sc::span<const double> x);
 
 /// RNG provisioning strategy for the stochastic MAC (see file comment).
 enum class RngStrategy { kTwoRngs, kSingleRng, kDecorrelated };
@@ -67,15 +67,15 @@ struct MlpConfig {
 /// Stochastic forward pass of one layer: encodes x and the weights,
 /// multiplies/accumulates stochastically, applies bias + tanh in binary.
 /// Inputs and outputs are bipolar values in [-1, 1].
-std::vector<double> forward_sc(const Dense& layer, std::span<const double> x,
+std::vector<double> forward_sc(const Dense& layer, sc::span<const double> x,
                                const MlpConfig& config = {});
 
 /// Stochastic forward pass through a stack of layers.
-std::vector<double> forward_sc(std::span<const Dense> layers,
-                               std::span<const double> x,
+std::vector<double> forward_sc(sc::span<const Dense> layers,
+                               sc::span<const double> x,
                                const MlpConfig& config = {});
-std::vector<double> forward_float(std::span<const Dense> layers,
-                                  std::span<const double> x);
+std::vector<double> forward_float(sc::span<const Dense> layers,
+                                  sc::span<const double> x);
 
 /// A tiny reference network computing XOR on bipolar inputs (+1 = true),
 /// used by tests and the bench as a end-to-end classification workload.

@@ -1,7 +1,7 @@
 #include "rng/lfsr.hpp"
 
 #include <array>
-#include <bit>
+#include "common/bitops.hpp"
 #include <cassert>
 #include <sstream>
 
@@ -73,7 +73,7 @@ Lfsr::Lfsr(unsigned width, std::uint32_t seed, unsigned rotation)
 std::uint32_t Lfsr::next() {
   const std::uint32_t out = state_;
   const std::uint32_t feedback =
-      static_cast<std::uint32_t>(std::popcount(state_ & taps_) & 1);
+      static_cast<std::uint32_t>(sc::popcount32(state_ & taps_) & 1);
   state_ = ((state_ << 1) | feedback) & mask_;
   if (rotation_ == 0) return out;
   return ((out >> rotation_) | (out << (width_ - rotation_))) & mask_;

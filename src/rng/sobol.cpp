@@ -1,6 +1,6 @@
 #include "rng/sobol.hpp"
 
-#include <bit>
+#include "common/bitops.hpp"
 #include <cassert>
 #include <sstream>
 #include <vector>
@@ -66,7 +66,7 @@ std::uint32_t Sobol::next() {
   // Gray-code update: flip with the direction vector indexed by the
   // position of the lowest zero... equivalently lowest set bit of index+1.
   const unsigned c =
-      static_cast<unsigned>(std::countr_zero(~index_));  // lowest 0 of index
+      static_cast<unsigned>(sc::countr_zero64(~index_));  // lowest 0 of index
   state_ ^= v_[c];
   ++index_;
   return out;
