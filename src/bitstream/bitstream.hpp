@@ -95,6 +95,10 @@ class Bitstream {
 
   /// Direct read access to the packed words (tail bits are guaranteed clear).
   const std::vector<Word>& words() const noexcept { return words_; }
+  /// Mutable word pointer for word-parallel writers (the kernel layer).
+  /// Callers must keep the tail-bits-clear invariant: bits at positions
+  /// >= size() in the last word stay zero.
+  Word* word_data() noexcept { return words_.data(); }
   /// Number of storage words.
   std::size_t word_count() const noexcept { return words_.size(); }
 

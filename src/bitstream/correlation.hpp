@@ -37,7 +37,9 @@ struct OverlapCounts {
 };
 
 /// Computes the joint occupancy counts of X and Y (word-parallel).
-/// Precondition: x.size() == y.size().
+/// The streams must have equal length; mismatched lengths throw
+/// std::invalid_argument (an explicit check, not an assert, so release
+/// builds fail loudly instead of reading past the shorter word vector).
 OverlapCounts overlap(const Bitstream& x, const Bitstream& y);
 
 /// SCC computed directly from occupancy counts.

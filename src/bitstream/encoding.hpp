@@ -22,6 +22,14 @@ inline std::uint32_t unipolar_level(double p, std::uint32_t n) {
       std::lround(clamped * static_cast<double>(n)));
 }
 
+/// 64-bit overload for natural lengths up to 2^32 (a 32-bit-wide source's
+/// full period does not fit the uint32 helper's range).
+inline std::uint64_t unipolar_level64(double p, std::uint64_t n) {
+  const double clamped = std::clamp(p, 0.0, 1.0);
+  return static_cast<std::uint64_t>(
+      std::llround(clamped * static_cast<double>(n)));
+}
+
 /// Value of a unipolar level: level / n.
 inline double unipolar_value(std::uint32_t level, std::uint32_t n) {
   return n == 0 ? 0.0 : static_cast<double>(level) / static_cast<double>(n);

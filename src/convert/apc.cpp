@@ -12,8 +12,12 @@ void Apc::step(sc::span<const bool> bits) {
 
 double Apc::mean_value() const {
   if (cycles_ == 0 || inputs_ == 0) return 0.0;
+  // The bit-cycle denominator is formed in floating point: the integer
+  // product inputs_ * cycles_ can wrap for wide counters driven at
+  // engine-scale cycle counts, and a wrapped denominator silently
+  // corrupts the mean instead of losing a little precision.
   return static_cast<double>(sum_) /
-         static_cast<double>(inputs_ * cycles_);
+         (static_cast<double>(inputs_) * static_cast<double>(cycles_));
 }
 
 double apc_scaled_sum(sc::span<const Bitstream> streams) {
@@ -25,8 +29,10 @@ double apc_scaled_sum(sc::span<const Bitstream> streams) {
     total += s.count_ones();
   }
   if (n == 0) return 0.0;
+  // Same deliberate floating-point denominator as Apc::mean_value: k * N
+  // overflows size_t for long-stream batch sweeps on 32-bit targets.
   return static_cast<double>(total) /
-         static_cast<double>(streams.size() * n);
+         (static_cast<double>(streams.size()) * static_cast<double>(n));
 }
 
 }  // namespace sc::convert

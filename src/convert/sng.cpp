@@ -8,12 +8,14 @@ namespace sc::convert {
 
 Sng::Sng(rng::RandomSourcePtr source)
     : source_(std::move(source)),
-      natural_length_(static_cast<std::uint32_t>(
-          std::uint64_t{1} << source_->width())) {
+      // Width can be 32, so the period must be computed (and kept) in 64
+      // bits: a uint32 natural length wraps to 0 and every comparator test
+      // `next() < 0` fails, yielding all-zero streams.
+      natural_length_(std::uint64_t{1} << source_->width()) {
   assert(source_ != nullptr);
 }
 
-Bitstream Sng::generate(std::uint32_t level, std::size_t n) {
+Bitstream Sng::generate(std::uint64_t level, std::size_t n) {
   assert(level <= natural_length_);
   Bitstream out;
   out.reserve(n);
@@ -24,7 +26,7 @@ Bitstream Sng::generate(std::uint32_t level, std::size_t n) {
 }
 
 Bitstream Sng::generate_value(double p, std::size_t n) {
-  return generate(unipolar_level(p, natural_length_), n);
+  return generate(unipolar_level64(p, natural_length_), n);
 }
 
 }  // namespace sc::convert

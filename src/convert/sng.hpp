@@ -26,16 +26,19 @@ class Sng {
   /// unless overridden per call.
   explicit Sng(rng::RandomSourcePtr source);
 
-  /// Natural stream length: 2^width (one full source period).
-  std::uint32_t natural_length() const { return natural_length_; }
+  /// Natural stream length: 2^width (one full source period).  64-bit
+  /// because a 32-bit-wide source's period, 2^32, does not fit uint32 (a
+  /// narrower counter silently wrapped to 0 and generated all-zero
+  /// streams).
+  std::uint64_t natural_length() const { return natural_length_; }
 
   /// Emits one bit for level x in [0, natural_length()].
-  bool step(std::uint32_t level) { return source_->next() < level; }
+  bool step(std::uint64_t level) { return source_->next() < level; }
 
   /// Generates a length-n stream for integer level x in [0, natural_length()].
   /// Does not reset the source first (streams generated back-to-back continue
   /// the sequence); call reset() for a fresh period.
-  Bitstream generate(std::uint32_t level, std::size_t n);
+  Bitstream generate(std::uint64_t level, std::size_t n);
 
   /// Generates a stream for a real value p in [0,1], quantized to the
   /// nearest representable level of natural_length().
@@ -49,7 +52,7 @@ class Sng {
 
  private:
   rng::RandomSourcePtr source_;
-  std::uint32_t natural_length_;
+  std::uint64_t natural_length_;
 };
 
 }  // namespace sc::convert

@@ -35,6 +35,10 @@ class Decorrelator final : public PairTransform {
 
   std::size_t depth() const { return buffer_x_.depth(); }
 
+  /// The underlying buffers, exposed for the table-driven kernel layer.
+  ShuffleBuffer& buffer_x() { return buffer_x_; }
+  ShuffleBuffer& buffer_y() { return buffer_y_; }
+
  private:
   ShuffleBuffer buffer_x_;
   ShuffleBuffer buffer_y_;

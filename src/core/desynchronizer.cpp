@@ -1,5 +1,6 @@
 #include "core/desynchronizer.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace sc::core {
@@ -14,6 +15,7 @@ void Desynchronizer::reset() {
   saved_y_ = 0;
   save_from_x_ = config_.prefer_x_first;
   remaining_ = 0;
+  length_known_ = false;
 }
 
 void Desynchronizer::begin_stream(std::size_t length) {
@@ -21,12 +23,53 @@ void Desynchronizer::begin_stream(std::size_t length) {
   saved_y_ = 0;
   save_from_x_ = config_.prefer_x_first;
   remaining_ = length;
+  length_known_ = true;
+}
+
+void Desynchronizer::set_state(const State& state) {
+  // Clamped like Synchronizer::set_state: a release build must not accept
+  // counters that break saved_x + saved_y <= depth (the kernel layer
+  // derives table indices from them).
+  saved_x_ = std::min(state.saved_x, config_.depth);
+  saved_y_ = std::min(state.saved_y, config_.depth - saved_x_);
+  save_from_x_ = state.save_from_x;
+  remaining_ = state.remaining;
+  length_known_ = state.length_known;
+}
+
+Desynchronizer::Transition Desynchronizer::transition(unsigned depth,
+                                                      unsigned saved_x,
+                                                      unsigned saved_y,
+                                                      bool save_from_x, bool x,
+                                                      bool y) {
+  if (x != y) {
+    return {saved_x, saved_y, save_from_x, x, y};  // already unpaired
+  }
+  if (x) {  // both 1: try to unpair by withholding one side's 1
+    if (saved_x + saved_y < depth) {
+      if (save_from_x) {
+        return {saved_x + 1, saved_y, false, false, true};
+      }
+      return {saved_x, saved_y + 1, true, true, false};
+    }
+    return {saved_x, saved_y, save_from_x, true, true};  // saturated
+  }
+  // both 0: fill the gap with a saved 1 if available
+  if (saved_x == 0 && saved_y == 0) {
+    return {saved_x, saved_y, save_from_x, false, false};
+  }
+  // Emit from the fuller side; on a tie, from the side saved longest ago
+  // (the opposite of the next donor).
+  const bool emit_x = saved_x != saved_y ? (saved_x > saved_y) : !save_from_x;
+  if (emit_x) {
+    return {saved_x - 1, saved_y, save_from_x, true, false};
+  }
+  return {saved_x, saved_y - 1, save_from_x, false, true};
 }
 
 BitPair Desynchronizer::step(bool x, bool y) {
-  const unsigned depth = config_.depth;
-
-  const bool force = config_.flush && remaining_ != 0 &&
+  // length_known_ (not remaining_ == 0) gates flushing — see Synchronizer.
+  const bool force = config_.flush && length_known_ &&
                      static_cast<std::size_t>(saved_x_ + saved_y_) >= remaining_;
   if (remaining_ != 0) --remaining_;
 
@@ -44,36 +87,12 @@ BitPair Desynchronizer::step(bool x, bool y) {
     return out;
   }
 
-  if (x != y) {
-    return BitPair{x, y};  // already unpaired
-  }
-  if (x) {  // both 1: try to unpair by withholding one side's 1
-    if (saved_x_ + saved_y_ < depth) {
-      if (save_from_x_) {
-        ++saved_x_;
-        save_from_x_ = false;
-        return BitPair{false, true};
-      }
-      ++saved_y_;
-      save_from_x_ = true;
-      return BitPair{true, false};
-    }
-    return BitPair{true, true};  // saturated: pass through
-  }
-  // both 0: fill the gap with a saved 1 if available
-  if (saved_x_ == 0 && saved_y_ == 0) {
-    return BitPair{false, false};
-  }
-  // Emit from the fuller side; on a tie, from the side saved longest ago
-  // (the opposite of the next donor).
-  const bool emit_x =
-      saved_x_ != saved_y_ ? (saved_x_ > saved_y_) : !save_from_x_;
-  if (emit_x) {
-    --saved_x_;
-    return BitPair{true, false};
-  }
-  --saved_y_;
-  return BitPair{false, true};
+  const Transition t =
+      transition(config_.depth, saved_x_, saved_y_, save_from_x_, x, y);
+  saved_x_ = t.saved_x;
+  saved_y_ = t.saved_y;
+  save_from_x_ = t.save_from_x;
+  return BitPair{t.out_x, t.out_y};
 }
 
 }  // namespace sc::core

@@ -43,6 +43,31 @@ class Desynchronizer final : public PairTransform {
     bool prefer_x_first = true;
   };
 
+  /// Result of one pure (non-flush) transition.
+  struct Transition {
+    unsigned saved_x;
+    unsigned saved_y;
+    bool save_from_x;
+    bool out_x;
+    bool out_y;
+  };
+
+  /// Pure non-flush step function, exposed for the table-driven kernels
+  /// (src/kernel/): maps (saved counters, alternation flag, input pair) to
+  /// the successor state and output pair.
+  static Transition transition(unsigned depth, unsigned saved_x,
+                               unsigned saved_y, bool save_from_x, bool x,
+                               bool y);
+
+  /// Complete mutable FSM state for external (kernel-layer) drivers.
+  struct State {
+    unsigned saved_x = 0;
+    unsigned saved_y = 0;
+    bool save_from_x = true;
+    std::size_t remaining = 0;  ///< cycles left of the announced length
+    bool length_known = false;  ///< begin_stream() was called this run
+  };
+
   Desynchronizer() : Desynchronizer(Config{}) {}
   explicit Desynchronizer(Config config);
 
@@ -55,12 +80,19 @@ class Desynchronizer final : public PairTransform {
   unsigned saved_x() const { return saved_x_; }
   unsigned saved_y() const { return saved_y_; }
 
+  State state() const {
+    return {saved_x_, saved_y_, save_from_x_, remaining_, length_known_};
+  }
+  void set_state(const State& state);
+
  private:
   Config config_;
   unsigned saved_x_ = 0;   // 1s withheld from output X
   unsigned saved_y_ = 0;   // 1s withheld from output Y
   bool save_from_x_ = true;  // alternation: which side donates next
   std::size_t remaining_ = 0;
+  bool length_known_ = false;  // distinguishes "no length announced" from
+                               // "announced length fully consumed"
 };
 
 }  // namespace sc::core

@@ -41,4 +41,33 @@ unsigned ShuffleBuffer::saved_ones() const {
   return ones;
 }
 
+ShuffleBuffer::Transition ShuffleBuffer::transition(std::uint64_t slots,
+                                                    std::size_t depth,
+                                                    std::size_t r, bool in) {
+  assert(r <= depth);
+  if (r == depth) {
+    return {slots, in};  // pass-through slot
+  }
+  const bool out = (slots >> r) & 1u;
+  slots = (slots & ~(std::uint64_t{1} << r)) |
+          (static_cast<std::uint64_t>(in) << r);
+  return {slots, out};
+}
+
+std::uint64_t ShuffleBuffer::slots_mask() const {
+  assert(slots_.size() <= 64);
+  std::uint64_t mask = 0;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i] != 0) mask |= std::uint64_t{1} << i;
+  }
+  return mask;
+}
+
+void ShuffleBuffer::set_slots_mask(std::uint64_t mask) {
+  assert(slots_.size() <= 64);
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    slots_[i] = (mask >> i) & 1u ? 1 : 0;
+  }
+}
+
 }  // namespace sc::core

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "core/pair_transform.hpp"
@@ -39,6 +40,27 @@ class ShuffleBuffer final : public StreamTransform {
   unsigned saved_ones() const override;
 
   std::size_t depth() const { return slots_.size(); }
+
+  /// Result of one pure transition for a given address draw.
+  struct Transition {
+    std::uint64_t slots;
+    bool out;
+  };
+
+  /// Pure step function for an already reduced address r in [0, depth]
+  /// (r == depth is the pass-through slot), over the slot contents packed
+  /// as a bitmask (slot i = bit i; depth <= 64).  Exposed for the
+  /// table-driven kernels (src/kernel/).
+  static Transition transition(std::uint64_t slots, std::size_t depth,
+                               std::size_t r, bool in);
+
+  /// Slot contents packed as a bitmask (depth <= 64 only).
+  std::uint64_t slots_mask() const;
+  void set_slots_mask(std::uint64_t mask);
+
+  /// The auxiliary address source (kernels draw from it directly so its
+  /// sequence position stays shared with the bit-serial path).
+  rng::RandomSource& source() { return *source_; }
 
  private:
   void initialize_slots();

@@ -17,6 +17,7 @@ Synchronizer::Synchronizer(Config config) : config_(config) {
 void Synchronizer::reset() {
   credit_ = config_.initial_credit;
   remaining_ = 0;
+  length_known_ = false;
 }
 
 unsigned Synchronizer::saved_ones() const {
@@ -26,17 +27,50 @@ unsigned Synchronizer::saved_ones() const {
 void Synchronizer::begin_stream(std::size_t length) {
   credit_ = config_.initial_credit;
   remaining_ = length;
+  length_known_ = true;
+}
+
+void Synchronizer::set_state(const State& state) {
+  const int depth = static_cast<int>(config_.depth);
+  credit_ = std::clamp(state.credit, -depth, depth);
+  remaining_ = state.remaining;
+  length_known_ = state.length_known;
+}
+
+Synchronizer::Transition Synchronizer::transition(unsigned depth_bits,
+                                                  int credit, bool x, bool y) {
+  const int depth = static_cast<int>(depth_bits);
+  if (x == y) {
+    return {credit, x, y};  // already paired
+  }
+  if (x) {  // x = 1, y = 0
+    if (credit < 0) {
+      return {credit + 1, true, true};  // pair the X 1 with a saved Y 1
+    }
+    if (credit < depth) {
+      return {credit + 1, false, false};  // save the unpaired X 1
+    }
+    return {credit, true, false};  // saturated: pass through
+  }
+  // x = 0, y = 1
+  if (credit > 0) {
+    return {credit - 1, true, true};  // pair the Y 1 with a saved X 1
+  }
+  if (credit > -depth) {
+    return {credit - 1, false, false};  // save the unpaired Y 1
+  }
+  return {credit, false, true};  // saturated: pass through
 }
 
 BitPair Synchronizer::step(bool x, bool y) {
-  const int depth = static_cast<int>(config_.depth);
-
   // Flush mode: once the saved bits could no longer drain in the remaining
   // cycles, stop saving and force-emit saved 1s on idle (0) cycles.
-  // remaining_ == 0 means the stream length was never announced; flushing is
-  // then disabled (the plain FSM semantics apply).
+  // length_known_ (not remaining_ == 0) gates flushing, so a stream driven
+  // past its announced length keeps flush semantics instead of silently
+  // reverting to the plain FSM; with no announced length flushing stays
+  // disabled.
   const bool force =
-      config_.flush && remaining_ != 0 &&
+      config_.flush && length_known_ &&
       static_cast<std::size_t>(std::abs(credit_)) >= remaining_;
   if (remaining_ != 0) --remaining_;
 
@@ -54,30 +88,9 @@ BitPair Synchronizer::step(bool x, bool y) {
     return out;
   }
 
-  if (x == y) {
-    return BitPair{x, y};  // already paired
-  }
-  if (x) {  // x = 1, y = 0
-    if (credit_ < 0) {
-      ++credit_;  // pair the incoming X 1 with a saved Y 1
-      return BitPair{true, true};
-    }
-    if (credit_ < depth) {
-      ++credit_;  // save the unpaired X 1
-      return BitPair{false, false};
-    }
-    return BitPair{true, false};  // saturated: pass through
-  }
-  // x = 0, y = 1
-  if (credit_ > 0) {
-    --credit_;  // pair the incoming Y 1 with a saved X 1
-    return BitPair{true, true};
-  }
-  if (credit_ > -depth) {
-    --credit_;  // save the unpaired Y 1
-    return BitPair{false, false};
-  }
-  return BitPair{false, true};  // saturated: pass through
+  const Transition t = transition(config_.depth, credit_, x, y);
+  credit_ = t.credit;
+  return BitPair{t.out_x, t.out_y};
 }
 
 }  // namespace sc::core

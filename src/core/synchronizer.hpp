@@ -45,6 +45,28 @@ class Synchronizer final : public PairTransform {
     int initial_credit = 0;
   };
 
+  /// Result of one pure (non-flush) transition.
+  struct Transition {
+    int credit;
+    bool out_x;
+    bool out_y;
+  };
+
+  /// Pure non-flush step function: (credit, x, y) -> (credit', output pair).
+  /// step() is this plus the flush bookkeeping; the table-driven kernels
+  /// (src/kernel/) enumerate it over all credits and input pairs to build
+  /// their transition tables.
+  static Transition transition(unsigned depth, int credit, bool x, bool y);
+
+  /// Complete mutable FSM state, exposed so external drivers (the kernel
+  /// layer) can run the transition function themselves and write the
+  /// advanced state back.
+  struct State {
+    int credit = 0;
+    std::size_t remaining = 0;  ///< cycles left of the announced length
+    bool length_known = false;  ///< begin_stream() was called this run
+  };
+
   Synchronizer() : Synchronizer(Config{}) {}
   explicit Synchronizer(Config config);
 
@@ -57,10 +79,16 @@ class Synchronizer final : public PairTransform {
   /// Signed saved-bit credit: > 0 means saved X 1s, < 0 means saved Y 1s.
   int credit() const { return credit_; }
 
+  State state() const { return {credit_, remaining_, length_known_}; }
+  /// Overwrites the FSM state (credit is clamped to [-depth, depth]).
+  void set_state(const State& state);
+
  private:
   Config config_;
   int credit_ = 0;
   std::size_t remaining_ = 0;  // cycles left in the stream (flush mode)
+  bool length_known_ = false;  // distinguishes "no length announced" from
+                               // "announced length fully consumed"
 };
 
 }  // namespace sc::core

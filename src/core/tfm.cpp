@@ -20,9 +20,7 @@ TrackingForecastMemory::TrackingForecastMemory(Config config,
 }
 
 bool TrackingForecastMemory::step(bool in) {
-  // EMA update in fixed point; C++20 guarantees arithmetic right shift.
-  const std::int32_t target = in ? scale_ : 0;
-  estimate_ += (target - estimate_) >> config_.shift;
+  estimate_ = next_estimate(estimate_, in, config_.shift, scale_);
   // Regenerate from the estimate with the aux RNG.
   return static_cast<std::int32_t>(source_->next()) < estimate_;
 }

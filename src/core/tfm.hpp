@@ -49,6 +49,24 @@ class TrackingForecastMemory final : public StreamTransform {
   /// Current probability estimate in [0, 1].
   double estimate() const;
 
+  /// Pure EMA update, exposed for the table-driven kernels (src/kernel/):
+  /// the estimate after consuming `in`, before output regeneration.
+  static std::int32_t next_estimate(std::int32_t estimate, bool in,
+                                    unsigned shift, std::int32_t scale) {
+    const std::int32_t target = in ? scale : 0;
+    // C++20 guarantees arithmetic right shift of negatives; (target -
+    // estimate) stays in [-scale, scale] regardless.
+    return estimate + ((target - estimate) >> shift);
+  }
+
+  const Config& config() const { return config_; }
+  /// Fixed-point estimate in [0, 2^precision] (exact kernel state).
+  std::int32_t estimate_fixed() const { return estimate_; }
+  void set_estimate_fixed(std::int32_t estimate) { estimate_ = estimate; }
+  std::int32_t scale() const { return scale_; }
+  /// The regeneration RNG (kernels draw from it directly).
+  rng::RandomSource& aux_source() { return *source_; }
+
  private:
   Config config_;
   rng::RandomSourcePtr source_;
@@ -66,6 +84,10 @@ class TfmPair final : public PairTransform {
 
   BitPair step(bool x, bool y) override;
   void reset() override;
+
+  /// The underlying TFMs, exposed for the table-driven kernel layer.
+  TrackingForecastMemory& tfm_x() { return tfm_x_; }
+  TrackingForecastMemory& tfm_y() { return tfm_y_; }
 
  private:
   TrackingForecastMemory tfm_x_;

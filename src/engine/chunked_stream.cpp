@@ -4,22 +4,51 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "kernel/kernels.hpp"
+
 namespace sc::engine {
 
 // --------------------------------------------------------------- sources
 
 SngChunkSource::SngChunkSource(rng::RandomSourcePtr source,
-                               std::uint32_t level, std::size_t length)
+                               std::uint64_t level, std::size_t length)
     : source_(std::move(source)), level_(level), length_(length) {
   assert(source_ != nullptr);
 }
+
+namespace {
+
+/// RNG values drawn per block when packing comparator bits into words.
+constexpr std::size_t kSngBlock = 4096;
+
+}  // namespace
 
 std::size_t SngChunkSource::next_chunk(Bitstream& chunk,
                                        std::size_t max_bits) {
   const std::size_t take = std::min(max_bits, length_ - produced_);
   chunk.assign_zero(take);  // reuses the buffer's capacity across chunks
-  for (std::size_t i = 0; i < take; ++i) {
-    if (source_->next() < level_) chunk.set(i, true);
+  if (raw_.size() < kSngBlock && take != 0) raw_.resize(kSngBlock);
+  Bitstream::Word* words = chunk.word_data();
+  std::size_t pos = 0;
+  while (pos < take) {
+    const std::size_t n = std::min(kSngBlock, take - pos);
+    source_->fill(raw_.data(), n);
+    // Compare the block into packed words.  The chunk is all-zero, so
+    // OR-ing only bit positions < take keeps the tail-clear invariant.
+    std::size_t i = 0;
+    while (i < n) {
+      const std::size_t bit = pos + i;
+      const auto off = static_cast<unsigned>(bit % 64);
+      const auto span =
+          static_cast<unsigned>(std::min<std::size_t>(64 - off, n - i));
+      Bitstream::Word packed = 0;
+      for (unsigned b = 0; b < span; ++b) {
+        packed |= static_cast<Bitstream::Word>(raw_[i + b] < level_) << b;
+      }
+      words[bit / 64] |= packed << off;
+      i += span;
+    }
+    pos += n;
   }
   produced_ += take;
   return take;
@@ -34,8 +63,27 @@ std::size_t BitstreamChunkSource::next_chunk(Bitstream& chunk,
                                              std::size_t max_bits) {
   const std::size_t take = std::min(max_bits, stream_->size() - position_);
   chunk.assign_zero(take);
-  for (std::size_t i = 0; i < take; ++i) {
-    if (stream_->get(position_ + i)) chunk.set(i, true);
+  if (take != 0) {
+    // Word-parallel shifted copy out of the backing stream.
+    const std::vector<Bitstream::Word>& src = stream_->words();
+    Bitstream::Word* dst = chunk.word_data();
+    const std::size_t dst_words = (take + 63) / 64;
+    const std::size_t word0 = position_ / 64;
+    const auto off = static_cast<unsigned>(position_ % 64);
+    if (off == 0) {
+      for (std::size_t w = 0; w < dst_words; ++w) dst[w] = src[word0 + w];
+    } else {
+      for (std::size_t w = 0; w < dst_words; ++w) {
+        Bitstream::Word bits = src[word0 + w] >> off;
+        if (word0 + w + 1 < src.size()) {
+          bits |= src[word0 + w + 1] << (64 - off);
+        }
+        dst[w] = bits;
+      }
+    }
+    if (take % 64 != 0) {  // restore the tail-clear invariant
+      dst[dst_words - 1] &= (Bitstream::Word{1} << (take % 64)) - 1;
+    }
   }
   position_ += take;
   return take;
@@ -97,15 +145,23 @@ void CollectPairSink::consume(const Bitstream& chunk_x,
 
 ChunkedRunStats run_chunked(ChunkSource& source,
                             core::StreamTransform* transform, ChunkSink& sink,
-                            std::size_t chunk_bits) {
+                            std::size_t chunk_bits, KernelPolicy policy) {
   if (chunk_bits == 0) throw std::invalid_argument("chunk_bits must be > 0");
 
   ChunkedRunStats stats;
-  if (transform != nullptr) transform->begin_stream(source.length());
+  std::unique_ptr<kernel::StreamKernel> kern;
+  if (transform != nullptr) {
+    transform->begin_stream(source.length());
+    if (policy == KernelPolicy::kAuto) {
+      kern = kernel::make_stream_kernel(*transform);
+    }
+  }
 
   Bitstream chunk;
   while (source.next_chunk(chunk, chunk_bits) > 0) {
-    if (transform != nullptr) {
+    if (kern != nullptr) {
+      kern->process(chunk.word_data(), chunk.size());
+    } else if (transform != nullptr) {
       for (std::size_t i = 0; i < chunk.size(); ++i) {
         chunk.set(i, transform->step(chunk.get(i)));
       }
@@ -115,20 +171,27 @@ ChunkedRunStats run_chunked(ChunkSource& source,
     stats.peak_buffer_bits = std::max(stats.peak_buffer_bits, chunk.size());
     sink.consume(chunk);
   }
+  if (kern != nullptr) kern->finish();
   return stats;
 }
 
 ChunkedRunStats run_chunked_pair(ChunkSource& source_x, ChunkSource& source_y,
                                  core::PairTransform* transform,
                                  PairChunkSink& sink,
-                                 std::size_t chunk_bits) {
+                                 std::size_t chunk_bits, KernelPolicy policy) {
   if (chunk_bits == 0) throw std::invalid_argument("chunk_bits must be > 0");
   if (source_x.length() != source_y.length()) {
     throw std::invalid_argument("pair sources must have equal length");
   }
 
   ChunkedRunStats stats;
-  if (transform != nullptr) transform->begin_stream(source_x.length());
+  std::unique_ptr<kernel::PairKernel> kern;
+  if (transform != nullptr) {
+    transform->begin_stream(source_x.length());
+    if (policy == KernelPolicy::kAuto) {
+      kern = kernel::make_pair_kernel(*transform);
+    }
+  }
 
   Bitstream chunk_x;
   Bitstream chunk_y;
@@ -143,7 +206,9 @@ ChunkedRunStats run_chunked_pair(ChunkSource& source_x, ChunkSource& source_y,
           "exactly min(max_bits, remaining)");
     }
     if (nx == 0) break;
-    if (transform != nullptr) {
+    if (kern != nullptr) {
+      kern->process(chunk_x.word_data(), chunk_y.word_data(), nx);
+    } else if (transform != nullptr) {
       for (std::size_t i = 0; i < nx; ++i) {
         const core::BitPair out =
             transform->step(chunk_x.get(i), chunk_y.get(i));
@@ -158,6 +223,7 @@ ChunkedRunStats run_chunked_pair(ChunkSource& source_x, ChunkSource& source_y,
     sink.consume(chunk_x, chunk_y);
     (void)ny;
   }
+  if (kern != nullptr) kern->finish();
   return stats;
 }
 

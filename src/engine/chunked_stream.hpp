@@ -24,6 +24,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "bitstream/bitstream.hpp"
 #include "bitstream/correlation.hpp"
@@ -59,11 +60,16 @@ class ChunkSource {
 
 /// Comparator-SNG source: bit i is (source.next() < level), the paper's
 /// Fig. 2g generator, produced lazily so the stream never materializes.
+/// The RNG is drawn a block at a time (RandomSource::fill) and compared
+/// into packed words, so generation keeps pace with the word-parallel
+/// kernels downstream.
 class SngChunkSource final : public ChunkSource {
  public:
-  /// \param source owned RNG; \param level in [0, 2^source->width()];
+  /// \param source owned RNG; \param level in [0, 2^source->width()] —
+  /// 64-bit so a width-32 source's full-scale level 2^32 does not wrap
+  /// (same class of bug as Sng::natural_length_);
   /// \param length total bits to produce.
-  SngChunkSource(rng::RandomSourcePtr source, std::uint32_t level,
+  SngChunkSource(rng::RandomSourcePtr source, std::uint64_t level,
                  std::size_t length);
 
   std::size_t length() const override { return length_; }
@@ -72,9 +78,10 @@ class SngChunkSource final : public ChunkSource {
 
  private:
   rng::RandomSourcePtr source_;
-  std::uint32_t level_;
+  std::uint64_t level_;
   std::size_t length_;
   std::size_t produced_ = 0;
+  std::vector<std::uint32_t> raw_;  // per-block RNG scratch
 };
 
 /// Non-owning view of an in-memory stream, chunked (reference path for
@@ -172,19 +179,32 @@ struct ChunkedRunStats {
   std::size_t peak_buffer_bits = 0;  ///< high-water mark of live chunk buffers
 };
 
+/// How the drivers advance the FSM across each chunk.
+enum class KernelPolicy {
+  /// Table-driven word-parallel kernels (src/kernel/) when the transform
+  /// has one, bit-serial step() otherwise.  Output is bit-identical either
+  /// way; this is the default whole-stream path.
+  kAuto,
+  /// Always one virtual step() per cycle — the reference implementation,
+  /// kept selectable for differential tests and benchmarks.
+  kSerial,
+};
+
 /// Streams `source` through an optional per-cycle FSM into `sink`,
 /// chunk-at-a-time.  Passing nullptr for `transform` reduces the source
 /// directly.  The FSM is *not* reset: like core::apply, the caller controls
 /// initial state; begin_stream(total) is issued before the first chunk.
 ChunkedRunStats run_chunked(ChunkSource& source,
                             core::StreamTransform* transform, ChunkSink& sink,
-                            std::size_t chunk_bits = kDefaultChunkBits);
+                            std::size_t chunk_bits = kDefaultChunkBits,
+                            KernelPolicy policy = KernelPolicy::kAuto);
 
 /// Pair version: streams two sources through a PairTransform FSM into a
 /// pair sink.  Sources must have equal length.
 ChunkedRunStats run_chunked_pair(ChunkSource& source_x, ChunkSource& source_y,
                                  core::PairTransform* transform,
                                  PairChunkSink& sink,
-                                 std::size_t chunk_bits = kDefaultChunkBits);
+                                 std::size_t chunk_bits = kDefaultChunkBits,
+                                 KernelPolicy policy = KernelPolicy::kAuto);
 
 }  // namespace sc::engine

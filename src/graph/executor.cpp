@@ -11,6 +11,7 @@
 #include "core/desynchronizer.hpp"
 #include "core/pair_transform.hpp"
 #include "core/synchronizer.hpp"
+#include "kernel/apply.hpp"
 #include "rng/lfsr.hpp"
 
 namespace sc::graph {
@@ -46,7 +47,9 @@ StreamPairRef regenerate_complementary(const Bitstream& a, const Bitstream& b,
 ExecutionResult execute(const DataflowGraph& graph, const Plan& plan,
                         const ExecConfig& config) {
   const std::size_t n = config.stream_length;
-  const auto natural = static_cast<std::uint32_t>(1u << config.width);
+  // 64-bit: `1u << 32` is UB and a uint32 period wraps to 0 at width 32
+  // (same class of bug as Sng::natural_length_).
+  const std::uint64_t natural = std::uint64_t{1} << config.width;
 
   // --- group traces ---------------------------------------------------------
   std::map<unsigned, std::vector<std::uint32_t>> traces;
@@ -66,7 +69,7 @@ ExecutionResult execute(const DataflowGraph& graph, const Plan& plan,
   for (NodeId id = 0; id < graph.node_count(); ++id) {
     const Node& node = graph.node(id);
     if (node.kind == Node::Kind::kInput) {
-      const std::uint32_t level = unipolar_level(node.value, natural);
+      const std::uint64_t level = unipolar_level64(node.value, natural);
       const auto& trace = traces.at(node.rng_group);
       Bitstream stream(n);
       for (std::size_t i = 0; i < n; ++i) {
@@ -79,20 +82,30 @@ ExecutionResult execute(const DataflowGraph& graph, const Plan& plan,
     Bitstream a = result.streams[node.lhs];
     Bitstream b = result.streams[node.rhs];
 
+    // Planned FSM fixes run through the table-driven kernel layer by
+    // default (bit-identical to core::apply, word-parallel); use_kernels
+    // false forces the per-cycle reference path.
+    const auto apply_fix = [&config](core::PairTransform& transform,
+                                     const Bitstream& sa,
+                                     const Bitstream& sb) {
+      return config.use_kernels ? kernel::apply(transform, sa, sb)
+                                : core::apply(transform, sa, sb);
+    };
+
     // --- planned fix --------------------------------------------------------
     switch (plan.fix_for(id)) {
       case FixKind::kNone:
         break;
       case FixKind::kSynchronizer: {
         core::Synchronizer sync({config.sync_depth, false});
-        const sc::StreamPair out = core::apply(sync, a, b);
+        const sc::StreamPair out = apply_fix(sync, a, b);
         a = out.x;
         b = out.y;
         break;
       }
       case FixKind::kDesynchronizer: {
         core::Desynchronizer desync({config.sync_depth, false});
-        const sc::StreamPair out = core::apply(desync, a, b);
+        const sc::StreamPair out = apply_fix(desync, a, b);
         a = out.x;
         b = out.y;
         break;
@@ -108,7 +121,7 @@ ExecutionResult execute(const DataflowGraph& graph, const Plan& plan,
             std::make_unique<rng::Lfsr>(config.width,
                                         config.seed + 1002 + 2 * id,
                                         /*rotation=*/3));
-        const sc::StreamPair out = core::apply(dec, a, b);
+        const sc::StreamPair out = apply_fix(dec, a, b);
         a = out.x;
         b = out.y;
         break;
@@ -152,7 +165,7 @@ ExecutionResult execute(const DataflowGraph& graph, const Plan& plan,
       case OpKind::kScaledAdd: {
         rng::Lfsr select_source(config.width, config.seed + 3001 + id);
         Bitstream select(n);
-        const std::uint32_t half = natural / 2;
+        const std::uint64_t half = natural / 2;
         for (std::size_t i = 0; i < n; ++i) {
           if (select_source.next() < half) select.set(i, true);
         }

@@ -30,6 +30,10 @@ struct ExecConfig {
   std::uint32_t seed = 3;      ///< base seed for group and auxiliary LFSRs
   unsigned sync_depth = 2;     ///< depth of inserted (de)synchronizers
   std::size_t shuffle_depth = 8;
+  /// Run planned fixes through the table-driven kernels (src/kernel/)
+  /// where available.  Bit-identical to the bit-serial FSMs; set false to
+  /// force the per-cycle reference path.
+  bool use_kernels = true;
 };
 
 /// Per-output accuracy and the overall summary.

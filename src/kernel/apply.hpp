@@ -1,0 +1,31 @@
+/// \file apply.hpp
+/// Whole-stream helpers that route through the table-driven kernels.
+///
+/// Drop-in replacements for the core::apply helpers: same signature, same
+/// begin_stream-then-run semantics, bit-identical output.  When the
+/// transform has a kernel (make_pair_kernel / make_stream_kernel) the
+/// streams advance word-parallel; otherwise these fall back to the
+/// bit-serial core::apply path.
+
+#pragma once
+
+#include "bitstream/bitstream.hpp"
+#include "bitstream/synthesis.hpp"
+#include "core/pair_transform.hpp"
+
+namespace sc::kernel {
+
+/// Runs a pair transform over two equal-length streams (see core::apply).
+sc::StreamPair apply(core::PairTransform& transform, const Bitstream& x,
+                     const Bitstream& y);
+
+inline sc::StreamPair apply(core::PairTransform& transform,
+                            const sc::StreamPair& in) {
+  // Qualified: ADL would otherwise also find core::apply and tie.
+  return sc::kernel::apply(transform, in.x, in.y);
+}
+
+/// Runs a single-stream transform over a stream (see core::apply).
+Bitstream apply(core::StreamTransform& transform, const Bitstream& x);
+
+}  // namespace sc::kernel

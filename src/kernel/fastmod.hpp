@@ -1,0 +1,44 @@
+/// \file fastmod.hpp
+/// Exact 32-bit modulo without a divide instruction (Lemire's fastmod).
+///
+/// The shuffle-buffer address reduction `r = rng % (depth + 1)` sits on the
+/// decorrelator's per-cycle hot path; a hardware divide there costs more
+/// than the whole rest of the cycle.  For a fixed divisor d, the low 64
+/// bits of x * ceil(2^64 / d) carry x mod d as a 0.64 fixed-point fraction;
+/// multiplying that fraction by d and keeping the high half recovers the
+/// remainder exactly for every x < 2^32, 1 < d < 2^32 — bit-identical to
+/// the `%` operator, which is what keeps the kernel path equivalent to the
+/// bit-serial FSMs.
+
+#pragma once
+
+#include <cstdint>
+
+namespace sc::kernel {
+
+/// Callable computing x % d with precomputed magic for divisor d.
+class FastMod {
+ public:
+  explicit FastMod(std::uint32_t divisor)
+      : divisor_(divisor),
+        magic_(divisor <= 1 ? 0 : ~std::uint64_t{0} / divisor + 1) {}
+
+  std::uint32_t operator()(std::uint32_t x) const {
+    if (divisor_ <= 1) return 0;
+#if defined(__SIZEOF_INT128__)
+    const std::uint64_t fraction = magic_ * x;
+    return static_cast<std::uint32_t>(
+        (static_cast<unsigned __int128>(fraction) * divisor_) >> 64);
+#else
+    return x % divisor_;
+#endif
+  }
+
+  std::uint32_t divisor() const { return divisor_; }
+
+ private:
+  std::uint32_t divisor_;
+  std::uint64_t magic_;
+};
+
+}  // namespace sc::kernel

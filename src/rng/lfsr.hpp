@@ -28,6 +28,7 @@ class Lfsr final : public RandomSource {
   explicit Lfsr(unsigned width, std::uint32_t seed = 1, unsigned rotation = 0);
 
   std::uint32_t next() override;
+  void fill(std::uint32_t* out, std::size_t n) override;
   unsigned width() const override { return width_; }
   void reset() override { state_ = seed_; }
   std::unique_ptr<RandomSource> clone() const override;

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -26,6 +27,14 @@ class RandomSource {
 
   /// Next value of the sequence.  Advances internal state.
   virtual std::uint32_t next() = 0;
+
+  /// Fills out[0..n) with the next n values — identical to n next() calls.
+  /// The default loops over next(); sources with cheap update rules
+  /// override it with a non-virtual loop so block consumers (the kernel
+  /// layer) pay one virtual call per block instead of one per cycle.
+  virtual void fill(std::uint32_t* out, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = next();
+  }
 
   /// Output width in bits (1..32).  next() < 2^width().
   virtual unsigned width() const = 0;

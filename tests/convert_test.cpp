@@ -69,6 +69,18 @@ TEST(Sng, GenerateValueQuantizes) {
   EXPECT_EQ(s.count_ones(), 128u);
 }
 
+TEST(Sng, Width32SourceProducesNonZeroStreams) {
+  // Regression: a 32-bit-wide source has period 2^32, which truncated to 0
+  // in a uint32 natural length — every comparator test then failed and
+  // generate_value() emitted all-zero streams.
+  Sng sng(std::make_unique<rng::Lfsr>(32, 0xDEADBEEF));
+  EXPECT_EQ(sng.natural_length(), std::uint64_t{1} << 32);
+  const Bitstream ones = sng.generate_value(1.0, 128);
+  EXPECT_EQ(ones.count_ones(), 128u);
+  const Bitstream half = sng.generate_value(0.5, 1u << 14);
+  EXPECT_NEAR(half.value(), 0.5, 0.02);
+}
+
 TEST(Sng, SameSourceTwoStreamsPositivelyCorrelated) {
   // Two levels encoded from one shared RNG trace: SCC = +1 (paper §II-B).
   rng::VanDerCorput vdc(8);
@@ -133,6 +145,30 @@ TEST(Apc, SumsParallelInputs) {
   EXPECT_EQ(apc.sum(), 3u);
   EXPECT_EQ(apc.cycles(), 2u);
   EXPECT_DOUBLE_EQ(apc.mean_value(), 0.5);
+}
+
+TEST(Apc, MeanValueExactAtEngineScaleCycleCounts) {
+  // The denominator inputs * cycles is formed in floating point; drive a
+  // long-stream-sized cycle count and require the exact mean (2/3 here is
+  // representable error-free relative to the 2^21-cycle sum).
+  Apc apc(3);
+  const std::array<bool, 3> cycle = {true, true, false};
+  const std::size_t cycles = std::size_t{1} << 21;
+  for (std::size_t i = 0; i < cycles; ++i) apc.step(cycle);
+  EXPECT_EQ(apc.cycles(), cycles);
+  EXPECT_EQ(apc.sum(), 2 * cycles);
+  EXPECT_DOUBLE_EQ(apc.mean_value(), 2.0 / 3.0);
+}
+
+TEST(Apc, ScaledSumExactAtEngineScaleLengths) {
+  const std::size_t n = std::size_t{1} << 21;
+  std::vector<Bitstream> streams;
+  streams.push_back(Bitstream(n, true));   // 1.0
+  streams.push_back(Bitstream(n, false));  // 0.0
+  Bitstream half(n);
+  for (std::size_t i = 0; i < n; i += 2) half.set(i, true);
+  streams.push_back(std::move(half));      // 0.5
+  EXPECT_DOUBLE_EQ(apc_scaled_sum(streams), 0.5);
 }
 
 TEST(Apc, WholeStreamScaledSumIsExact) {

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <tuple>
 
 #include "bitstream/bitstream.hpp"
@@ -108,8 +109,25 @@ TEST(Pearson, MatchesSignOfScc) {
 }
 
 TEST(Pearson, ZeroForConstantStream) {
-  EXPECT_DOUBLE_EQ(pearson(Bitstream(8, true), Bitstream::from_string("1010")),
-                   0.0);
+  EXPECT_DOUBLE_EQ(
+      pearson(Bitstream(8, true), Bitstream::from_string("10101100")), 0.0);
+}
+
+// --- size-mismatch handling ----------------------------------------------
+
+// overlap() must fail deterministically on mismatched lengths in every
+// build mode (the old assert vanished under NDEBUG and the word loop then
+// indexed past the shorter vector).
+TEST(Overlap, MismatchedSizesThrow) {
+  const Bitstream x(128, true);   // 2 words
+  const Bitstream y(64, false);   // 1 word
+  EXPECT_THROW(overlap(x, y), std::invalid_argument);
+  EXPECT_THROW(overlap(y, x), std::invalid_argument);
+  EXPECT_THROW(scc(x, y), std::invalid_argument);
+  EXPECT_THROW(pearson(x, y), std::invalid_argument);
+  EXPECT_THROW(overlap(Bitstream(8, true), Bitstream(4, true)),
+               std::invalid_argument);
+  EXPECT_THROW(overlap(Bitstream(), Bitstream(1)), std::invalid_argument);
 }
 
 // --- property sweep: SCC bounds and independence point -------------------

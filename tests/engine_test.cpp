@@ -115,6 +115,17 @@ TEST(JobSeed, StridedSeedsDistinctInLowWidthBits) {
 
 // --- chunk sources -------------------------------------------------------------
 
+TEST(ChunkedStream, SngSourceFullScaleLevelAtWidth32) {
+  // Regression companion to Sng's natural-length fix: the engine SNG
+  // source takes a 64-bit level so 2^32 (p = 1.0 at width 32) does not
+  // wrap to 0 and emit all-zero streams.
+  SngChunkSource source(std::make_unique<rng::Lfsr>(32, 0xF00D),
+                        std::uint64_t{1} << 32, 256);
+  Bitstream chunk;
+  ASSERT_EQ(source.next_chunk(chunk, 256), 256u);
+  EXPECT_EQ(chunk.count_ones(), 256u);
+}
+
 TEST(ChunkedStream, SngSourceMatchesWholeStreamSng) {
   const std::size_t n = 1000;
   convert::Sng whole(std::make_unique<rng::Lfsr>(8, 5));

@@ -161,6 +161,23 @@ TEST(Planner, ManipulationIsCheaperThanRegeneration) {
 
 // --- execution --------------------------------------------------------------------
 
+TEST(Executor, Width32ComparatorsProduceNonZeroStreams) {
+  // Regression: the natural length was computed as `1u << width`, which is
+  // UB at width 32 and wrapped input levels to 0, silently zeroing every
+  // stream in the graph.
+  const DataflowGraph g = product_sum_graph();
+  ExecConfig config;
+  config.width = 32;
+  config.stream_length = 512;
+  const ExecutionResult result =
+      execute(g, plan_insertions(g, Strategy::kManipulation), config);
+  for (NodeId id = 0; id < g.node_count(); ++id) {
+    if (g.node(id).kind != Node::Kind::kInput) continue;
+    EXPECT_NEAR(result.streams[id].value(), g.node(id).value, 0.1)
+        << "input node " << id;
+  }
+}
+
 TEST(Executor, UnfixedGraphComputesWrongValues) {
   const DataflowGraph g = product_sum_graph();
   const Plan plan = plan_insertions(g, Strategy::kNone);

@@ -283,6 +283,43 @@ TEST(SynchronizerFlush, WithoutBeginStreamBehavesLikePlainFsm) {
   }
 }
 
+TEST(SynchronizerFlush, KeepsFlushSemanticsPastAnnouncedLength) {
+  // Regression for the remaining_ == 0 sentinel: it meant both "length
+  // never announced" and "announced length consumed", so one bit past the
+  // announced end the FSM silently reverted to save mode and swallowed 1s.
+  Synchronizer sync({1, true});
+  sync.begin_stream(2);
+  const BitPair o1 = sync.step(true, false);  // save the unpaired X 1
+  EXPECT_FALSE(o1.x);
+  EXPECT_FALSE(o1.y);
+  const BitPair o2 = sync.step(false, false);  // flush window: force-emit
+  EXPECT_TRUE(o2.x);
+  EXPECT_FALSE(o2.y);
+  EXPECT_EQ(sync.saved_ones(), 0u);
+  // One past the announced end: must pass through, not save the 1.
+  const BitPair o3 = sync.step(true, false);
+  EXPECT_TRUE(o3.x);
+  EXPECT_FALSE(o3.y);
+  EXPECT_EQ(sync.saved_ones(), 0u);
+}
+
+TEST(SynchronizerFlush, ResetClearsAnnouncedLength) {
+  // reset() must also forget the announced length, or the next (unknown
+  // length) run would flush spuriously.
+  Synchronizer sync({1, true});
+  sync.begin_stream(1);
+  sync.reset();
+  Synchronizer plain({1, false});
+  const Bitstream x = test::vdc_stream(64);
+  const Bitstream y = test::halton3_stream(64);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const BitPair a = sync.step(x.get(i), y.get(i));
+    const BitPair b = plain.step(x.get(i), y.get(i));
+    EXPECT_EQ(a.x, b.x) << i;
+    EXPECT_EQ(a.y, b.y) << i;
+  }
+}
+
 // --- composition (paper §III-B) ---------------------------------------------------
 
 TEST(SynchronizerComposition, StagesImproveCorrelation) {
