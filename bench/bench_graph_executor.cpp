@@ -1,0 +1,165 @@
+/// \file bench_graph_executor.cpp
+/// Per-backend throughput of the registry program executor.
+///
+/// One reference program (a mixed workload over the registered operator
+/// set: gates, MUX adders, CORDIV divide, FSM functions, a Bernstein unit,
+/// and the §IV window stages) is planned under Strategy::kManipulation and
+/// executed on each ExecutorBackend.  Throughput is reported as node
+/// Mbit/s (stream_length x node_count / wall time — every node's stream
+/// advances that many bits), and every backend's outputs are verified
+/// bit-identical to the reference backend before any number is written.
+///
+/// Usage: bench_graph_executor [--json PATH] [--bits LOG2] [--reps N]
+/// With --json the results are written as a machine-readable baseline
+/// (BENCH_graph.json in this repo tracks the perf trajectory across PRs).
+
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "engine/session.hpp"
+#include "graph/backend.hpp"
+#include "graph/planner.hpp"
+#include "graph/program.hpp"
+#include "img/sc_pipeline.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// The reference workload: the §IV window program extended with the wider
+/// operator set so every evaluator family is on the clock.
+sc::graph::Program bench_program() {
+  using namespace sc::graph;
+  std::array<double, 16> pixels{};
+  for (std::size_t i = 0; i < 16; ++i) pixels[i] = 0.1 + 0.05 * (i % 10);
+  const Program window = sc::img::window_program(pixels);
+
+  GraphBuilder b;
+  std::vector<Value> args;
+  for (unsigned i = 0; i < 16; ++i) {
+    args.push_back(b.input("p" + std::to_string(i), pixels[i], i % 4));
+  }
+  const Value edge = b.append(window, args)[0];
+  const Value x = b.input("x", 0.62, 4);
+  const Value y = b.input("y", 0.35, 4);  // same group: planner must fix
+  const Value prod = b.op("multiply", {x, y});
+  const Value quot = b.op("divide", {y, x});
+  const Value bip = b.op("multiply-bipolar", {prod, b.constant(0.8)});
+  const Value nl = b.op("stanh-8", {b.op("scaled-add", {quot, bip})});
+  const Value poly = b.op("bernstein-x2-3", {nl, nl, nl});
+  b.output(b.op("saturating-add", {poly, edge}), "out");
+  b.output(edge, "edge");
+  return b.build();
+}
+
+struct BackendResult {
+  std::string name;
+  double seconds = 0.0;
+  double node_mbit_per_s = 0.0;
+  bool identical = true;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sc::graph;
+
+  std::string json_path;
+  unsigned log2_bits = 16;
+  unsigned reps = 3;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--bits") == 0 && i + 1 < argc) {
+      log2_bits = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else {
+      std::fprintf(stderr, "usage: %s [--json PATH] [--bits LOG2] [--reps N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const Program program = bench_program();
+  const ProgramPlan plan = plan_program(program, Strategy::kManipulation);
+  ExecConfig config;
+  config.stream_length = std::size_t{1} << log2_bits;
+  config.width = 16;
+
+  std::printf("graph executor bench: %zu nodes, %zu inserted units, 2^%u "
+              "bits, %u reps\n\n",
+              program.node_count(), plan.inserted_units, log2_bits, reps);
+
+  sc::engine::Session session({0});
+  std::vector<std::unique_ptr<ExecutorBackend>> backends;
+  backends.push_back(make_backend(BackendKind::kReference));
+  backends.push_back(make_backend(BackendKind::kKernel));
+  backends.push_back(make_engine_backend(session));
+
+  const double node_bits = static_cast<double>(config.stream_length) *
+                           static_cast<double>(program.node_count());
+
+  std::vector<BackendResult> results;
+  ExecutionResult reference;
+  for (const auto& backend : backends) {
+    BackendResult r;
+    r.name = backend->name();
+    ExecutionResult last;
+    double best = 1e300;
+    for (unsigned rep = 0; rep < reps; ++rep) {
+      const auto start = Clock::now();
+      last = backend->run(program, plan, config);
+      best = std::min(best, seconds_since(start));
+    }
+    r.seconds = best;
+    r.node_mbit_per_s = node_bits / best / 1e6;
+    if (reference.streams.empty()) {
+      reference = last;
+    } else {
+      for (std::size_t s = 0; s < reference.streams.size(); ++s) {
+        if (last.streams[s] != reference.streams[s]) {
+          r.identical = false;
+          break;
+        }
+      }
+    }
+    std::printf("  %-10s %8.3f ms   %8.1f node-Mbit/s   identical=%s\n",
+                r.name.c_str(), best * 1e3, r.node_mbit_per_s,
+                r.identical ? "yes" : "NO");
+    results.push_back(std::move(r));
+  }
+
+  bool all_identical = true;
+  for (const BackendResult& r : results) all_identical &= r.identical;
+  std::printf("\nmean |error| vs exact: %.5f; backends bit-identical: %s\n",
+              reference.mean_abs_error, all_identical ? "yes" : "NO");
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n  \"stream_bits\": " << config.stream_length
+        << ",\n  \"node_count\": " << program.node_count()
+        << ",\n  \"inserted_units\": " << plan.inserted_units
+        << ",\n  \"reps\": " << reps << ",\n  \"backends\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const BackendResult& r = results[i];
+      out << "    {\"name\": \"" << r.name << "\", \"node_mbit_per_s\": "
+          << r.node_mbit_per_s << ", \"identical\": "
+          << (r.identical ? "true" : "false") << "}"
+          << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return all_identical ? 0 : 1;
+}

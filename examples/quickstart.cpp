@@ -5,6 +5,7 @@
 ///  3. Fix it with the paper's correlation manipulating circuits.
 ///  4. Use the improved operators (sync-max / desync saturating add).
 ///  5. Price the hardware with the cost model.
+///  6. Let the planner do all of it: registry programs + backends.
 ///
 /// Build & run:  ./examples/quickstart
 
@@ -18,6 +19,9 @@
 #include "core/ops.hpp"
 #include "core/pair_transform.hpp"
 #include "core/synchronizer.hpp"
+#include "graph/backend.hpp"
+#include "graph/planner.hpp"
+#include "graph/program.hpp"
 #include "hw/cost.hpp"
 #include "hw/designs.hpp"
 #include "rng/halton.hpp"
@@ -82,5 +86,26 @@ int main() {
       "(the paper's point: accurate max at a fraction of the CA cost)\n",
       sync_cost.area_um2, sync_cost.power_uw, ca_cost.area_um2,
       ca_cost.power_uw);
+
+  // --- 6. or let the planner insert the circuits for you -------------------
+  // Build the computation as a registry program; the planner reads each
+  // operator's correlation requirement from the registry and inserts the
+  // right manipulating circuit; any backend executes the plan bit-true.
+  graph::GraphBuilder builder;
+  const graph::Value x = builder.input("x", 0.5, /*rng_group=*/0);
+  const graph::Value y = builder.input("y", 0.75, 0);  // shared RNG!
+  builder.output(builder.op("multiply", {x, y}), "product");
+  const graph::Program program = builder.build();
+
+  const graph::ProgramPlan plan =
+      graph::plan_program(program, graph::Strategy::kManipulation);
+  const graph::ExecutionResult run =
+      graph::make_backend(graph::BackendKind::kKernel)->run(program, plan, {});
+  std::printf(
+      "\nplanner: inserted %zu %s -> product = %.3f (exact %.3f)\n"
+      "(see examples/auto_insertion.cpp for the full program API)\n",
+      plan.inserted_units,
+      plan.inserted_units == 1 ? "decorrelator" : "fixes", run.values[0],
+      run.exact[0]);
   return 0;
 }

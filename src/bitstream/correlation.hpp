@@ -43,8 +43,18 @@ struct OverlapCounts {
 OverlapCounts overlap(const Bitstream& x, const Bitstream& y);
 
 /// SCC computed directly from occupancy counts.
-/// Degenerate pairs (either stream constant, i.e. value 0 or 1) have a zero
-/// denominator; this function returns 0 for them.
+///
+/// Zero-variance contract (every division-by-zero case is defined):
+///  * either stream constant (all-0s or all-1s, i.e. zero variance), or
+///    both streams empty (N = 0): the SCC denominator is 0 and no
+///    correlation is measurable — returns 0, the independence point.
+///    Use scc_defined() to distinguish "measured 0" from "undefined";
+///    sweep averages (paper Table II) exclude undefined pairs.
+///  * the residual guard: if a finite-precision corner makes the selected
+///    denominator exactly 0 with a nonzero numerator, the function also
+///    returns 0 rather than dividing (for non-constant streams the
+///    positive-branch denominator min*(N - max) is provably > 0, so this
+///    guard is defensive only).
 double scc(const OverlapCounts& counts);
 
 /// SCC of two equal-length streams.  See scc(const OverlapCounts&).
@@ -58,8 +68,9 @@ bool scc_defined(const Bitstream& x, const Bitstream& y);
 
 /// Pearson product-moment correlation of the two bit sequences, an auxiliary
 /// diagnostic (the paper argues SCC is the right metric because it is
-/// insensitive to the stream values; Pearson is not).  Returns 0 when either
-/// stream is constant.
+/// insensitive to the stream values; Pearson is not).  Zero-variance
+/// contract: returns 0 when either stream is constant (variance 0) or both
+/// are empty — same convention as scc().
 double pearson(const Bitstream& x, const Bitstream& y);
 
 }  // namespace sc

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "kernel/apply.hpp"
 #include "kernel/kernels.hpp"
 
 namespace sc::engine {
@@ -185,12 +186,13 @@ ChunkedRunStats run_chunked_pair(ChunkSource& source_x, ChunkSource& source_y,
   }
 
   ChunkedRunStats stats;
-  std::unique_ptr<kernel::PairKernel> kern;
+  // The shared chunk driver (also used by the graph engine backend) owns
+  // the begin/kernel/advance/finish protocol.
+  std::unique_ptr<kernel::ChunkedPairApplier> applier;
   if (transform != nullptr) {
-    transform->begin_stream(source_x.length());
-    if (policy == KernelPolicy::kAuto) {
-      kern = kernel::make_pair_kernel(*transform);
-    }
+    applier = std::make_unique<kernel::ChunkedPairApplier>(
+        *transform, policy == KernelPolicy::kAuto);
+    applier->begin(source_x.length());
   }
 
   Bitstream chunk_x;
@@ -206,16 +208,7 @@ ChunkedRunStats run_chunked_pair(ChunkSource& source_x, ChunkSource& source_y,
           "exactly min(max_bits, remaining)");
     }
     if (nx == 0) break;
-    if (kern != nullptr) {
-      kern->process(chunk_x.word_data(), chunk_y.word_data(), nx);
-    } else if (transform != nullptr) {
-      for (std::size_t i = 0; i < nx; ++i) {
-        const core::BitPair out =
-            transform->step(chunk_x.get(i), chunk_y.get(i));
-        chunk_x.set(i, out.x);
-        chunk_y.set(i, out.y);
-      }
-    }
+    if (applier != nullptr) applier->advance(chunk_x, chunk_y);
     stats.bits += nx;
     ++stats.chunks;
     stats.peak_buffer_bits =
@@ -223,7 +216,7 @@ ChunkedRunStats run_chunked_pair(ChunkSource& source_x, ChunkSource& source_y,
     sink.consume(chunk_x, chunk_y);
     (void)ny;
   }
-  if (kern != nullptr) kern->finish();
+  if (applier != nullptr) applier->finish();
   return stats;
 }
 

@@ -40,6 +40,26 @@ double bernstein_value(sc::span<const double> coefficients, double x) {
   return beta[0];
 }
 
+double resc_expected(sc::span<const double> coefficients,
+                     sc::span<const double> copy_values) {
+  assert(coefficients.size() == copy_values.size() + 1);
+  // Poisson-binomial DP: dist[k] = P(k of the copies emit 1 this cycle).
+  std::vector<double> dist(copy_values.size() + 1, 0.0);
+  dist[0] = 1.0;
+  for (std::size_t c = 0; c < copy_values.size(); ++c) {
+    const double p = std::clamp(copy_values[c], 0.0, 1.0);
+    for (std::size_t k = c + 1; k > 0; --k) {
+      dist[k] = dist[k] * (1.0 - p) + dist[k - 1] * p;
+    }
+    dist[0] *= 1.0 - p;
+  }
+  double expected = 0.0;
+  for (std::size_t k = 0; k < dist.size(); ++k) {
+    expected += dist[k] * coefficients[k];
+  }
+  return expected;
+}
+
 Bitstream resc_evaluate(sc::span<const Bitstream> copies,
                         sc::span<const Bitstream> coefficient_streams) {
   assert(!copies.empty());

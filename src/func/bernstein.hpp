@@ -36,6 +36,14 @@ std::vector<double> bernstein_coefficients(
 /// Reference evaluation of sum_i b_i B_{i,n}(x) in floating point.
 double bernstein_value(sc::span<const double> coefficients, double x);
 
+/// Expected ReSC output for *independent* copies with possibly unequal
+/// values: E[out] = sum_k P(popcount = k) * b_k, with the popcount
+/// distribution the Poisson-binomial of the copy values
+/// (copies.size() = coefficients.size() - 1).  Equals
+/// bernstein_value(coefficients, x) when every copy value is x.
+double resc_expected(sc::span<const double> coefficients,
+                     sc::span<const double> copy_values);
+
 /// Core ReSC evaluation: per cycle, count the 1s among the x-copies and
 /// emit that coefficient stream's bit.  copies.size() = n,
 /// coefficient_streams.size() = n + 1, all streams one length.

@@ -1,6 +1,8 @@
 #include "func/fsm_function.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
 
 namespace sc::func {
 
@@ -28,6 +30,16 @@ Bitstream stanh(const Bitstream& x, unsigned states) {
     out.push_back(unit.step(x.get(i)));
   }
   return out;
+}
+
+double stanh_value(double v, unsigned states) {
+  return std::tanh(static_cast<double>(states) / 2.0 * v);
+}
+
+double sexp_value(double v, unsigned states, unsigned g) {
+  (void)states;  // the state count shapes the approximation, not the target
+  if (v <= 0.0) return 1.0;
+  return std::clamp(std::exp(-2.0 * static_cast<double>(g) * v), 0.0, 1.0);
 }
 
 Bitstream sexp(const Bitstream& x, unsigned states, unsigned g) {

@@ -75,4 +75,14 @@ class Sexp {
 /// Whole-stream sexp.
 Bitstream sexp(const Bitstream& x, unsigned states, unsigned g);
 
+/// Brown–Card analytic target of the stanh unit: tanh((states/2) * v) for
+/// a bipolar input v in [-1, 1].  Reference semantics for error
+/// measurement (the FSM approximates this; the approximation error is part
+/// of the unit, not of the executor).
+double stanh_value(double v, unsigned states);
+
+/// Analytic target of the sexp unit: exp(-2 g v) for bipolar v > 0,
+/// saturating at 1 for v <= 0 (Brown & Card), clamped to [0, 1].
+double sexp_value(double v, unsigned states, unsigned g);
+
 }  // namespace sc::func

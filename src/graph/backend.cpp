@@ -1,0 +1,521 @@
+#include "graph/backend.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "bitstream/encoding.hpp"
+#include "convert/regenerator.hpp"
+#include "core/decorrelator.hpp"
+#include "core/desynchronizer.hpp"
+#include "core/pair_transform.hpp"
+#include "core/synchronizer.hpp"
+#include "engine/chunked_stream.hpp"
+#include "engine/session.hpp"
+#include "graph/seeds.hpp"
+#include "kernel/apply.hpp"
+#include "rng/lfsr.hpp"
+
+namespace sc::graph {
+namespace {
+
+using seeds::Role;
+using seeds::derive_seed32;
+
+// ------------------------------------------------------------- shared bits
+
+/// Regenerates both operands from one shared trace with the second
+/// comparator complemented, producing SCC = -1 between the outputs.
+std::pair<Bitstream, Bitstream> regenerate_complementary(
+    const Bitstream& a, const Bitstream& b, rng::RandomSource& source) {
+  const std::size_t n = a.size();
+  const std::uint32_t mask = static_cast<std::uint32_t>(source.range() - 1);
+  const std::uint64_t level_a =
+      n == 0 ? 0 : (a.count_ones() * source.range() + n / 2) / n;
+  const std::uint64_t level_b =
+      n == 0 ? 0 : (b.count_ones() * source.range() + n / 2) / n;
+  Bitstream out_a(n);
+  Bitstream out_b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t r = source.next();
+    if (r < level_a) out_a.set(i, true);
+    // Complemented comparator: uses mask - r, so the 1-regions of the two
+    // outputs overlap as little as possible.
+    if ((mask - r) < level_b) out_b.set(i, true);
+  }
+  return {std::move(out_a), std::move(out_b)};
+}
+
+/// In-stream manipulator FSM for a planned fix (nullptr for regeneration
+/// kinds, which are not per-cycle transforms).
+std::unique_ptr<core::PairTransform> make_fix_transform(
+    FixKind kind, const ExecConfig& config, NodeId node, unsigned lane) {
+  switch (kind) {
+    case FixKind::kSynchronizer:
+      return std::make_unique<core::Synchronizer>(
+          core::Synchronizer::Config{config.sync_depth, false, 0});
+    case FixKind::kDesynchronizer:
+      return std::make_unique<core::Desynchronizer>(
+          core::Desynchronizer::Config{config.sync_depth, false});
+    case FixKind::kDecorrelator:
+      // The second buffer's source is rotated so the two address schedules
+      // stay distinct even if the width-masked seeds alias (lockstep
+      // buffers do not decorrelate).
+      return std::make_unique<core::Decorrelator>(
+          config.shuffle_depth,
+          std::make_unique<rng::Lfsr>(
+              config.width,
+              derive_seed32(config.seed, node, Role::kFixAuxA, lane)),
+          std::make_unique<rng::Lfsr>(
+              config.width,
+              derive_seed32(config.seed, node, Role::kFixAuxB, lane),
+              /*rotation=*/3));
+    default:
+      return nullptr;
+  }
+}
+
+/// Whole-stream regeneration fix (counts the operands, then re-encodes).
+void apply_regeneration(FixKind kind, Bitstream& a, Bitstream& b,
+                        const ExecConfig& config, NodeId node, unsigned lane) {
+  switch (kind) {
+    case FixKind::kRegenerateShared: {
+      rng::Lfsr source(config.width,
+                       derive_seed32(config.seed, node, Role::kFixAuxA, lane));
+      const auto bus = convert::regenerate_bus_correlated({a, b}, source);
+      a = bus[0];
+      b = bus[1];
+      return;
+    }
+    case FixKind::kRegenerateDistinct: {
+      rng::Lfsr source_a(
+          config.width,
+          derive_seed32(config.seed, node, Role::kFixAuxA, lane));
+      rng::Lfsr source_b(
+          config.width,
+          derive_seed32(config.seed, node, Role::kFixAuxB, lane));
+      a = convert::regenerate(a, source_a);
+      b = convert::regenerate(b, source_b);
+      return;
+    }
+    case FixKind::kRegenerateComplementary: {
+      rng::Lfsr source(config.width,
+                       derive_seed32(config.seed, node, Role::kFixAuxA, lane));
+      auto pair = regenerate_complementary(a, b, source);
+      a = std::move(pair.first);
+      b = std::move(pair.second);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+OpContext context_for(NodeId node, const ExecConfig& config) {
+  OpContext ctx;
+  ctx.stream_length = config.stream_length;
+  ctx.width = config.width;
+  ctx.node = node;
+  ctx.base_seed = config.seed;
+  return ctx;
+}
+
+/// Operand slots a node's planned fixes write to (fixes mutate their pair
+/// in place, so those slots — and only those — need private copies of the
+/// producer streams).
+std::vector<unsigned> fixed_slots_of(const std::vector<const PairFix*>& fixes) {
+  std::vector<unsigned> slots;
+  for (const PairFix* fix : fixes) {
+    for (const unsigned slot : {fix->operand_a, fix->operand_b}) {
+      if (std::find(slots.begin(), slots.end(), slot) == slots.end()) {
+        slots.push_back(slot);
+      }
+    }
+  }
+  return slots;
+}
+
+void reduce_outputs(const Program& program, ExecutionResult& result,
+                    const std::vector<double>& measured) {
+  const std::vector<double> exact = program.exact_values();
+  double total = 0.0;
+  for (NodeId output : program.outputs()) {
+    result.output_nodes.push_back(output);
+    result.values.push_back(measured[output]);
+    result.exact.push_back(exact[output]);
+    result.abs_errors.push_back(std::abs(measured[output] - exact[output]));
+    total += result.abs_errors.back();
+  }
+  result.mean_abs_error =
+      result.output_nodes.empty()
+          ? 0.0
+          : total / static_cast<double>(result.output_nodes.size());
+}
+
+// ------------------------------------------------------- whole-stream path
+
+ExecutionResult run_whole(const Program& program, const ProgramPlan& plan,
+                          const ExecConfig& config, bool kernel_path) {
+  const std::size_t n = config.stream_length;
+  // 64-bit: `1u << 32` is UB and a uint32 period wraps to 0 at width 32.
+  const std::uint64_t natural = std::uint64_t{1} << config.width;
+
+  // --- group traces -------------------------------------------------------
+  std::map<unsigned, std::vector<std::uint32_t>> traces;
+  for (NodeId id = 0; id < program.node_count(); ++id) {
+    const ProgramNode& node = program.node(id);
+    if (node.kind == ProgramNode::Kind::kOp) continue;
+    if (traces.count(node.rng_group) != 0) continue;
+    rng::Lfsr source(config.width, derive_seed32(config.seed, node.rng_group,
+                                                 Role::kGroupTrace));
+    std::vector<std::uint32_t> trace(n);
+    for (std::size_t i = 0; i < n; ++i) trace[i] = source.next();
+    traces.emplace(node.rng_group, std::move(trace));
+  }
+
+  ExecutionResult result;
+  result.streams.resize(program.node_count());
+  std::vector<double> measured(program.node_count(), 0.0);
+
+  for (NodeId id = 0; id < program.node_count(); ++id) {
+    const ProgramNode& node = program.node(id);
+    if (node.kind != ProgramNode::Kind::kOp) {
+      const std::uint64_t level = unipolar_level64(node.value, natural);
+      const auto& trace = traces.at(node.rng_group);
+      Bitstream stream(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (trace[i] < level) stream.set(i, true);
+      }
+      result.streams[id] = std::move(stream);
+      measured[id] = result.streams[id].value();
+      continue;
+    }
+
+    // --- operand views + planned pair fixes -------------------------------
+    // Only fix-target slots get private copies (fixes mutate their pair in
+    // place); everything else reads the producer stream directly.
+    std::vector<const Bitstream*> operands(node.operands.size());
+    for (std::size_t k = 0; k < node.operands.size(); ++k) {
+      operands[k] = &result.streams[node.operands[k]];
+    }
+    const std::vector<const PairFix*> fixes = plan.fixes_for(id);
+    const std::vector<unsigned> fixed_slots = fixed_slots_of(fixes);
+    std::vector<Bitstream> copies(fixed_slots.size());
+    for (std::size_t c = 0; c < fixed_slots.size(); ++c) {
+      copies[c] = result.streams[node.operands[fixed_slots[c]]];
+      operands[fixed_slots[c]] = &copies[c];
+    }
+    const auto copy_of = [&](unsigned slot) -> Bitstream& {
+      const auto it =
+          std::find(fixed_slots.begin(), fixed_slots.end(), slot);
+      return copies[static_cast<std::size_t>(it - fixed_slots.begin())];
+    };
+    for (std::size_t lane = 0; lane < fixes.size(); ++lane) {
+      const PairFix& fix = *fixes[lane];
+      Bitstream& a = copy_of(fix.operand_a);
+      Bitstream& b = copy_of(fix.operand_b);
+      if (is_regenerating(fix.fix)) {
+        apply_regeneration(fix.fix, a, b, config, id,
+                           static_cast<unsigned>(lane));
+        continue;
+      }
+      const std::unique_ptr<core::PairTransform> transform =
+          make_fix_transform(fix.fix, config, id, static_cast<unsigned>(lane));
+      const sc::StreamPair out = kernel_path ? kernel::apply(*transform, a, b)
+                                             : core::apply(*transform, a, b);
+      a = out.x;
+      b = out.y;
+    }
+
+    // --- the operator itself ----------------------------------------------
+    const OperatorDef& def = program.def_of(id);
+    const std::unique_ptr<OpEvaluator> evaluator =
+        def.make_evaluator(context_for(id, config));
+    evaluator->begin(n);
+    Bitstream out(n);
+    const sc::span<const Bitstream* const> ins(operands.data(),
+                                               operands.size());
+    if (kernel_path) {
+      evaluator->process(ins, out);
+    } else {
+      // Non-virtual call: the base implementation IS the bit-serial
+      // reference semantics; subclass overrides are the fast paths
+      // checked against it.
+      evaluator->OpEvaluator::process(ins, out);
+    }
+    result.streams[id] = std::move(out);
+    measured[id] = result.streams[id].value();
+  }
+
+  reduce_outputs(program, result, measured);
+  if (!config.keep_streams) result.streams.clear();
+  return result;
+}
+
+// ------------------------------------------------------------ chunked path
+
+/// Copies a chunk into `dst` at a word-aligned bit offset.
+void copy_chunk_into(Bitstream& dst, const Bitstream& chunk,
+                     std::size_t offset) {
+  assert(offset % 64 == 0);
+  const std::size_t word0 = offset / 64;
+  const std::vector<Bitstream::Word>& src = chunk.words();
+  Bitstream::Word* out = dst.word_data();
+  for (std::size_t w = 0; w < src.size(); ++w) out[word0 + w] = src[w];
+}
+
+/// Per-node state of one chunked run.
+struct ChunkNodeState {
+  // Inputs/constants: lazy SNG source.
+  std::unique_ptr<engine::SngChunkSource> source;
+  // Ops: planned fixes (as chunk appliers) and the evaluator.
+  std::vector<std::unique_ptr<core::PairTransform>> fix_transforms;
+  std::vector<std::unique_ptr<kernel::ChunkedPairApplier>> fix_appliers;
+  std::vector<const PairFix*> fixes;
+  std::unique_ptr<OpEvaluator> evaluator;
+  std::vector<unsigned> fixed_slots;  ///< operand slots the fixes mutate
+  std::vector<Bitstream> scratch;     ///< chunk copies, one per fixed slot
+  std::vector<const Bitstream*> operand_chunks;  ///< per-slot chunk views
+
+  Bitstream chunk;            ///< this node's bits of the current chunk
+  std::uint64_t ones = 0;     ///< running ones count (value reduction)
+};
+
+ExecutionResult run_chunked(const Program& program, const ProgramPlan& plan,
+                            const ExecConfig& config,
+                            engine::Session* session) {
+  // Regeneration is stream-wide (S/D counts the whole operand before the
+  // D/S re-encode can emit bit 0), so such plans cannot stream causally;
+  // fall back to whole-stream kernel execution — still bit-identical.
+  if (plan.has_regeneration()) {
+    return run_whole(program, plan, config, /*kernel_path=*/true);
+  }
+
+  const std::size_t n = config.stream_length;
+  const std::uint64_t natural = std::uint64_t{1} << config.width;
+  std::size_t chunk_bits =
+      session != nullptr ? session->config().chunk_bits
+                         : engine::kDefaultChunkBits;
+  // Word-align so chunk concatenation is a word copy; keep >= 64.
+  chunk_bits = std::max<std::size_t>(64, chunk_bits & ~std::size_t{63});
+
+  ExecutionResult result;
+  if (config.keep_streams) {
+    result.streams.assign(program.node_count(), Bitstream());
+    for (NodeId id = 0; id < program.node_count(); ++id) {
+      result.streams[id] = Bitstream(n);
+    }
+  }
+
+  // --- per-node state -----------------------------------------------------
+  std::vector<ChunkNodeState> states(program.node_count());
+  std::vector<std::vector<NodeId>> levels;  // topological level -> nodes
+  {
+    std::vector<unsigned> level_of(program.node_count(), 0);
+    for (NodeId id = 0; id < program.node_count(); ++id) {
+      const ProgramNode& node = program.node(id);
+      ChunkNodeState& state = states[id];
+      if (node.kind != ProgramNode::Kind::kOp) {
+        state.source = std::make_unique<engine::SngChunkSource>(
+            std::make_unique<rng::Lfsr>(
+                config.width, derive_seed32(config.seed, node.rng_group,
+                                            Role::kGroupTrace)),
+            unipolar_level64(node.value, natural), n);
+        level_of[id] = 0;
+      } else {
+        unsigned level = 0;
+        for (NodeId operand : node.operands) {
+          level = std::max(level, level_of[operand] + 1);
+        }
+        level_of[id] = level;
+        state.fixes = plan.fixes_for(id);
+        for (std::size_t lane = 0; lane < state.fixes.size(); ++lane) {
+          state.fix_transforms.push_back(make_fix_transform(
+              state.fixes[lane]->fix, config, id,
+              static_cast<unsigned>(lane)));
+          auto applier = std::make_unique<kernel::ChunkedPairApplier>(
+              *state.fix_transforms.back());
+          applier->begin(n);
+          state.fix_appliers.push_back(std::move(applier));
+        }
+        state.evaluator = program.def_of(id).make_evaluator(
+            context_for(id, config));
+        state.evaluator->begin(n);
+        state.fixed_slots = fixed_slots_of(state.fixes);
+        state.scratch.resize(state.fixed_slots.size());
+        state.operand_chunks.resize(node.operands.size());
+      }
+      if (level_of[id] >= levels.size()) levels.resize(level_of[id] + 1);
+      levels[level_of[id]].push_back(id);
+    }
+  }
+
+  // --- the chunk loop -----------------------------------------------------
+  engine::ChunkedRunStats stats;
+  const auto advance_node = [&](NodeId id, std::size_t take,
+                                std::size_t offset) {
+    const ProgramNode& node = program.node(id);
+    ChunkNodeState& state = states[id];
+    if (node.kind != ProgramNode::Kind::kOp) {
+      state.source->next_chunk(state.chunk, take);
+    } else {
+      // Unfixed operands read the producer's chunk in place; only the
+      // slots a fix mutates are copied into scratch.
+      for (std::size_t k = 0; k < node.operands.size(); ++k) {
+        state.operand_chunks[k] = &states[node.operands[k]].chunk;
+      }
+      for (std::size_t c = 0; c < state.fixed_slots.size(); ++c) {
+        const unsigned slot = state.fixed_slots[c];
+        state.scratch[c] = states[node.operands[slot]].chunk;
+        state.operand_chunks[slot] = &state.scratch[c];
+      }
+      const auto scratch_of = [&state](unsigned slot) -> Bitstream& {
+        const auto it = std::find(state.fixed_slots.begin(),
+                                  state.fixed_slots.end(), slot);
+        return state.scratch[static_cast<std::size_t>(
+            it - state.fixed_slots.begin())];
+      };
+      for (std::size_t lane = 0; lane < state.fix_appliers.size(); ++lane) {
+        state.fix_appliers[lane]->advance(
+            scratch_of(state.fixes[lane]->operand_a),
+            scratch_of(state.fixes[lane]->operand_b));
+      }
+      state.chunk.assign_zero(take);
+      state.evaluator->process(
+          sc::span<const Bitstream* const>(state.operand_chunks.data(),
+                                           state.operand_chunks.size()),
+          state.chunk);
+    }
+    state.ones += state.chunk.count_ones();
+    if (config.keep_streams) {
+      copy_chunk_into(result.streams[id], state.chunk, offset);
+    }
+  };
+
+  for (std::size_t offset = 0; offset < n; offset += chunk_bits) {
+    const std::size_t take = std::min(chunk_bits, n - offset);
+    for (const std::vector<NodeId>& level : levels) {
+      // Nodes of one level only read lower-level chunks, so they advance
+      // independently; fan them across the session pool when it helps.
+      if (session != nullptr && session->threads() > 1 && level.size() > 1) {
+        session->runner().for_each(level.size(), [&](std::size_t i) {
+          advance_node(level[i], take, offset);
+        });
+      } else {
+        for (NodeId id : level) advance_node(id, take, offset);
+      }
+    }
+    stats.bits += take;
+    ++stats.chunks;
+  }
+  stats.peak_buffer_bits = program.node_count() * chunk_bits;
+  for (ChunkNodeState& state : states) {
+    for (auto& applier : state.fix_appliers) applier->finish();
+  }
+  if (session != nullptr) session->note_chunked(stats);
+
+  std::vector<double> measured(program.node_count(), 0.0);
+  for (NodeId id = 0; id < program.node_count(); ++id) {
+    measured[id] =
+        n == 0 ? 0.0
+               : static_cast<double>(states[id].ones) / static_cast<double>(n);
+  }
+  reduce_outputs(program, result, measured);
+  return result;
+}
+
+// --------------------------------------------------------------- backends
+
+class ReferenceBackend final : public ExecutorBackend {
+ public:
+  std::string name() const override { return "reference"; }
+  ExecutionResult run(const Program& program, const ProgramPlan& plan,
+                      const ExecConfig& config) override {
+    return run_whole(program, plan, config, /*kernel_path=*/false);
+  }
+};
+
+class KernelBackend final : public ExecutorBackend {
+ public:
+  std::string name() const override { return "kernel"; }
+  ExecutionResult run(const Program& program, const ProgramPlan& plan,
+                      const ExecConfig& config) override {
+    return run_whole(program, plan, config, /*kernel_path=*/true);
+  }
+};
+
+class EngineBackend final : public ExecutorBackend {
+ public:
+  explicit EngineBackend(engine::Session* session) : session_(session) {}
+  std::string name() const override { return "engine"; }
+  ExecutionResult run(const Program& program, const ProgramPlan& plan,
+                      const ExecConfig& config) override {
+    return run_chunked(program, plan, config, session_);
+  }
+
+ private:
+  engine::Session* session_;
+};
+
+}  // namespace
+
+std::unique_ptr<ExecutorBackend> make_backend(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kReference:
+      return std::make_unique<ReferenceBackend>();
+    case BackendKind::kKernel:
+      return std::make_unique<KernelBackend>();
+    case BackendKind::kEngine:
+      return std::make_unique<EngineBackend>(nullptr);
+  }
+  return nullptr;
+}
+
+std::unique_ptr<ExecutorBackend> make_engine_backend(
+    engine::Session& session) {
+  return std::make_unique<EngineBackend>(&session);
+}
+
+std::vector<std::uint32_t> derived_seeds(const Program& program,
+                                          const ProgramPlan& plan,
+                                          const ExecConfig& config) {
+  std::vector<std::uint32_t> out;
+  std::map<unsigned, bool> groups;
+  for (NodeId id = 0; id < program.node_count(); ++id) {
+    const ProgramNode& node = program.node(id);
+    if (node.kind != ProgramNode::Kind::kOp) {
+      if (!groups.emplace(node.rng_group, true).second) continue;
+      out.push_back(derive_seed32(config.seed, node.rng_group,
+                                  Role::kGroupTrace));
+      continue;
+    }
+    const OperatorDef& def = program.def_of(id);
+    for (unsigned slot = 0; slot < def.rng_slots; ++slot) {
+      out.push_back(derive_seed32(config.seed, id, Role::kOpPrivate, slot));
+    }
+    const std::vector<const PairFix*> fixes = plan.fixes_for(id);
+    for (std::size_t lane = 0; lane < fixes.size(); ++lane) {
+      const auto lane32 = static_cast<std::uint32_t>(lane);
+      switch (fixes[lane]->fix) {
+        case FixKind::kDecorrelator:
+        case FixKind::kRegenerateDistinct:
+          out.push_back(derive_seed32(config.seed, id, Role::kFixAuxA, lane32));
+          out.push_back(derive_seed32(config.seed, id, Role::kFixAuxB, lane32));
+          break;
+        case FixKind::kRegenerateShared:
+        case FixKind::kRegenerateComplementary:
+          out.push_back(derive_seed32(config.seed, id, Role::kFixAuxA, lane32));
+          break;
+        default:
+          break;  // synchronizer/desynchronizer draw no RNG
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace sc::graph

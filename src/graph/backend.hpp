@@ -1,0 +1,111 @@
+/// \file backend.hpp
+/// Pluggable execution backends for registry programs.
+///
+/// An ExecutorBackend turns (Program, ProgramPlan, ExecConfig) into a
+/// bit-true ExecutionResult.  Three implementations ship:
+///
+///  * ReferenceBackend — everything bit-serial: operators step one cycle
+///    at a time, planned fixes run the per-cycle FSMs (core::apply).  The
+///    semantics oracle.
+///  * KernelBackend — whole-stream with the table-driven kernel layer
+///    (src/kernel/) for fixes and the operators' word-parallel paths.
+///  * EngineBackend — chunked streaming: node streams advance one
+///    fixed-size chunk at a time with FSM/evaluator state carried across
+///    chunk boundaries, so arbitrarily long streams execute in O(nodes x
+///    chunk) memory (set ExecConfig::keep_streams = false); optionally
+///    bound to an engine::Session whose pool fans independent nodes of
+///    each topological level and whose chunk size / accounting it uses.
+///    Regeneration fixes are inherently stream-wide (they count the whole
+///    operand before re-encoding), so plans containing them fall back to
+///    whole-stream execution.
+///
+/// All three are bit-identical on the same (Program, ProgramPlan,
+/// ExecConfig) — enforced by differential tests — because every random
+/// decision derives from seeds.hpp's (node, role, lane) scheme and every
+/// fast path is a proven-equivalent rewrite of the serial one.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bitstream/bitstream.hpp"
+#include "graph/planner.hpp"
+#include "graph/program.hpp"
+
+namespace sc::engine {
+class Session;
+}
+
+namespace sc::graph {
+
+/// Execution parameters.
+struct ExecConfig {
+  std::size_t stream_length = 256;
+  unsigned width = 8;          ///< SNG comparator width
+  std::uint32_t seed = 3;      ///< base seed of the derivation scheme
+  unsigned sync_depth = 2;     ///< depth of inserted (de)synchronizers
+  std::size_t shuffle_depth = 8;
+  /// Legacy knob of the execute() shim: route fixes through the
+  /// table-driven kernels (KernelBackend) or the bit-serial reference
+  /// path (ReferenceBackend).  Backends obtained via make_backend ignore
+  /// it — the backend *is* the choice.
+  bool use_kernels = true;
+  /// Materialize every node's stream in the result.  Set false on the
+  /// engine backend to run long streams in O(chunk) memory (streams stay
+  /// empty; output values are still exact reductions).
+  bool keep_streams = true;
+};
+
+/// Per-output accuracy and the overall summary.
+struct ExecutionResult {
+  std::vector<NodeId> output_nodes;
+  std::vector<double> values;      ///< measured SC values
+  std::vector<double> exact;       ///< float semantics
+  std::vector<double> abs_errors;  ///< |measured - exact|
+  double mean_abs_error = 0.0;
+
+  /// The streams of every node (index = NodeId), for inspection.  Empty
+  /// when the run had keep_streams = false.
+  std::vector<Bitstream> streams;
+};
+
+/// Uniform execution interface over a planned program.
+class ExecutorBackend {
+ public:
+  virtual ~ExecutorBackend() = default;
+  virtual std::string name() const = 0;
+  virtual ExecutionResult run(const Program& program, const ProgramPlan& plan,
+                              const ExecConfig& config) = 0;
+};
+
+enum class BackendKind { kReference, kKernel, kEngine };
+
+/// Creates a backend.  kEngine made this way runs unthreaded with the
+/// default chunk size; bind a session with make_engine_backend for pooled
+/// execution.
+std::unique_ptr<ExecutorBackend> make_backend(BackendKind kind);
+
+/// Engine backend bound to a session: uses its chunk size, fans the nodes
+/// of each topological level across its pool, and records chunked-run
+/// stats.  The session must outlive the backend.  Do not call run() from
+/// inside one of the same session's jobs (the fan-out would self-deadlock
+/// on the pool).
+std::unique_ptr<ExecutorBackend> make_engine_backend(engine::Session& session);
+
+/// Every auxiliary seed a run of `plan` on `program` derives, in
+/// deterministic order: group traces, operator-private slots
+/// (OperatorDef::rng_slots), and per-fix RNGs.  These are the *32-bit
+/// folds the LFSRs are actually seeded with* (seeds::derive_seed32,
+/// including its 0 -> 1 remap), not the 64-bit mixes — the 64-bit values
+/// are distinct by construction, so auditing them would be vacuous; the
+/// fold is where a birthday or remap collision could silently run two
+/// "independent" generators on one schedule.  The regression test asserts
+/// pairwise distinctness on large plans under the default base seed.
+std::vector<std::uint32_t> derived_seeds(const Program& program,
+                                         const ProgramPlan& plan,
+                                         const ExecConfig& config);
+
+}  // namespace sc::graph

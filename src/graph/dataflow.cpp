@@ -2,56 +2,35 @@
 
 #include <algorithm>
 #include <cassert>
-#include <cmath>
+
+#include "graph/program.hpp"
 
 namespace sc::graph {
 
 std::string to_string(OpKind kind) {
-  switch (kind) {
-    case OpKind::kMultiply:
-      return "multiply";
-    case OpKind::kScaledAdd:
-      return "scaled-add";
-    case OpKind::kSaturatingAdd:
-      return "saturating-add";
-    case OpKind::kSubtractAbs:
-      return "subtract";
-    case OpKind::kMax:
-      return "max";
-    case OpKind::kMin:
-      return "min";
-  }
-  return "?";
+  return registry().def(op_id_for(kind)).name;
 }
 
-std::string to_string(Requirement requirement) {
-  switch (requirement) {
-    case Requirement::kUncorrelated:
-      return "uncorrelated";
-    case Requirement::kPositive:
-      return "positive";
-    case Requirement::kNegative:
-      return "negative";
-    case Requirement::kAgnostic:
-      return "agnostic";
+OpId op_id_for(OpKind kind) {
+  switch (kind) {
+    case OpKind::kMultiply:
+      return registry().id_of("multiply");
+    case OpKind::kScaledAdd:
+      return registry().id_of("scaled-add");
+    case OpKind::kSaturatingAdd:
+      return registry().id_of("saturating-add");
+    case OpKind::kSubtractAbs:
+      return registry().id_of("subtract");
+    case OpKind::kMax:
+      return registry().id_of("max");
+    case OpKind::kMin:
+      return registry().id_of("min");
   }
-  return "?";
+  return registry().id_of("multiply");
 }
 
 Requirement requirement_of(OpKind kind) {
-  switch (kind) {
-    case OpKind::kMultiply:
-      return Requirement::kUncorrelated;
-    case OpKind::kScaledAdd:
-      return Requirement::kAgnostic;
-    case OpKind::kSaturatingAdd:
-      return Requirement::kNegative;
-    case OpKind::kSubtractAbs:
-    case OpKind::kMax:
-    case OpKind::kMin:
-      return Requirement::kPositive;
-  }
-  return Requirement::kAgnostic;
+  return registry().def(op_id_for(kind)).requirement;
 }
 
 NodeId DataflowGraph::add_input(std::string name, double value,
@@ -91,25 +70,41 @@ std::vector<NodeId> DataflowGraph::op_nodes() const {
 }
 
 double DataflowGraph::exact_value(NodeId id) const {
-  const Node& n = nodes_[id];
-  if (n.kind == Node::Kind::kInput) return n.value;
-  const double a = exact_value(n.lhs);
-  const double b = exact_value(n.rhs);
-  switch (n.op) {
-    case OpKind::kMultiply:
-      return a * b;
-    case OpKind::kScaledAdd:
-      return 0.5 * (a + b);
-    case OpKind::kSaturatingAdd:
-      return std::min(1.0, a + b);
-    case OpKind::kSubtractAbs:
-      return std::abs(a - b);
-    case OpKind::kMax:
-      return std::max(a, b);
-    case OpKind::kMin:
-      return std::min(a, b);
+  // One topological pass over all nodes (naive recursion is exponential
+  // on DAGs with shared subexpressions).
+  std::vector<double> values(nodes_.size(), 0.0);
+  for (NodeId n = 0; n <= id; ++n) {
+    const Node& node = nodes_[n];
+    if (node.kind == Node::Kind::kInput) {
+      values[n] = node.value;
+      continue;
+    }
+    const double operands[2] = {values[node.lhs], values[node.rhs]};
+    values[n] = registry().def(op_id_for(node.op)).exact(
+        sc::span<const double>(operands, 2));
   }
-  return 0.0;
+  return values[id];
+}
+
+Program to_program(const DataflowGraph& graph) {
+  GraphBuilder builder(registry());
+  for (NodeId id = 0; id < graph.node_count(); ++id) {
+    const Node& node = graph.node(id);
+    Value v;
+    if (node.kind == Node::Kind::kInput) {
+      // raw_input: DataflowGraph never restricted names or group ids, so
+      // the shim must not reject what the legacy API accepted (names are
+      // uniquified; any rng_group passes through).
+      v = builder.raw_input(node.name, node.value, node.rng_group);
+    } else {
+      v = builder.op(op_id_for(node.op), {Value{node.lhs}, Value{node.rhs}});
+    }
+    // Node ids are preserved because the builder appends in order.
+    assert(v.id == id);
+    (void)v;
+  }
+  for (NodeId output : graph.outputs()) builder.output(Value{output});
+  return builder.build();
 }
 
 }  // namespace sc::graph

@@ -1,20 +1,22 @@
 /// \file dataflow.hpp
-/// Correlation-aware SC dataflow graphs.
+/// Legacy two-operand SC dataflow graphs (thin shim over Program).
 ///
-/// The paper's circuits exist to be "inserted at appropriate points in the
-/// computation" (§I).  This module provides the computation: a small
-/// dataflow graph of SC operations, each annotated with the operand
-/// correlation it requires (paper Fig. 2), plus exact floating-point
-/// semantics for error measurement.  The planner (planner.hpp) decides
-/// where manipulating circuits (or regenerators) must be inserted, and the
-/// executor (executor.hpp) runs the graph on real bitstreams with the
-/// planned fixes applied.
+/// The computation layer now lives in the operator registry
+/// (registry.hpp) and registry programs (program.hpp): operators are
+/// open-ended, n-ary, and execute on pluggable backends (backend.hpp).
+/// DataflowGraph remains for call sites written against the original
+/// closed six-op API; it stores the same node shape as before and
+/// converts losslessly (ids preserved) into a Program via to_program().
+/// Semantics — requirements, exact values, names — are delegated to the
+/// registry definitions, so they are stated exactly once.
 
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "graph/registry.hpp"
 
 namespace sc::graph {
 
@@ -30,21 +32,13 @@ enum class OpKind {
 
 std::string to_string(OpKind kind);
 
-/// Operand-correlation requirement of an operation (paper Fig. 2's
-/// "Operand Correlation" row).
-enum class Requirement {
-  kUncorrelated,
-  kPositive,
-  kNegative,
-  kAgnostic,
-};
+/// Registry id of a legacy op kind (in the process-wide registry()).
+OpId op_id_for(OpKind kind);
 
-std::string to_string(Requirement requirement);
+std::string to_string(Requirement requirement);  // see registry.hpp
 
-/// Requirement of each op.
+/// Requirement of each op (from its registry definition).
 Requirement requirement_of(OpKind kind);
-
-using NodeId = std::uint32_t;
 
 /// One graph node: either a generated input or a two-operand op.
 struct Node {
@@ -61,6 +55,8 @@ struct Node {
   NodeId lhs = 0;
   NodeId rhs = 0;
 };
+
+class Program;
 
 /// A DAG of SC operations.  Nodes are created in topological order (ops may
 /// only reference already-created nodes).
@@ -84,13 +80,18 @@ class DataflowGraph {
   /// Ids of all op nodes, in creation (topological) order.
   std::vector<NodeId> op_nodes() const;
 
-  /// Exact floating-point value of a node (scaled add = 0.5(a+b),
-  /// saturating add = min(1, a+b), subtract = |a-b|, etc.).
+  /// Exact floating-point value of a node via the registry semantics
+  /// (scaled add = 0.5(a+b), saturating add = min(1, a+b), etc.).
   double exact_value(NodeId id) const;
 
  private:
   std::vector<Node> nodes_;
   std::vector<NodeId> outputs_;
 };
+
+/// Converts a legacy graph into a registry Program.  Node ids are
+/// preserved 1:1 (node i of the graph is node i of the program), so plans
+/// and results translate without remapping.
+Program to_program(const DataflowGraph& graph);
 
 }  // namespace sc::graph

@@ -1,196 +1,16 @@
 #include "graph/executor.hpp"
 
-#include <cassert>
-#include <map>
-#include <memory>
-
-#include "bitstream/encoding.hpp"
-#include "convert/regenerator.hpp"
-#include "core/decorrelator.hpp"
 #include "engine/session.hpp"
-#include "core/desynchronizer.hpp"
-#include "core/pair_transform.hpp"
-#include "core/synchronizer.hpp"
-#include "kernel/apply.hpp"
-#include "rng/lfsr.hpp"
 
 namespace sc::graph {
-namespace {
-
-using StreamPairRef = std::pair<Bitstream, Bitstream>;
-
-/// Regenerates both operands from one shared trace with the second
-/// comparator complemented, producing SCC = -1 between the outputs.
-StreamPairRef regenerate_complementary(const Bitstream& a, const Bitstream& b,
-                                       rng::RandomSource& source) {
-  const std::size_t n = a.size();
-  const std::uint32_t mask =
-      static_cast<std::uint32_t>(source.range() - 1);
-  const std::uint64_t level_a =
-      n == 0 ? 0 : (a.count_ones() * source.range() + n / 2) / n;
-  const std::uint64_t level_b =
-      n == 0 ? 0 : (b.count_ones() * source.range() + n / 2) / n;
-  Bitstream out_a(n);
-  Bitstream out_b(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::uint32_t r = source.next();
-    if (r < level_a) out_a.set(i, true);
-    // Complemented comparator: uses mask - r, so the 1-regions of the two
-    // outputs overlap as little as possible.
-    if ((mask - r) < level_b) out_b.set(i, true);
-  }
-  return {std::move(out_a), std::move(out_b)};
-}
-
-}  // namespace
 
 ExecutionResult execute(const DataflowGraph& graph, const Plan& plan,
                         const ExecConfig& config) {
-  const std::size_t n = config.stream_length;
-  // 64-bit: `1u << 32` is UB and a uint32 period wraps to 0 at width 32
-  // (same class of bug as Sng::natural_length_).
-  const std::uint64_t natural = std::uint64_t{1} << config.width;
-
-  // --- group traces ---------------------------------------------------------
-  std::map<unsigned, std::vector<std::uint32_t>> traces;
-  for (NodeId id = 0; id < graph.node_count(); ++id) {
-    const Node& node = graph.node(id);
-    if (node.kind != Node::Kind::kInput) continue;
-    if (traces.count(node.rng_group) != 0) continue;
-    rng::Lfsr source(config.width, config.seed + 7 * node.rng_group + 1);
-    std::vector<std::uint32_t> trace(n);
-    for (std::size_t i = 0; i < n; ++i) trace[i] = source.next();
-    traces.emplace(node.rng_group, std::move(trace));
-  }
-
-  ExecutionResult result;
-  result.streams.resize(graph.node_count());
-
-  for (NodeId id = 0; id < graph.node_count(); ++id) {
-    const Node& node = graph.node(id);
-    if (node.kind == Node::Kind::kInput) {
-      const std::uint64_t level = unipolar_level64(node.value, natural);
-      const auto& trace = traces.at(node.rng_group);
-      Bitstream stream(n);
-      for (std::size_t i = 0; i < n; ++i) {
-        if (trace[i] < level) stream.set(i, true);
-      }
-      result.streams[id] = std::move(stream);
-      continue;
-    }
-
-    Bitstream a = result.streams[node.lhs];
-    Bitstream b = result.streams[node.rhs];
-
-    // Planned FSM fixes run through the table-driven kernel layer by
-    // default (bit-identical to core::apply, word-parallel); use_kernels
-    // false forces the per-cycle reference path.
-    const auto apply_fix = [&config](core::PairTransform& transform,
-                                     const Bitstream& sa,
-                                     const Bitstream& sb) {
-      return config.use_kernels ? kernel::apply(transform, sa, sb)
-                                : core::apply(transform, sa, sb);
-    };
-
-    // --- planned fix --------------------------------------------------------
-    switch (plan.fix_for(id)) {
-      case FixKind::kNone:
-        break;
-      case FixKind::kSynchronizer: {
-        core::Synchronizer sync({config.sync_depth, false});
-        const sc::StreamPair out = apply_fix(sync, a, b);
-        a = out.x;
-        b = out.y;
-        break;
-      }
-      case FixKind::kDesynchronizer: {
-        core::Desynchronizer desync({config.sync_depth, false});
-        const sc::StreamPair out = apply_fix(desync, a, b);
-        a = out.x;
-        b = out.y;
-        break;
-      }
-      case FixKind::kDecorrelator: {
-        // The second buffer's source is rotated so the two address
-        // schedules stay distinct even if the seeds land on nearby states
-        // of the shared m-sequence (lockstep buffers do not decorrelate).
-        core::Decorrelator dec(
-            config.shuffle_depth,
-            std::make_unique<rng::Lfsr>(config.width,
-                                        config.seed + 1001 + 2 * id),
-            std::make_unique<rng::Lfsr>(config.width,
-                                        config.seed + 1002 + 2 * id,
-                                        /*rotation=*/3));
-        const sc::StreamPair out = apply_fix(dec, a, b);
-        a = out.x;
-        b = out.y;
-        break;
-      }
-      case FixKind::kRegenerateShared: {
-        rng::Lfsr source(config.width, config.seed + 2001 + id);
-        const auto bus = convert::regenerate_bus_correlated({a, b}, source);
-        a = bus[0];
-        b = bus[1];
-        break;
-      }
-      case FixKind::kRegenerateDistinct: {
-        rng::Lfsr source_a(config.width, config.seed + 2001 + 2 * id);
-        rng::Lfsr source_b(config.width, config.seed + 2002 + 2 * id);
-        a = convert::regenerate(a, source_a);
-        b = convert::regenerate(b, source_b);
-        break;
-      }
-      case FixKind::kRegenerateComplementary: {
-        rng::Lfsr source(config.width, config.seed + 2001 + id);
-        auto pair = regenerate_complementary(a, b, source);
-        a = std::move(pair.first);
-        b = std::move(pair.second);
-        break;
-      }
-    }
-
-    // --- the op itself --------------------------------------------------------
-    switch (node.op) {
-      case OpKind::kMultiply:
-      case OpKind::kMin:
-        result.streams[id] = a & b;
-        break;
-      case OpKind::kMax:
-      case OpKind::kSaturatingAdd:
-        result.streams[id] = a | b;
-        break;
-      case OpKind::kSubtractAbs:
-        result.streams[id] = a ^ b;
-        break;
-      case OpKind::kScaledAdd: {
-        rng::Lfsr select_source(config.width, config.seed + 3001 + id);
-        Bitstream select(n);
-        const std::uint64_t half = natural / 2;
-        for (std::size_t i = 0; i < n; ++i) {
-          if (select_source.next() < half) select.set(i, true);
-        }
-        result.streams[id] = Bitstream::mux(a, b, select);
-        break;
-      }
-    }
-  }
-
-  // --- outputs ---------------------------------------------------------------
-  double total = 0.0;
-  for (NodeId output : graph.outputs()) {
-    result.output_nodes.push_back(output);
-    const double value = result.streams[output].value();
-    const double exact = graph.exact_value(output);
-    result.values.push_back(value);
-    result.exact.push_back(exact);
-    result.abs_errors.push_back(std::abs(value - exact));
-    total += std::abs(value - exact);
-  }
-  result.mean_abs_error =
-      result.output_nodes.empty()
-          ? 0.0
-          : total / static_cast<double>(result.output_nodes.size());
-  return result;
+  const Program program = to_program(graph);  // node ids preserved
+  const ProgramPlan program_plan = to_program_plan(plan);
+  return make_backend(config.use_kernels ? BackendKind::kKernel
+                                         : BackendKind::kReference)
+      ->run(program, program_plan, config);
 }
 
 std::vector<ExecConfig> seeded_sweep(const ExecConfig& base, std::size_t count,
@@ -209,9 +29,16 @@ std::vector<ExecutionResult> execute_batch(const DataflowGraph& graph,
                                            const Plan& plan,
                                            const std::vector<ExecConfig>& configs,
                                            engine::Session& session) {
+  // Convert once; each job then runs the whole-stream kernel/reference
+  // path on its own config (pure function of the config -> thread-count
+  // invariant).
+  const Program program = to_program(graph);
+  const ProgramPlan program_plan = to_program_plan(plan);
   return session.map<ExecutionResult>(
-      configs.size(), [&graph, &plan, &configs](std::size_t i) {
-        return execute(graph, plan, configs[i]);
+      configs.size(), [&program, &program_plan, &configs](std::size_t i) {
+        return make_backend(configs[i].use_kernels ? BackendKind::kKernel
+                                                   : BackendKind::kReference)
+            ->run(program, program_plan, configs[i]);
       });
 }
 

@@ -1,19 +1,25 @@
 /// \file executor.hpp
-/// Bit-true execution of a dataflow graph under an insertion plan.
+/// Legacy execution entry points (thin shims over the backend layer).
 ///
-/// Inputs are encoded with comparator SNGs: nodes of the same RNG group
-/// share one LFSR trace (maximally correlated), different groups use
-/// independently seeded LFSRs.  Ops run the real gate/MUX implementations;
-/// planned fixes instantiate the real synchronizer / desynchronizer /
-/// decorrelator FSMs or regeneration, so the executor measures exactly what
-/// the planned hardware would compute.
+/// Execution proper lives in backend.hpp: a Program plus a ProgramPlan
+/// runs on any ExecutorBackend (reference / kernel / engine), and all
+/// backends are bit-identical.  execute() keeps the original
+/// DataflowGraph signature by converting the graph and plan and running
+/// the kernel backend (or the bit-serial reference backend when
+/// ExecConfig::use_kernels is false).
+///
+/// Migration map (see README "Operator registry & backends"):
+///   DataflowGraph          -> GraphBuilder / Program   (program.hpp)
+///   plan_insertions(graph) -> plan_program(program)    (planner.hpp)
+///   execute(graph, plan)   -> make_backend(kind)->run(program, plan, cfg)
+///   ExecConfig::use_kernels-> BackendKind::{kReference, kKernel, kEngine}
 
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
-#include "bitstream/bitstream.hpp"
+#include "graph/backend.hpp"
 #include "graph/dataflow.hpp"
 #include "graph/planner.hpp"
 
@@ -23,32 +29,7 @@ class Session;
 
 namespace sc::graph {
 
-/// Execution parameters.
-struct ExecConfig {
-  std::size_t stream_length = 256;
-  unsigned width = 8;          ///< SNG comparator width
-  std::uint32_t seed = 3;      ///< base seed for group and auxiliary LFSRs
-  unsigned sync_depth = 2;     ///< depth of inserted (de)synchronizers
-  std::size_t shuffle_depth = 8;
-  /// Run planned fixes through the table-driven kernels (src/kernel/)
-  /// where available.  Bit-identical to the bit-serial FSMs; set false to
-  /// force the per-cycle reference path.
-  bool use_kernels = true;
-};
-
-/// Per-output accuracy and the overall summary.
-struct ExecutionResult {
-  std::vector<NodeId> output_nodes;
-  std::vector<double> values;      ///< measured SC values
-  std::vector<double> exact;       ///< float semantics
-  std::vector<double> abs_errors;  ///< |measured - exact|
-  double mean_abs_error = 0.0;
-
-  /// The streams of every node (index = NodeId), for inspection.
-  std::vector<Bitstream> streams;
-};
-
-/// Runs the graph with the plan's fixes applied.
+/// Runs the graph with the plan's fixes applied (legacy signature).
 ExecutionResult execute(const DataflowGraph& graph, const Plan& plan,
                         const ExecConfig& config = {});
 

@@ -7,16 +7,41 @@
 namespace sc::graph {
 namespace {
 
-/// Set of RNG groups a node's stream derives from.
-std::set<unsigned> lineage(const DataflowGraph& graph, NodeId id) {
-  const Node& node = graph.node(id);
-  if (node.kind == Node::Kind::kInput) {
-    return {node.rng_group};
+/// Lineages (set of RNG groups) of every node, one topological pass.
+std::vector<std::set<unsigned>> lineages(const Program& program) {
+  std::vector<std::set<unsigned>> result(program.node_count());
+  for (NodeId id = 0; id < program.node_count(); ++id) {
+    const ProgramNode& node = program.node(id);
+    if (node.kind != ProgramNode::Kind::kOp) {
+      result[id].insert(node.rng_group);
+      continue;
+    }
+    for (NodeId operand : node.operands) {
+      result[id].insert(result[operand].begin(), result[operand].end());
+    }
   }
-  std::set<unsigned> result = lineage(graph, node.lhs);
-  const std::set<unsigned> rhs = lineage(graph, node.rhs);
-  result.insert(rhs.begin(), rhs.end());
   return result;
+}
+
+bool disjoint(const std::set<unsigned>& a, const std::set<unsigned>& b) {
+  for (unsigned group : a) {
+    if (b.count(group) != 0) return false;
+  }
+  return true;
+}
+
+Relation classify_with(const Program& program,
+                       const std::vector<std::set<unsigned>>& lineage,
+                       NodeId a, NodeId b) {
+  if (a == b) return Relation::kPositive;  // one stream is its own SCC=+1 pair
+  const ProgramNode& na = program.node(a);
+  const ProgramNode& nb = program.node(b);
+  if (na.kind != ProgramNode::Kind::kOp && nb.kind != ProgramNode::Kind::kOp &&
+      na.rng_group == nb.rng_group) {
+    return Relation::kPositive;
+  }
+  return disjoint(lineage[a], lineage[b]) ? Relation::kIndependent
+                                          : Relation::kUnknown;
 }
 
 bool satisfied(Requirement requirement, Relation relation) {
@@ -133,20 +158,77 @@ std::string to_string(FixKind kind) {
   return "?";
 }
 
-Relation classify(const DataflowGraph& graph, NodeId a, NodeId b) {
-  const Node& na = graph.node(a);
-  const Node& nb = graph.node(b);
-  if (na.kind == Node::Kind::kInput && nb.kind == Node::Kind::kInput &&
-      na.rng_group == nb.rng_group) {
-    return Relation::kPositive;
-  }
-  const std::set<unsigned> la = lineage(graph, a);
-  const std::set<unsigned> lb = lineage(graph, b);
-  for (unsigned group : la) {
-    if (lb.count(group) != 0) return Relation::kUnknown;
-  }
-  return Relation::kIndependent;
+bool is_regenerating(FixKind kind) {
+  return kind == FixKind::kRegenerateShared ||
+         kind == FixKind::kRegenerateDistinct ||
+         kind == FixKind::kRegenerateComplementary;
 }
+
+Relation classify(const Program& program, NodeId a, NodeId b) {
+  return classify_with(program, lineages(program), a, b);
+}
+
+Relation classify(const DataflowGraph& graph, NodeId a, NodeId b) {
+  return classify(to_program(graph), a, b);
+}
+
+std::vector<const PairFix*> ProgramPlan::fixes_for(NodeId op_node) const {
+  std::vector<const PairFix*> result;
+  for (const PairFix& fix : fixes) {
+    if (fix.op_node == op_node && fix.fix != FixKind::kNone) {
+      result.push_back(&fix);
+    }
+  }
+  return result;
+}
+
+bool ProgramPlan::has_regeneration() const {
+  for (const PairFix& fix : fixes) {
+    if (is_regenerating(fix.fix)) return true;
+  }
+  return false;
+}
+
+ProgramPlan plan_program(const Program& program, Strategy strategy,
+                         const PlannerConfig& config) {
+  ProgramPlan plan;
+  plan.strategy = strategy;
+  plan.overhead.set_label("insertion-overhead(" + to_string(strategy) + ")");
+
+  const std::vector<std::set<unsigned>> lineage = lineages(program);
+
+  for (NodeId op_node : program.op_nodes()) {
+    const ProgramNode& node = program.node(op_node);
+    const OperatorDef& def = program.def_of(op_node);
+    bool violated = false;
+    for (unsigned a = 0; a < node.operands.size(); ++a) {
+      for (unsigned b = a + 1; b < node.operands.size(); ++b) {
+        PairFix fix;
+        fix.op_node = op_node;
+        fix.operand_a = a;
+        fix.operand_b = b;
+        fix.requirement = def.requirement_between(a, b);
+        if (fix.requirement == Requirement::kAgnostic) continue;
+        fix.relation = classify_with(program, lineage, node.operands[a],
+                                     node.operands[b]);
+        if (!satisfied(fix.requirement, fix.relation)) {
+          fix.fix = fix_for_requirement(fix.requirement, strategy);
+          if (fix.fix == FixKind::kNone) {
+            violated = true;
+          } else {
+            plan.overhead += fix_netlist(fix.fix, config);
+            ++plan.inserted_units;
+          }
+        }
+        plan.fixes.push_back(fix);
+      }
+    }
+    if (violated) plan.violations.push_back(op_node);
+  }
+  return plan;
+}
+
+// --------------------------------------------------------------- legacy API
 
 FixKind Plan::fix_for(NodeId op_node) const {
   for (const PlannedFix& fix : fixes) {
@@ -157,30 +239,57 @@ FixKind Plan::fix_for(NodeId op_node) const {
 
 Plan plan_insertions(const DataflowGraph& graph, Strategy strategy,
                      const PlannerConfig& config) {
-  Plan plan;
-  plan.strategy = strategy;
-  plan.overhead.set_label("insertion-overhead(" + to_string(strategy) + ")");
+  const Program program = to_program(graph);  // preserves node ids
+  const ProgramPlan inner = plan_program(program, strategy, config);
+  // One shared lineage table for the agnostic-op relation reporting below
+  // (per-op classify() calls would recompute it per node).
+  const std::vector<std::set<unsigned>> lineage = lineages(program);
 
+  Plan plan;
+  plan.strategy = inner.strategy;
+  plan.violations = inner.violations;
+  plan.overhead = inner.overhead;
+  plan.inserted_units = inner.inserted_units;
   for (NodeId op_node : graph.op_nodes()) {
-    const Node& node = graph.node(op_node);
     PlannedFix fix;
     fix.op_node = op_node;
-    fix.op = node.op;
-    fix.requirement = requirement_of(node.op);
-    fix.relation = classify(graph, node.lhs, node.rhs);
-
-    if (!satisfied(fix.requirement, fix.relation)) {
-      fix.fix = fix_for_requirement(fix.requirement, strategy);
-      if (fix.fix == FixKind::kNone) {
-        plan.violations.push_back(op_node);
-      } else {
-        plan.overhead += fix_netlist(fix.fix, config);
-        ++plan.inserted_units;
+    fix.op = graph.node(op_node).op;
+    fix.requirement = requirement_of(fix.op);
+    fix.relation = Relation::kUnknown;
+    for (const PairFix& pair : inner.fixes) {
+      if (pair.op_node == op_node) {
+        fix.relation = pair.relation;
+        fix.fix = pair.fix;
+        break;
       }
+    }
+    // Agnostic ops produce no PairFix entry; report their relation too.
+    if (fix.requirement == Requirement::kAgnostic) {
+      fix.relation = classify_with(program, lineage, graph.node(op_node).lhs,
+                                   graph.node(op_node).rhs);
     }
     plan.fixes.push_back(fix);
   }
   return plan;
+}
+
+ProgramPlan to_program_plan(const Plan& plan) {
+  ProgramPlan converted;
+  converted.strategy = plan.strategy;
+  converted.violations = plan.violations;
+  converted.overhead = plan.overhead;
+  converted.inserted_units = plan.inserted_units;
+  for (const PlannedFix& fix : plan.fixes) {
+    PairFix pair;
+    pair.op_node = fix.op_node;
+    pair.operand_a = 0;
+    pair.operand_b = 1;
+    pair.requirement = fix.requirement;
+    pair.relation = fix.relation;
+    pair.fix = fix.fix;
+    converted.fixes.push_back(pair);
+  }
+  return converted;
 }
 
 }  // namespace sc::graph

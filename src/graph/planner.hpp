@@ -1,15 +1,22 @@
 /// \file planner.hpp
-/// Correlation analysis and manipulator insertion for dataflow graphs.
+/// Correlation analysis and manipulator insertion for registry programs.
 ///
 /// Analysis: every stream carries a *lineage* - the set of RNG groups its
 /// bits derive from.  Two streams are classified
-///   kPositive    if they are inputs of the same RNG group (shared trace),
+///   kPositive    if they are the same node, or inputs of one RNG group
+///                (shared trace),
 ///   kIndependent if their lineages are disjoint,
 ///   kUnknown     otherwise (shared ancestry through ops - the paper's
 ///                "computation-induced correlation" whose exact level "is
 ///                not well-understood", §II-B).
-/// The planner is conservative: any op whose requirement is not provably
-/// met gets a fix.
+/// The planner is conservative: any operand *pair* whose requirement (from
+/// the operator registry, possibly per-pair) is not provably met gets a
+/// fix.  n-ary operators are planned pairwise, so e.g. a Bernstein unit
+/// fed n copies of one stream receives a decorrelator per copy pair - the
+/// registry makes the planner work on operators it has never seen.  Note
+/// the quadratic cost: pairwise insertion charges n(n-1)/2 units where
+/// the paper's decorrelator chain over a same-source copy group needs
+/// n-1; chain-style insertion for such groups is future work.
 ///
 /// Strategies mirror the paper's §IV comparison:
 ///   kNone         - insert nothing; violations are recorded (the paper's
@@ -19,6 +26,9 @@
 ///   kManipulation - synchronizer / decorrelator / desynchronizer in-stream
 /// Every plan carries the inserted hardware as a netlist so strategies can
 /// be compared on cost as well as accuracy.
+///
+/// The legacy DataflowGraph entry points (classify / plan_insertions /
+/// Plan) remain as thin shims over the Program planner.
 
 #pragma once
 
@@ -26,6 +36,7 @@
 #include <vector>
 
 #include "graph/dataflow.hpp"
+#include "graph/program.hpp"
 #include "hw/netlist.hpp"
 
 namespace sc::graph {
@@ -35,7 +46,13 @@ enum class Relation { kPositive, kIndependent, kUnknown };
 
 std::string to_string(Relation relation);
 
-/// Classifies the relation between two nodes from lineage analysis.
+/// Classifies the relation between two program nodes from lineage analysis.
+Relation classify(const Program& program, NodeId a, NodeId b);
+
+/// Legacy shim: classification on a DataflowGraph.  Converts the graph
+/// and computes all lineages per call — convenient for one-off queries;
+/// for many pairs of one graph, convert once with to_program() and query
+/// classify(Program, ...) (or plan the whole program).
 Relation classify(const DataflowGraph& graph, NodeId a, NodeId b);
 
 /// Insertion strategy (see file comment).
@@ -43,7 +60,7 @@ enum class Strategy { kNone, kRegeneration, kManipulation };
 
 std::string to_string(Strategy strategy);
 
-/// Fix inserted in front of one op's operand pair.
+/// Fix inserted in front of one operand pair.
 enum class FixKind {
   kNone,
   kSynchronizer,             ///< drive SCC -> +1 in-stream
@@ -56,7 +73,53 @@ enum class FixKind {
 
 std::string to_string(FixKind kind);
 
-/// Planned fix for one op node.
+/// True when `kind` regenerates (S/D + D/S) rather than manipulating
+/// in-stream.  Regeneration is inherently stream-wide - it counts the
+/// whole operand before re-encoding - which is why the chunked engine
+/// backend falls back to whole-stream execution for such plans.
+bool is_regenerating(FixKind kind);
+
+/// Planned fix for one operand pair of one op node.
+struct PairFix {
+  NodeId op_node = 0;
+  unsigned operand_a = 0;  ///< first operand index (a < b)
+  unsigned operand_b = 1;  ///< second operand index
+  Requirement requirement = Requirement::kAgnostic;
+  Relation relation = Relation::kUnknown;
+  FixKind fix = FixKind::kNone;
+};
+
+/// Planner knobs.  `sync_depth` configures inserted synchronizers /
+/// desynchronizers; `shuffle_depth` the inserted decorrelators; `width`
+/// the regenerator counters and comparators.
+struct PlannerConfig {
+  unsigned sync_depth = 2;
+  std::size_t shuffle_depth = 8;
+  unsigned width = 8;
+};
+
+/// Full insertion plan for a Program under one strategy: one PairFix per
+/// examined operand pair (requirement != agnostic), in (node, pair) order.
+struct ProgramPlan {
+  Strategy strategy = Strategy::kNone;
+  std::vector<PairFix> fixes;
+  std::vector<NodeId> violations;  ///< ops left unsatisfied (kNone only)
+  hw::Netlist overhead;            ///< all inserted hardware
+  std::size_t inserted_units = 0;  ///< manipulators or regenerators
+
+  /// Fixes planned for one op node, in operand-pair order.
+  std::vector<const PairFix*> fixes_for(NodeId op_node) const;
+  /// True when any planned fix regenerates (see is_regenerating).
+  bool has_regeneration() const;
+};
+
+/// Computes the insertion plan for a registry program.
+ProgramPlan plan_program(const Program& program, Strategy strategy,
+                         const PlannerConfig& config = {});
+
+// --------------------------------------------------------------- legacy API
+
+/// Planned fix for one two-operand op node (legacy shape).
 struct PlannedFix {
   NodeId op_node = 0;
   OpKind op = OpKind::kMultiply;
@@ -65,7 +128,7 @@ struct PlannedFix {
   FixKind fix = FixKind::kNone;
 };
 
-/// Full insertion plan for a graph under one strategy.
+/// Full insertion plan for a DataflowGraph under one strategy.
 struct Plan {
   Strategy strategy = Strategy::kNone;
   std::vector<PlannedFix> fixes;      ///< one entry per op node
@@ -77,17 +140,14 @@ struct Plan {
   FixKind fix_for(NodeId op_node) const;
 };
 
-/// Computes the insertion plan for a graph under a strategy.
-/// `sync_depth` configures inserted synchronizers/desynchronizers;
-/// `shuffle_depth` the inserted decorrelators; `width` the regenerator
-/// counters and comparators.
-struct PlannerConfig {
-  unsigned sync_depth = 2;
-  std::size_t shuffle_depth = 8;
-  unsigned width = 8;
-};
-
+/// Legacy shim: plans a DataflowGraph by converting it to a Program,
+/// running plan_program, and mapping the pair fixes back onto the
+/// two-operand nodes (ids are preserved by the conversion).
 Plan plan_insertions(const DataflowGraph& graph, Strategy strategy,
                      const PlannerConfig& config = {});
+
+/// Converts a legacy plan to the Program-plan shape (operand pair (0, 1)
+/// per fixed node) so old call sites can feed the new backends.
+ProgramPlan to_program_plan(const Plan& plan);
 
 }  // namespace sc::graph

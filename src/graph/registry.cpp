@@ -1,0 +1,571 @@
+#include "graph/registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "arith/add.hpp"
+#include "arith/divide.hpp"
+#include "bitstream/encoding.hpp"
+#include "func/bernstein.hpp"
+#include "func/fsm_function.hpp"
+#include "hw/designs.hpp"
+#include "rng/lfsr.hpp"
+
+namespace sc::graph {
+
+std::string to_string(Requirement requirement) {
+  switch (requirement) {
+    case Requirement::kUncorrelated:
+      return "uncorrelated";
+    case Requirement::kPositive:
+      return "positive";
+    case Requirement::kNegative:
+      return "negative";
+    case Requirement::kAgnostic:
+      return "agnostic";
+  }
+  return "?";
+}
+
+rng::RandomSourcePtr OpContext::make_rng(unsigned slot) const {
+  return std::make_unique<rng::Lfsr>(
+      width, seeds::derive_seed32(base_seed, node, seeds::Role::kOpPrivate,
+                                  slot));
+}
+
+void OpEvaluator::process(sc::span<const Bitstream* const> ins,
+                          Bitstream& out) {
+  bool bits[kMaxArity];
+  const std::size_t n = out.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < ins.size(); ++k) bits[k] = ins[k]->get(i);
+    if (step(bits)) out.set(i, true);
+  }
+}
+
+namespace {
+
+// ------------------------------------------------------------ evaluators
+
+/// Stateless two-input gates, with the word-parallel Bitstream operators
+/// as the kernel path (bit-identical: both are the same boolean function).
+class GateEvaluator final : public OpEvaluator {
+ public:
+  enum class Gate { kAnd, kOr, kXor, kXnor };
+  explicit GateEvaluator(Gate gate) : gate_(gate) {}
+
+  bool step(const bool* in) override {
+    switch (gate_) {
+      case Gate::kAnd:
+        return in[0] && in[1];
+      case Gate::kOr:
+        return in[0] || in[1];
+      case Gate::kXor:
+        return in[0] != in[1];
+      case Gate::kXnor:
+        return in[0] == in[1];
+    }
+    return false;
+  }
+
+  void process(sc::span<const Bitstream* const> ins,
+               Bitstream& out) override {
+    // Word loop into the caller's preallocated buffer: the engine backend
+    // calls this once per chunk, so no per-call allocation.
+    const std::vector<Bitstream::Word>& x = ins[0]->words();
+    const std::vector<Bitstream::Word>& y = ins[1]->words();
+    Bitstream::Word* w = out.word_data();
+    switch (gate_) {
+      case Gate::kAnd:
+        for (std::size_t i = 0; i < x.size(); ++i) w[i] = x[i] & y[i];
+        break;
+      case Gate::kOr:
+        for (std::size_t i = 0; i < x.size(); ++i) w[i] = x[i] | y[i];
+        break;
+      case Gate::kXor:
+        for (std::size_t i = 0; i < x.size(); ++i) w[i] = x[i] ^ y[i];
+        break;
+      case Gate::kXnor:
+        for (std::size_t i = 0; i < x.size(); ++i) w[i] = ~(x[i] ^ y[i]);
+        mask_tail(out);  // XNOR of clear tails is 1s; restore the invariant
+        break;
+    }
+  }
+
+ private:
+  static void mask_tail(Bitstream& out) {
+    const unsigned rem = out.size() % 64;
+    if (rem != 0 && out.word_count() > 0) {
+      out.word_data()[out.word_count() - 1] &=
+          (Bitstream::Word{1} << rem) - 1;
+    }
+  }
+
+ private:
+  Gate gate_;
+};
+
+/// Bipolar negation (NOT), arity 1.
+class NotEvaluator final : public OpEvaluator {
+ public:
+  bool step(const bool* in) override { return !in[0]; }
+  void process(sc::span<const Bitstream* const> ins,
+               Bitstream& out) override {
+    const std::vector<Bitstream::Word>& x = ins[0]->words();
+    Bitstream::Word* w = out.word_data();
+    for (std::size_t i = 0; i < x.size(); ++i) w[i] = ~x[i];
+    const unsigned rem = out.size() % 64;
+    if (rem != 0 && out.word_count() > 0) {
+      w[out.word_count() - 1] &= (Bitstream::Word{1} << rem) - 1;
+    }
+  }
+};
+
+/// MUX scaled add/subtract: out = sel ? Y : X with a private half-weight
+/// select stream (optionally inverting the Y leg for bipolar subtract).
+/// No word-parallel override: the select RNG advances one draw per cycle,
+/// so the default step() loop is the single source of the sequence.
+class MuxEvaluator final : public OpEvaluator {
+ public:
+  MuxEvaluator(const OpContext& ctx, bool invert_y)
+      : source_(ctx.make_rng(0)), half_(ctx.natural() / 2),
+        invert_y_(invert_y) {}
+
+  bool step(const bool* in) override {
+    const bool sel = source_->next() < half_;
+    const bool y = invert_y_ ? !in[1] : in[1];
+    return sel ? y : in[0];
+  }
+
+ private:
+  rng::RandomSourcePtr source_;
+  std::uint64_t half_;
+  bool invert_y_;
+};
+
+/// CORDIV divider (paper Fig. 2e) — stateful, bit-serial by definition.
+class CordivEvaluator final : public OpEvaluator {
+ public:
+  bool step(const bool* in) override { return cell_.step(in[0], in[1]); }
+
+ private:
+  arith::Cordiv cell_;
+};
+
+/// Deterministic CA toggle adder (paper ref [9] class).
+class ToggleAddEvaluator final : public OpEvaluator {
+ public:
+  bool step(const bool* in) override { return cell_.step(in[0], in[1]); }
+
+ private:
+  arith::ToggleAdder cell_;
+};
+
+/// Brown–Card saturating-counter FSM functions (stanh / sexp).
+class StanhEvaluator final : public OpEvaluator {
+ public:
+  explicit StanhEvaluator(unsigned states) : fsm_(states) {}
+  bool step(const bool* in) override { return fsm_.step(in[0]); }
+
+ private:
+  func::Stanh fsm_;
+};
+
+class SexpEvaluator final : public OpEvaluator {
+ public:
+  SexpEvaluator(unsigned states, unsigned g) : fsm_(states, g) {}
+  bool step(const bool* in) override { return fsm_.step(in[0]); }
+
+ private:
+  func::Sexp fsm_;
+};
+
+/// ReSC/Bernstein unit: per cycle, the popcount of the n operand bits (the
+/// copies of x) selects one of n+1 coefficient streams, each generated by
+/// a private comparator SNG.  All coefficient SNGs advance every cycle,
+/// exactly like the free-running hardware streams they model.
+class BernsteinEvaluator final : public OpEvaluator {
+ public:
+  BernsteinEvaluator(const OpContext& ctx,
+                     const std::vector<double>& coefficients) {
+    sources_.reserve(coefficients.size());
+    levels_.reserve(coefficients.size());
+    for (std::size_t i = 0; i < coefficients.size(); ++i) {
+      sources_.push_back(ctx.make_rng(static_cast<unsigned>(i)));
+      levels_.push_back(unipolar_level64(coefficients[i], ctx.natural()));
+    }
+  }
+
+  bool step(const bool* in) override {
+    std::size_t count = 0;
+    const std::size_t copies = sources_.size() - 1;
+    for (std::size_t k = 0; k < copies; ++k) count += in[k] ? 1 : 0;
+    bool out = false;
+    for (std::size_t i = 0; i < sources_.size(); ++i) {
+      const bool bit = sources_[i]->next() < levels_[i];
+      if (i == count) out = bit;
+    }
+    return out;
+  }
+
+ private:
+  std::vector<rng::RandomSourcePtr> sources_;
+  std::vector<std::uint64_t> levels_;
+};
+
+/// 3x3 Gaussian-blur MUX tree (§IV pipeline stage): a private select RNG
+/// picks one window pixel per cycle with binomial weights {1,2,1;2,4,2;
+/// 1,2,1}/16.  Operands are the window in row-major order.
+class GaussianBlurEvaluator final : public OpEvaluator {
+ public:
+  explicit GaussianBlurEvaluator(const OpContext& ctx)
+      : source_(ctx.make_rng(0)) {}
+
+  bool step(const bool* in) override {
+    // Low 4 select bits address the 16-slot weight expansion.
+    const std::uint32_t r = source_->next() & 15u;
+    return in[kSelectTable[r]];
+  }
+
+  static constexpr double kWeights[9] = {1, 2, 1, 2, 4, 2, 1, 2, 1};
+
+ private:
+  // Each window index appears weight-many times (binomial expansion).
+  static constexpr std::uint8_t kSelectTable[16] = {0, 1, 1, 2, 3, 3, 4, 4,
+                                                    4, 4, 5, 5, 6, 7, 7, 8};
+  rng::RandomSourcePtr source_;
+};
+
+constexpr double GaussianBlurEvaluator::kWeights[9];
+constexpr std::uint8_t GaussianBlurEvaluator::kSelectTable[16];
+
+/// Roberts-cross edge magnitude (§IV pipeline stage): XOR the two window
+/// diagonals, scale-add the gradients with a private MUX select.  Operands
+/// are the 2x2 window [p00, p01, p10, p11]; the XORs need SCC = +1 between
+/// each diagonal pair — the mismatch that motivates the paper.
+class RobertsCrossEvaluator final : public OpEvaluator {
+ public:
+  explicit RobertsCrossEvaluator(const OpContext& ctx)
+      : source_(ctx.make_rng(0)), half_(ctx.natural() / 2) {}
+
+  bool step(const bool* in) override {
+    const bool g1 = in[0] != in[3];
+    const bool g2 = in[1] != in[2];
+    return (source_->next() < half_) ? g2 : g1;
+  }
+
+ private:
+  rng::RandomSourcePtr source_;
+  std::uint64_t half_;
+};
+
+// ------------------------------------------------------------- exact fns
+
+double clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
+
+// --------------------------------------------------------------- builtins
+
+template <typename Fn>
+OperatorDef binary_op(std::string name, Requirement requirement, Fn exact,
+                      GateEvaluator::Gate gate,
+                      std::function<hw::Netlist(unsigned)> netlist) {
+  OperatorDef def;
+  def.name = std::move(name);
+  def.arity = 2;
+  def.requirement = requirement;
+  def.exact = [exact](sc::span<const double> v) { return exact(v[0], v[1]); };
+  def.make_evaluator = [gate](const OpContext&) {
+    return std::make_unique<GateEvaluator>(gate);
+  };
+  def.netlist = std::move(netlist);
+  return def;
+}
+
+void register_builtins(OperatorRegistry& reg) {
+  using Gate = GateEvaluator::Gate;
+
+  // --- the Fig. 2 set -----------------------------------------------------
+  reg.add(binary_op(
+      "multiply", Requirement::kUncorrelated,
+      [](double a, double b) { return a * b; }, Gate::kAnd,
+      [](unsigned) { return hw::and_gate_netlist(); }));
+
+  {
+    OperatorDef def;
+    def.name = "scaled-add";
+    def.arity = 2;
+    def.requirement = Requirement::kAgnostic;
+    def.exact = [](sc::span<const double> v) { return 0.5 * (v[0] + v[1]); };
+    def.make_evaluator = [](const OpContext& ctx) {
+      return std::make_unique<MuxEvaluator>(ctx, /*invert_y=*/false);
+    };
+    def.rng_slots = 1;
+    def.netlist = [](unsigned width) {
+      return hw::mux_adder_netlist() + hw::lfsr_netlist(width);
+    };
+    reg.add(std::move(def));
+  }
+
+  reg.add(binary_op(
+      "saturating-add", Requirement::kNegative,
+      [](double a, double b) { return std::min(1.0, a + b); }, Gate::kOr,
+      [](unsigned) { return hw::or_gate_netlist(); }));
+
+  reg.add(binary_op(
+      "subtract", Requirement::kPositive,
+      [](double a, double b) { return std::abs(a - b); }, Gate::kXor,
+      [](unsigned) { return hw::xor_gate_netlist(); }));
+
+  reg.add(binary_op(
+      "max", Requirement::kPositive,
+      [](double a, double b) { return std::max(a, b); }, Gate::kOr,
+      [](unsigned) { return hw::or_gate_netlist(); }));
+
+  reg.add(binary_op(
+      "min", Requirement::kPositive,
+      [](double a, double b) { return std::min(a, b); }, Gate::kAnd,
+      [](unsigned) { return hw::and_gate_netlist(); }));
+
+  {
+    // CORDIV divide (Fig. 2e): quotient for positively correlated operands
+    // with pX <= pY; with pY = 0 the DFF never samples and emits 0s.
+    OperatorDef def;
+    def.name = "divide";
+    def.arity = 2;
+    def.requirement = Requirement::kPositive;
+    def.exact = [](sc::span<const double> v) {
+      return v[1] > 0.0 ? std::min(1.0, v[0] / v[1]) : 0.0;
+    };
+    def.make_evaluator = [](const OpContext&) {
+      return std::make_unique<CordivEvaluator>();
+    };
+    def.netlist = [](unsigned) { return hw::cordiv_netlist(); };
+    reg.add(std::move(def));
+  }
+
+  // --- correlation-agnostic and bipolar arithmetic ------------------------
+  {
+    OperatorDef def;
+    def.name = "toggle-add";
+    def.arity = 2;
+    def.requirement = Requirement::kAgnostic;
+    def.exact = [](sc::span<const double> v) { return 0.5 * (v[0] + v[1]); };
+    def.make_evaluator = [](const OpContext&) {
+      return std::make_unique<ToggleAddEvaluator>();
+    };
+    def.netlist = [](unsigned) { return hw::toggle_adder_netlist(); };
+    reg.add(std::move(def));
+  }
+
+  reg.add(binary_op(
+      "multiply-bipolar", Requirement::kUncorrelated,
+      [](double a, double b) {
+        return clamp01(0.5 * ((2 * a - 1) * (2 * b - 1) + 1));
+      },
+      Gate::kXnor, [](unsigned) { return hw::xnor_gate_netlist(); }));
+
+  {
+    OperatorDef def;
+    def.name = "negate-bipolar";
+    def.arity = 1;
+    def.exact = [](sc::span<const double> v) { return 1.0 - v[0]; };
+    def.make_evaluator = [](const OpContext&) {
+      return std::make_unique<NotEvaluator>();
+    };
+    def.netlist = [](unsigned) {
+      return hw::Netlist("negate-bipolar").add(hw::Cell::kInv);
+    };
+    reg.add(std::move(def));
+  }
+
+  {
+    OperatorDef def;
+    def.name = "scaled-sub-bipolar";
+    def.arity = 2;
+    def.requirement = Requirement::kAgnostic;
+    // vZ = 0.5 (vX - vY)  <=>  pZ = (pX - pY + 1) / 2.
+    def.exact = [](sc::span<const double> v) {
+      return clamp01(0.5 * (v[0] - v[1] + 1.0));
+    };
+    def.make_evaluator = [](const OpContext& ctx) {
+      return std::make_unique<MuxEvaluator>(ctx, /*invert_y=*/true);
+    };
+    def.rng_slots = 1;
+    def.netlist = [](unsigned width) {
+      return hw::mux_adder_netlist() + hw::lfsr_netlist(width) +
+             hw::Netlist().add(hw::Cell::kInv);
+    };
+    reg.add(std::move(def));
+  }
+
+  // --- FSM function units (Brown & Card; outside the Fig. 2 set) ----------
+  {
+    static constexpr unsigned kStates = 8;
+    OperatorDef def;
+    def.name = "stanh-8";
+    def.arity = 1;
+    def.exact = [](sc::span<const double> v) {
+      return clamp01(0.5 * (func::stanh_value(2 * v[0] - 1, kStates) + 1));
+    };
+    def.make_evaluator = [](const OpContext&) {
+      return std::make_unique<StanhEvaluator>(kStates);
+    };
+    def.netlist = [](unsigned) { return hw::fsm_unit_netlist(kStates); };
+    reg.add(std::move(def));
+  }
+
+  {
+    static constexpr unsigned kStates = 8;
+    static constexpr unsigned kG = 1;
+    OperatorDef def;
+    def.name = "sexp-8-1";
+    def.arity = 1;
+    def.exact = [](sc::span<const double> v) {
+      return clamp01(func::sexp_value(2 * v[0] - 1, kStates, kG));
+    };
+    def.make_evaluator = [](const OpContext&) {
+      return std::make_unique<SexpEvaluator>(kStates, kG);
+    };
+    def.netlist = [](unsigned) { return hw::fsm_unit_netlist(kStates); };
+    reg.add(std::move(def));
+  }
+
+  // --- Bernstein/ReSC polynomial unit (Qian & Riedel) ---------------------
+  register_bernstein(reg, "bernstein-x2-3",
+                     [](double t) { return t * t; }, /*degree=*/3);
+
+  // --- §IV image-pipeline stages as composite operators -------------------
+  {
+    OperatorDef def;
+    def.name = "gaussian-blur-3x3";
+    def.arity = 9;
+    def.requirement = Requirement::kAgnostic;
+    def.exact = [](sc::span<const double> v) {
+      double sum = 0.0;
+      for (std::size_t i = 0; i < 9; ++i) {
+        sum += GaussianBlurEvaluator::kWeights[i] * v[i];
+      }
+      return sum / 16.0;
+    };
+    def.make_evaluator = [](const OpContext& ctx) {
+      if (ctx.width < 4) {
+        throw std::invalid_argument(
+            "gaussian-blur-3x3 needs width >= 4 (16-slot select decode)");
+      }
+      return std::make_unique<GaussianBlurEvaluator>(ctx);
+    };
+    def.rng_slots = 1;
+    def.netlist = [](unsigned width) { return hw::mux_tree_netlist(9, width); };
+    reg.add(std::move(def));
+  }
+
+  {
+    OperatorDef def;
+    def.name = "roberts-cross";
+    def.arity = 4;
+    def.requirement = Requirement::kAgnostic;
+    def.pair_requirement = [](unsigned i, unsigned j) {
+      const bool diagonal = (i == 0 && j == 3) || (i == 1 && j == 2);
+      return diagonal ? Requirement::kPositive : Requirement::kAgnostic;
+    };
+    def.exact = [](sc::span<const double> v) {
+      return 0.5 * (std::abs(v[0] - v[3]) + std::abs(v[1] - v[2]));
+    };
+    def.make_evaluator = [](const OpContext& ctx) {
+      return std::make_unique<RobertsCrossEvaluator>(ctx);
+    };
+    def.rng_slots = 1;
+    def.netlist = [](unsigned width) {
+      return hw::roberts_cross_netlist() + hw::lfsr_netlist(width);
+    };
+    reg.add(std::move(def));
+  }
+}
+
+}  // namespace
+
+OpId OperatorRegistry::add(OperatorDef def) {
+  if (def.name.empty()) {
+    throw std::invalid_argument("OperatorRegistry::add: empty name");
+  }
+  if (def.arity < 1 || def.arity > kMaxArity) {
+    throw std::invalid_argument("OperatorRegistry::add: arity of '" +
+                                def.name + "' outside [1, " +
+                                std::to_string(kMaxArity) + "]");
+  }
+  if (!def.exact || !def.make_evaluator) {
+    throw std::invalid_argument("OperatorRegistry::add: '" + def.name +
+                                "' needs exact and make_evaluator");
+  }
+  if (find(def.name) != nullptr) {
+    throw std::invalid_argument("OperatorRegistry::add: duplicate operator '" +
+                                def.name + "'");
+  }
+  defs_.push_back(std::move(def));
+  return static_cast<OpId>(defs_.size() - 1);
+}
+
+const OperatorDef* OperatorRegistry::find(const std::string& name) const {
+  for (const OperatorDef& def : defs_) {
+    if (def.name == name) return &def;
+  }
+  return nullptr;
+}
+
+OpId OperatorRegistry::id_of(const std::string& name) const {
+  for (std::size_t i = 0; i < defs_.size(); ++i) {
+    if (defs_[i].name == name) return static_cast<OpId>(i);
+  }
+  throw std::invalid_argument("OperatorRegistry: unknown operator '" + name +
+                              "'");
+}
+
+std::vector<std::string> OperatorRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(defs_.size());
+  for (const OperatorDef& def : defs_) out.push_back(def.name);
+  return out;
+}
+
+OperatorRegistry OperatorRegistry::with_builtins() {
+  OperatorRegistry reg;
+  register_builtins(reg);
+  return reg;
+}
+
+OperatorRegistry& registry() {
+  static OperatorRegistry instance = OperatorRegistry::with_builtins();
+  return instance;
+}
+
+OpId register_bernstein(OperatorRegistry& target, std::string name,
+                        const std::function<double(double)>& f,
+                        std::size_t degree) {
+  if (degree < 1 || degree + 1 > kMaxArity) {
+    throw std::invalid_argument("register_bernstein: degree outside range");
+  }
+  const std::vector<double> coefficients =
+      func::bernstein_coefficients(f, degree);
+  OperatorDef def;
+  def.name = std::move(name);
+  def.arity = static_cast<unsigned>(degree);
+  // The architecture requires n mutually uncorrelated copies of x — the
+  // canonical consumer of the paper's decorrelator (func/bernstein.hpp).
+  def.requirement = Requirement::kUncorrelated;
+  def.exact = [coefficients](sc::span<const double> v) {
+    return func::resc_expected(
+        sc::span<const double>(coefficients.data(), coefficients.size()), v);
+  };
+  def.make_evaluator = [coefficients](const OpContext& ctx) {
+    return std::make_unique<BernsteinEvaluator>(ctx, coefficients);
+  };
+  def.rng_slots = static_cast<unsigned>(degree + 1);
+  def.netlist = [degree](unsigned width) {
+    return hw::resc_netlist(degree, width);
+  };
+  return target.add(std::move(def));
+}
+
+}  // namespace sc::graph

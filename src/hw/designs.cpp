@@ -226,6 +226,51 @@ Netlist desync_sat_add_netlist(unsigned depth) {
   return n;
 }
 
+Netlist fsm_unit_netlist(std::size_t states) {
+  std::ostringstream label;
+  label << "fsm-unit(S=" << states << ")";
+  // Saturating up/down counter + threshold decode on the state register.
+  const unsigned bits = state_bits(states);
+  Netlist n = fsm_netlist(label.str(), bits, 0);
+  n.add(Cell::kAnd2, bits);  // threshold comparator
+  n.set_label(label.str());
+  return n;
+}
+
+Netlist mux_tree_netlist(unsigned inputs, unsigned width) {
+  std::ostringstream label;
+  label << "mux-tree(" << inputs << ":1)";
+  Netlist n(label.str());
+  // inputs-1 two-input muxes plus the weighted select decode off the
+  // shared RNG's low bits.
+  n.add(Cell::kMux2, inputs >= 1 ? inputs - 1 : 0);
+  n.add(Cell::kAnd2, state_bits(inputs));
+  n.add(Cell::kInv, state_bits(inputs));
+  (void)width;  // select RNG charged by the owner (amortized per tile)
+  return n;
+}
+
+Netlist roberts_cross_netlist() {
+  Netlist n("roberts-cross");
+  n.add(Cell::kXor2, 2);  // the two diagonal gradients
+  n.add(Cell::kMux2, 1);  // gradient scaled add
+  return n;
+}
+
+Netlist resc_netlist(std::size_t degree, unsigned width) {
+  std::ostringstream label;
+  label << "resc(n=" << degree << ")";
+  // Copy popcount adder tree, one comparator SNG per coefficient stream
+  // (their RNG amortized to one LFSR), and the coefficient select tree.
+  Netlist n(label.str());
+  n.add(Cell::kFullAdder, degree >= 1 ? degree - 1 : 0);
+  for (std::size_t i = 0; i <= degree; ++i) n += comparator_netlist(width);
+  n += lfsr_netlist(width);
+  n.add(Cell::kMux2, degree);  // (degree+1)-to-1 coefficient select
+  n.set_label(label.str());
+  return n;
+}
+
 Netlist ca_max_netlist(unsigned counter_bits) {
   std::ostringstream label;
   label << "ca-max(b=" << counter_bits << ")";

@@ -74,6 +74,26 @@ Netlist desync_sat_add_netlist(unsigned depth = 1);
 /// Correlation-agnostic max (ref [12] class): up/down counter + steering.
 Netlist ca_max_netlist(unsigned counter_bits = 16);
 
+// --- registry composite operators (graph/registry.cpp) --------------------
+
+/// Saturating up/down counter FSM function unit (Brown–Card stanh/sexp):
+/// state register plus threshold decode.
+Netlist fsm_unit_netlist(std::size_t states);
+
+/// `inputs`-to-1 MUX tree plus its select decode (the §IV Gaussian-blur
+/// stage); the select RNG is charged via lfsr_netlist by the caller that
+/// owns it (it is amortized across a tile in the real accelerator).
+Netlist mux_tree_netlist(unsigned inputs, unsigned width);
+
+/// Roberts-cross edge stage: two diagonal XORs + gradient MUX (select RNG
+/// charged separately).
+Netlist roberts_cross_netlist();
+
+/// ReSC/Bernstein unit of the given degree: copy popcount adder tree,
+/// n+1 coefficient SNG comparators (coefficient RNGs amortized: one LFSR),
+/// and the coefficient-select mux tree.
+Netlist resc_netlist(std::size_t degree, unsigned width);
+
 /// Number of FSM state bits for a state count (ceil(log2(states))).
 unsigned state_bits(std::size_t states);
 

@@ -3,6 +3,7 @@
 #include <array>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 #include <vector>
 
 #include "bitstream/bitstream.hpp"
@@ -330,6 +331,59 @@ PipelineResult run_pipeline_tiled(const Image& input, Variant variant,
   result.error = mean_abs_error(result.output, result.reference);
   account_cost(result, variant, config, tiles);
   return result;
+}
+
+graph::Program window_program(const std::array<double, 16>& pixels,
+                              unsigned rng_groups) {
+  if (rng_groups < 1) {
+    // An assert vanishes under NDEBUG and `i % rng_groups` would divide
+    // by zero (same class as the overlap() release-mode fix).
+    throw std::invalid_argument("window_program: rng_groups must be >= 1");
+  }
+  graph::GraphBuilder b;
+  std::array<graph::Value, 16> px;
+  for (unsigned i = 0; i < 16; ++i) {
+    px[i] = b.input("p" + std::to_string(i / 4) + std::to_string(i % 4),
+                    pixels[i], i % rng_groups);
+  }
+  // Four overlapping 3x3 blur windows centered on the inner 2x2.
+  std::array<graph::Value, 4> blurred;
+  for (unsigned cy = 0; cy < 2; ++cy) {
+    for (unsigned cx = 0; cx < 2; ++cx) {
+      std::vector<graph::Value> window;
+      window.reserve(9);
+      for (unsigned dy = 0; dy < 3; ++dy) {
+        for (unsigned dx = 0; dx < 3; ++dx) {
+          window.push_back(px[(cy + dy) * 4 + (cx + dx)]);
+        }
+      }
+      blurred[cy * 2 + cx] = b.op("gaussian-blur-3x3", window);
+    }
+  }
+  b.output(b.op("roberts-cross", {blurred[0], blurred[1], blurred[2],
+                                  blurred[3]}),
+           "edge");
+  return b.build();
+}
+
+double window_reference(const std::array<double, 16>& pixels) {
+  // Deliberately independent of the registry's exact() lambdas (weights
+  // and Roberts formula restated): this is the cross-check that keeps the
+  // registered operator semantics honest, so do not fold it into them.
+  static constexpr double kW[9] = {1, 2, 1, 2, 4, 2, 1, 2, 1};
+  double g[4];
+  for (unsigned cy = 0; cy < 2; ++cy) {
+    for (unsigned cx = 0; cx < 2; ++cx) {
+      double sum = 0.0;
+      for (unsigned dy = 0; dy < 3; ++dy) {
+        for (unsigned dx = 0; dx < 3; ++dx) {
+          sum += kW[dy * 3 + dx] * pixels[(cy + dy) * 4 + (cx + dx)];
+        }
+      }
+      g[cy * 2 + cx] = sum / 16.0;
+    }
+  }
+  return 0.5 * (std::abs(g[0] - g[3]) + std::abs(g[1] - g[2]));
 }
 
 }  // namespace sc::img

@@ -27,9 +27,11 @@
 
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 
+#include "graph/program.hpp"
 #include "hw/cost.hpp"
 #include "hw/netlist.hpp"
 #include "img/image.hpp"
@@ -104,5 +106,23 @@ hw::Netlist pipeline_base_netlist(const PipelineConfig& config);
 /// Netlist of the correlation-manipulation hardware a variant adds.
 hw::Netlist pipeline_overhead_netlist(Variant variant,
                                       const PipelineConfig& config);
+
+/// The pipeline's per-window dataflow as a registry program: a 4x4 pixel
+/// window through four overlapping 3x3 Gaussian-blur MUX trees
+/// ("gaussian-blur-3x3") into one Roberts-cross stage ("roberts-cross"),
+/// output named "edge".  The GB outputs share input lineage, so the
+/// planner discovers the blur->edge correlation mismatch on its own and —
+/// under Strategy::kManipulation — inserts a synchronizer in front of each
+/// Roberts diagonal pair, exactly the paper's Table IV "synchronizer"
+/// variant, with no pipeline-specific planner code.
+///
+/// `pixels` is the window row-major in [0, 1]; pixel i is encoded from
+/// RNG group (i % rng_groups), modeling the amortized input LFSR bank.
+graph::Program window_program(const std::array<double, 16>& pixels,
+                              unsigned rng_groups = 4);
+
+/// Float reference of window_program's output (blur then Roberts cross on
+/// the center 2x2), for end-to-end error checks.
+double window_reference(const std::array<double, 16>& pixels);
 
 }  // namespace sc::img

@@ -30,6 +30,35 @@ sc::StreamPair apply(core::PairTransform& transform, const Bitstream& x,
   return out;
 }
 
+void ChunkedPairApplier::begin(std::size_t total_length) {
+  transform_->begin_stream(total_length);
+  if (use_kernels_) kernel_ = make_pair_kernel(*transform_);
+}
+
+void ChunkedPairApplier::advance(Bitstream& x, Bitstream& y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument(
+        "ChunkedPairApplier::advance: chunk sizes differ (" +
+        std::to_string(x.size()) + " vs " + std::to_string(y.size()) + ")");
+  }
+  if (kernel_ != nullptr) {
+    kernel_->process(x.word_data(), y.word_data(), x.size());
+    return;
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const core::BitPair out = transform_->step(x.get(i), y.get(i));
+    x.set(i, out.x);
+    y.set(i, out.y);
+  }
+}
+
+void ChunkedPairApplier::finish() {
+  if (kernel_ != nullptr) {
+    kernel_->finish();
+    kernel_.reset();
+  }
+}
+
 Bitstream apply(core::StreamTransform& transform, const Bitstream& x) {
   transform.begin_stream(x.size());
   std::unique_ptr<StreamKernel> kernel = make_stream_kernel(transform);

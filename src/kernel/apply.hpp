@@ -9,9 +9,12 @@
 
 #pragma once
 
+#include <memory>
+
 #include "bitstream/bitstream.hpp"
 #include "bitstream/synthesis.hpp"
 #include "core/pair_transform.hpp"
+#include "kernel/kernels.hpp"
 
 namespace sc::kernel {
 
@@ -27,5 +30,31 @@ inline sc::StreamPair apply(core::PairTransform& transform,
 
 /// Runs a single-stream transform over a stream (see core::apply).
 Bitstream apply(core::StreamTransform& transform, const Bitstream& x);
+
+/// Drives a PairTransform across consecutive chunks of one logical stream
+/// pair without ever materializing it: begin() announces the total length
+/// (exactly as the whole-stream helpers do) and, when the transform has a
+/// table-driven kernel, compiles it once for the current FSM state;
+/// advance() transforms each chunk pair in place, state carrying across
+/// calls; finish() writes the kernel's state back into the transform.
+/// Output is bit-identical to a whole-stream apply over the concatenated
+/// chunks.  Shared by engine::run_chunked_pair and the graph engine
+/// backend.
+class ChunkedPairApplier {
+ public:
+  /// \param use_kernels false forces the bit-serial step() path.
+  explicit ChunkedPairApplier(core::PairTransform& transform,
+                              bool use_kernels = true)
+      : transform_(&transform), use_kernels_(use_kernels) {}
+
+  void begin(std::size_t total_length);
+  void advance(Bitstream& x, Bitstream& y);
+  void finish();
+
+ private:
+  core::PairTransform* transform_;
+  bool use_kernels_;
+  std::unique_ptr<PairKernel> kernel_;
+};
 
 }  // namespace sc::kernel

@@ -91,6 +91,40 @@ TEST(Scc, UndefinedForConstantStreamsReturnsZero) {
   EXPECT_TRUE(scc_defined(mixed, ~mixed));
 }
 
+TEST(Scc, ZeroVarianceContractCoversEveryDegenerateShape) {
+  // The zero-variance contract (correlation.hpp): constant streams and
+  // empty streams return 0 from scc() and pearson(), never divide by zero,
+  // and report undefined via scc_defined().
+  const Bitstream ones(32, true);
+  const Bitstream zeros(32, false);
+  const Bitstream empty(0);
+  const Bitstream mixed = Bitstream::from_string("10011010");
+
+  // Constant x constant, all four combinations.
+  EXPECT_DOUBLE_EQ(scc(ones, ones), 0.0);
+  EXPECT_DOUBLE_EQ(scc(zeros, zeros), 0.0);
+  EXPECT_DOUBLE_EQ(scc(ones, zeros), 0.0);
+  EXPECT_DOUBLE_EQ(scc(zeros, ones), 0.0);
+  EXPECT_FALSE(scc_defined(ones, ones));
+  EXPECT_FALSE(scc_defined(zeros, zeros));
+
+  // Empty pair: N = 0 is degenerate too.
+  EXPECT_DOUBLE_EQ(scc(empty, empty), 0.0);
+  EXPECT_FALSE(scc_defined(empty, empty));
+  EXPECT_DOUBLE_EQ(pearson(empty, empty), 0.0);
+
+  // Pearson shares the convention for zero-variance operands.
+  const Bitstream mixed8_ones(8, true);
+  EXPECT_DOUBLE_EQ(pearson(mixed8_ones, mixed), 0.0);
+  EXPECT_DOUBLE_EQ(pearson(zeros, zeros), 0.0);
+
+  // Count-level entry point: a degenerate OverlapCounts never divides.
+  OverlapCounts constant_counts;
+  constant_counts.a = 32;  // X all-1, Y all-1
+  EXPECT_FALSE(scc_defined(constant_counts));
+  EXPECT_DOUBLE_EQ(scc(constant_counts), 0.0);
+}
+
 TEST(Scc, InsensitiveToValueUnlikePearson) {
   // Same maximal overlap structure at different values: SCC stays +1.
   const auto p1 = make_positively_correlated(64, 192, 256);

@@ -217,10 +217,11 @@ TEST(Executor, SaturatingAddViaDesynchronizer) {
   const NodeId b = g.add_input("b", 0.6, 1);
   g.mark_output(g.add_op(OpKind::kSaturatingAdd, a, b));
   // Default depth-2 desynchronizer gets close; the LFSR streams' run
-  // structure leaves a few paired 1s.
+  // structure leaves a few paired 1s (how many depends on the derived
+  // trace seeds, so the margin is loose).
   const ExecutionResult fixed =
       execute(g, plan_insertions(g, Strategy::kManipulation));
-  EXPECT_NEAR(fixed.values[0], 1.0, 0.06);
+  EXPECT_NEAR(fixed.values[0], 1.0, 0.08);
   // Depth 8 absorbs the runs and saturates exactly.
   ExecConfig deep;
   deep.sync_depth = 8;
@@ -272,6 +273,33 @@ TEST(Executor, DeterministicForFixedSeed) {
   const ExecutionResult r1 = execute(g, plan);
   const ExecutionResult r2 = execute(g, plan);
   EXPECT_EQ(r1.values, r2.values);
+}
+
+TEST(Executor, LegacyShimMatchesBackendOnConvertedProgram) {
+  // execute() is now a thin shim over the backend layer; the converted
+  // Program run on the explicit backends must be bit-identical to it.
+  const DataflowGraph g = product_sum_graph();
+  const Plan plan = plan_insertions(g, Strategy::kManipulation);
+  const Program program = to_program(g);
+  const ProgramPlan program_plan = to_program_plan(plan);
+
+  ExecConfig config;
+  const ExecutionResult legacy = execute(g, plan, config);
+  const ExecutionResult direct =
+      make_backend(BackendKind::kKernel)->run(program, program_plan, config);
+  ASSERT_EQ(legacy.streams.size(), direct.streams.size());
+  for (std::size_t s = 0; s < legacy.streams.size(); ++s) {
+    EXPECT_EQ(legacy.streams[s], direct.streams[s]) << "stream " << s;
+  }
+
+  config.use_kernels = false;
+  const ExecutionResult legacy_ref = execute(g, plan, config);
+  const ExecutionResult direct_ref =
+      make_backend(BackendKind::kReference)->run(program, program_plan,
+                                                 config);
+  for (std::size_t s = 0; s < legacy_ref.streams.size(); ++s) {
+    EXPECT_EQ(legacy_ref.streams[s], direct_ref.streams[s]) << "stream " << s;
+  }
 }
 
 // --- end-to-end strategy comparison (the paper's §IV shape on any graph) ----
