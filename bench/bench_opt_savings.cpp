@@ -1,0 +1,216 @@
+/// \file bench_opt_savings.cpp
+/// Optimizer savings baseline: corrections saved, modeled-area delta, and
+/// optimize-time per node on reference workloads.
+///
+/// Workloads:
+///   fanout-16  — one input fanned to all 16 copies of a product operator:
+///                the planner's pairwise insertion charges 120
+///                decorrelators, the optimizer's chain pass (paper §III-C)
+///                rewrites them to 15 single-buffer links.
+///   siblings   — a mixed program exercising every pass: a foldable
+///                constant subtree, a CSE duplicate, a dead op, and two
+///                sibling ops whose synchronizers share one circuit.
+///   window     — the §IV image-window program (realistic shape; measures
+///                optimize overhead when there is little to rewrite).
+///
+/// For every workload the optimized program is executed on all three
+/// backends and verified bit-identical across them before any number is
+/// written; the bench exits nonzero on divergence or if the optimizer
+/// fails to lower the modeled area of the fan-out workload.
+///
+/// Usage: bench_opt_savings [--json PATH] [--bits LOG2] [--reps N]
+/// (BENCH_opt.json in this repo tracks the baseline across PRs.)
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/backend.hpp"
+#include "graph/planner.hpp"
+#include "graph/program.hpp"
+#include "graph/registry.hpp"
+#include "img/sc_pipeline.hpp"
+#include "opt/optimize.hpp"
+
+// The fan-out fixture is shared with tests/opt_test.cpp so the regression
+// test and this bench's CI self-check can never drift apart on the
+// workload they validate.
+#include "../tests/graph_fixtures.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using namespace sc::graph;
+using fixtures::fanout16_program;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+Program siblings_program() {
+  GraphBuilder b;
+  const Value x = b.input("x", 0.7, 0);
+  const Value y = b.input("y", 0.9, 1);
+  const Value z = b.input("z", 0.4, 2);
+  const Value c1 = b.constant(0.5);
+  const Value c2 = b.constant(0.6);
+  const Value folded = b.op("multiply", {c1, c2});     // constant-fold
+  const Value xy = b.op("multiply", {x, y});
+  const Value xy_dup = b.op("multiply", {x, y});       // CSE duplicate
+  const Value diff = b.op("subtract", {xy, z});        // sync (shared...)
+  const Value floor = b.op("min", {xy_dup, z});        // ...with this one
+  (void)b.op("max", {x, z});                           // dead
+  b.output(b.op("scaled-add", {diff, b.op("multiply", {floor, folded})}),
+           "out");
+  return b.build();
+}
+
+Program window_program() {
+  std::array<double, 16> pixels{};
+  for (std::size_t i = 0; i < 16; ++i) pixels[i] = 0.1 + 0.05 * (i % 10);
+  return sc::img::window_program(pixels);
+}
+
+struct WorkloadResult {
+  std::string name;
+  std::size_t nodes = 0;
+  std::size_t corrections_before = 0;
+  std::size_t corrections_after = 0;
+  double area_before_um2 = 0.0;
+  double area_after_um2 = 0.0;
+  double optimize_us_per_node = 0.0;
+  double err_unoptimized = 0.0;
+  double err_optimized = 0.0;
+  bool backends_identical = true;
+
+  double area_delta_pct() const {
+    return area_before_um2 == 0.0
+               ? 0.0
+               : 100.0 * (area_after_um2 - area_before_um2) / area_before_um2;
+  }
+};
+
+WorkloadResult run_workload(const std::string& name, const Program& program,
+                            std::size_t stream_length, unsigned reps) {
+  const ProgramPlan plan = plan_program(program, Strategy::kManipulation);
+
+  double best = 1e300;
+  sc::opt::OptResult optimized;
+  for (unsigned rep = 0; rep < reps; ++rep) {
+    const auto start = Clock::now();
+    optimized = sc::opt::optimize(program, plan);
+    best = std::min(best, seconds_since(start));
+  }
+
+  WorkloadResult result;
+  result.name = name;
+  result.nodes = program.node_count();
+  result.corrections_before = plan.inserted_units;
+  result.corrections_after = optimized.plan.inserted_units;
+  result.area_before_um2 = optimized.area_before_um2;
+  result.area_after_um2 = optimized.area_after_um2;
+  result.optimize_us_per_node =
+      best * 1e6 / static_cast<double>(program.node_count());
+
+  ExecConfig config;
+  config.stream_length = stream_length;
+  result.err_unoptimized =
+      make_backend(BackendKind::kKernel)->run(program, plan, config)
+          .mean_abs_error;
+  ExecutionResult reference;
+  for (const BackendKind kind :
+       {BackendKind::kReference, BackendKind::kKernel, BackendKind::kEngine}) {
+    const ExecutionResult r = make_backend(kind)->run(
+        optimized.program, optimized.plan, config);
+    if (reference.streams.empty()) {
+      reference = r;
+      result.err_optimized = r.mean_abs_error;
+      continue;
+    }
+    for (std::size_t s = 0; s < reference.streams.size(); ++s) {
+      if (r.streams[s] != reference.streams[s]) {
+        result.backends_identical = false;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  unsigned log2_bits = 12;
+  unsigned reps = 5;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--bits") == 0 && i + 1 < argc) {
+      log2_bits = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else {
+      std::fprintf(stderr, "usage: %s [--json PATH] [--bits LOG2] [--reps N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  const std::size_t stream_length = std::size_t{1} << log2_bits;
+
+  std::printf("optimizer savings bench: 2^%u bits, %u reps\n\n", log2_bits,
+              reps);
+  std::vector<WorkloadResult> results;
+  results.push_back(
+      run_workload("fanout-16", fanout16_program(), stream_length, reps));
+  results.push_back(
+      run_workload("siblings", siblings_program(), stream_length, reps));
+  results.push_back(
+      run_workload("window", window_program(), stream_length, reps));
+
+  bool ok = true;
+  for (const WorkloadResult& r : results) {
+    std::printf(
+        "  %-10s %3zu nodes  corrections %3zu -> %3zu  area %9.1f -> %9.1f "
+        "um2 (%+6.1f%%)  opt %6.2f us/node  |err| %.4f -> %.4f  identical=%s\n",
+        r.name.c_str(), r.nodes, r.corrections_before, r.corrections_after,
+        r.area_before_um2, r.area_after_um2, r.area_delta_pct(),
+        r.optimize_us_per_node, r.err_unoptimized, r.err_optimized,
+        r.backends_identical ? "yes" : "NO");
+    ok &= r.backends_identical;
+  }
+  // The acceptance bar: the chain pass must lower the fan-out design's
+  // modeled area (15 chain links instead of 120 pairwise decorrelators).
+  ok &= results[0].area_after_um2 < results[0].area_before_um2;
+  ok &= results[0].corrections_after == 15 &&
+        results[0].corrections_before == 120;
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n  \"stream_bits\": " << stream_length
+        << ",\n  \"workloads\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const WorkloadResult& r = results[i];
+      out << "    {\"name\": \"" << r.name << "\", \"nodes\": " << r.nodes
+          << ", \"corrections_before\": " << r.corrections_before
+          << ", \"corrections_after\": " << r.corrections_after
+          << ", \"area_before_um2\": " << r.area_before_um2
+          << ", \"area_after_um2\": " << r.area_after_um2
+          << ", \"optimize_us_per_node\": " << r.optimize_us_per_node
+          << ", \"err_unoptimized\": " << r.err_unoptimized
+          << ", \"err_optimized\": " << r.err_optimized
+          << ", \"backends_identical\": "
+          << (r.backends_identical ? "true" : "false") << "}"
+          << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+  std::printf("\n%s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}

@@ -20,4 +20,18 @@ unsigned Decorrelator::saved_ones() const {
   return buffer_x_.saved_ones() + buffer_y_.saved_ones();
 }
 
+DecorrelatorChainLink::DecorrelatorChainLink(std::size_t depth,
+                                             rng::RandomSourcePtr source)
+    : buffer_(depth, std::move(source)) {}
+
+BitPair DecorrelatorChainLink::step(bool x, bool /*y*/) {
+  return BitPair{x, buffer_.step(x)};
+}
+
+void DecorrelatorChainLink::reset() { buffer_.reset(); }
+
+unsigned DecorrelatorChainLink::saved_ones() const {
+  return buffer_.saved_ones();
+}
+
 }  // namespace sc::core

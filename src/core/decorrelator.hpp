@@ -44,4 +44,32 @@ class Decorrelator final : public PairTransform {
   ShuffleBuffer buffer_y_;
 };
 
+/// One link of the paper's series-composed decorrelator chain (§III-C):
+/// X passes through untouched and Y is emitted as shuffle(X) — the Y
+/// input is ignored, so the link is only meaningful when both inputs
+/// carry the *same* stream (a same-source copy group, where it preserves
+/// Y's value by construction).  Chaining k-1 links over k copies makes
+/// copy j the composition of j independent shuffles of copy 0, so every
+/// copy pair decorrelates with one single-buffer circuit per link
+/// instead of the planner's pairwise two-buffer decorrelators — the
+/// rewrite opt::make_chain_decorrelator_pass performs.
+class DecorrelatorChainLink final : public PairTransform {
+ public:
+  /// \param depth   slots of the link's shuffle buffer
+  /// \param source  address source; owned
+  DecorrelatorChainLink(std::size_t depth, rng::RandomSourcePtr source);
+
+  BitPair step(bool x, bool y) override;
+  void reset() override;
+  unsigned saved_ones() const override;
+
+  std::size_t depth() const { return buffer_.depth(); }
+
+  /// The underlying buffer, exposed for the table-driven kernel layer.
+  ShuffleBuffer& buffer() { return buffer_; }
+
+ private:
+  ShuffleBuffer buffer_;
+};
+
 }  // namespace sc::core

@@ -3,12 +3,25 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdlib>
+#include <limits>
 
 namespace sc::core {
 
+namespace {
+
+/// Save depth as a non-negative int for credit clamping.  Depths beyond
+/// INT_MAX saturate: a plain static_cast would yield a negative value
+/// (and negating INT_MIN is UB), silently inverting the clamp range.
+int credit_bound(unsigned depth) {
+  return static_cast<int>(
+      std::min<unsigned>(depth, std::numeric_limits<int>::max()));
+}
+
+}  // namespace
+
 Synchronizer::Synchronizer(Config config) : config_(config) {
   assert(config_.depth >= 1);
-  const int depth = static_cast<int>(config_.depth);
+  const int depth = credit_bound(config_.depth);
   config_.initial_credit =
       std::clamp(config_.initial_credit, -depth, depth);
   credit_ = config_.initial_credit;
@@ -31,7 +44,7 @@ void Synchronizer::begin_stream(std::size_t length) {
 }
 
 void Synchronizer::set_state(const State& state) {
-  const int depth = static_cast<int>(config_.depth);
+  const int depth = credit_bound(config_.depth);
   credit_ = std::clamp(state.credit, -depth, depth);
   remaining_ = state.remaining;
   length_known_ = state.length_known;
@@ -39,7 +52,7 @@ void Synchronizer::set_state(const State& state) {
 
 Synchronizer::Transition Synchronizer::transition(unsigned depth_bits,
                                                   int credit, bool x, bool y) {
-  const int depth = static_cast<int>(depth_bits);
+  const int depth = credit_bound(depth_bits);
   if (x == y) {
     return {credit, x, y};  // already paired
   }

@@ -18,6 +18,7 @@
 #include "engine/session.hpp"
 #include "graph/seeds.hpp"
 #include "kernel/apply.hpp"
+#include "opt/optimize.hpp"
 #include "rng/lfsr.hpp"
 
 namespace sc::graph {
@@ -50,8 +51,21 @@ std::pair<Bitstream, Bitstream> regenerate_complementary(
   return {std::move(out_a), std::move(out_b)};
 }
 
+/// Stable per-fix seed lane: the operand slot pair, not the fix's
+/// positional index in the op's fix list.  Positional lanes would reseed
+/// every surviving fix whenever a plan rewrite drops an earlier one
+/// (e.g. the optimizer's replan after CSE proving a kPositive pair
+/// satisfied), breaking the dedup-only pipeline's bit-identity contract;
+/// the slot pair is invariant under such rewrites and unique within an
+/// op (operand_a < operand_b < kMaxArity).
+unsigned fix_lane(const PairFix& fix) {
+  return fix.operand_a * kMaxArity + fix.operand_b;
+}
+
 /// In-stream manipulator FSM for a planned fix (nullptr for regeneration
-/// kinds, which are not per-cycle transforms).
+/// kinds, which are not per-cycle transforms).  `node` is the op node's
+/// seed_tag, not its id — the tag survives optimizer rewrites, so a plan
+/// that only dropped or merged other nodes draws identical aux sequences.
 std::unique_ptr<core::PairTransform> make_fix_transform(
     FixKind kind, const ExecConfig& config, NodeId node, unsigned lane) {
   switch (kind) {
@@ -74,6 +88,12 @@ std::unique_ptr<core::PairTransform> make_fix_transform(
               config.width,
               derive_seed32(config.seed, node, Role::kFixAuxB, lane),
               /*rotation=*/3));
+    case FixKind::kDecorrelatorChain:
+      return std::make_unique<core::DecorrelatorChainLink>(
+          config.shuffle_depth,
+          std::make_unique<rng::Lfsr>(
+              config.width,
+              derive_seed32(config.seed, node, Role::kFixAuxA, lane)));
     default:
       return nullptr;
   }
@@ -115,11 +135,12 @@ void apply_regeneration(FixKind kind, Bitstream& a, Bitstream& b,
   }
 }
 
-OpContext context_for(NodeId node, const ExecConfig& config) {
+OpContext context_for(const Program& program, NodeId id,
+                      const ExecConfig& config) {
   OpContext ctx;
   ctx.stream_length = config.stream_length;
   ctx.width = config.width;
-  ctx.node = node;
+  ctx.node = program.node(id).seed_tag;  // stable across optimizer rewrites
   ctx.base_seed = config.seed;
   return ctx;
 }
@@ -214,17 +235,17 @@ ExecutionResult run_whole(const Program& program, const ProgramPlan& plan,
           std::find(fixed_slots.begin(), fixed_slots.end(), slot);
       return copies[static_cast<std::size_t>(it - fixed_slots.begin())];
     };
-    for (std::size_t lane = 0; lane < fixes.size(); ++lane) {
-      const PairFix& fix = *fixes[lane];
+    const NodeId tag = node.seed_tag;
+    for (const PairFix* fix_ptr : fixes) {
+      const PairFix& fix = *fix_ptr;
       Bitstream& a = copy_of(fix.operand_a);
       Bitstream& b = copy_of(fix.operand_b);
       if (is_regenerating(fix.fix)) {
-        apply_regeneration(fix.fix, a, b, config, id,
-                           static_cast<unsigned>(lane));
+        apply_regeneration(fix.fix, a, b, config, tag, fix_lane(fix));
         continue;
       }
       const std::unique_ptr<core::PairTransform> transform =
-          make_fix_transform(fix.fix, config, id, static_cast<unsigned>(lane));
+          make_fix_transform(fix.fix, config, tag, fix_lane(fix));
       const sc::StreamPair out = kernel_path ? kernel::apply(*transform, a, b)
                                              : core::apply(*transform, a, b);
       a = out.x;
@@ -234,7 +255,7 @@ ExecutionResult run_whole(const Program& program, const ProgramPlan& plan,
     // --- the operator itself ----------------------------------------------
     const OperatorDef& def = program.def_of(id);
     const std::unique_ptr<OpEvaluator> evaluator =
-        def.make_evaluator(context_for(id, config));
+        def.make_evaluator(context_for(program, id, config));
     evaluator->begin(n);
     Bitstream out(n);
     const sc::span<const Bitstream* const> ins(operands.data(),
@@ -335,15 +356,15 @@ ExecutionResult run_chunked(const Program& program, const ProgramPlan& plan,
         state.fixes = plan.fixes_for(id);
         for (std::size_t lane = 0; lane < state.fixes.size(); ++lane) {
           state.fix_transforms.push_back(make_fix_transform(
-              state.fixes[lane]->fix, config, id,
-              static_cast<unsigned>(lane)));
+              state.fixes[lane]->fix, config, node.seed_tag,
+              fix_lane(*state.fixes[lane])));
           auto applier = std::make_unique<kernel::ChunkedPairApplier>(
               *state.fix_transforms.back());
           applier->begin(n);
           state.fix_appliers.push_back(std::move(applier));
         }
         state.evaluator = program.def_of(id).make_evaluator(
-            context_for(id, config));
+            context_for(program, id, config));
         state.evaluator->begin(n);
         state.fixed_slots = fixed_slots_of(state.fixes);
         state.scratch.resize(state.fixed_slots.size());
@@ -430,12 +451,56 @@ ExecutionResult run_chunked(const Program& program, const ProgramPlan& plan,
 
 // --------------------------------------------------------------- backends
 
+/// The optimizer front (ExecConfig::optimize): rewrites the planned
+/// program with opt::optimize, runs `inner` on the result, and maps the
+/// per-node data back onto the caller's node ids — removed nodes get
+/// empty streams, CSE-merged duplicates share the survivor's stream, and
+/// output_nodes keep the original ids and order.
+template <typename Inner>
+ExecutionResult run_with_optimizer(const Program& program,
+                                   const ProgramPlan& plan,
+                                   const ExecConfig& config, Inner inner) {
+  if (!config.optimize) return inner(program, plan);
+  opt::OptConfig opt_config;
+  opt_config.planner.sync_depth = config.sync_depth;
+  opt_config.planner.shuffle_depth = config.shuffle_depth;
+  opt_config.planner.width = config.width;
+  opt_config.width = config.width;
+  const opt::OptResult optimized = opt::optimize(program, plan, opt_config);
+  ExecutionResult result = inner(optimized.program, optimized.plan);
+  result.output_nodes.assign(program.outputs().begin(),
+                             program.outputs().end());
+  if (config.keep_streams) {
+    // Move each optimized stream into its last caller slot (CSE-merged
+    // duplicates alias one optimized node, so earlier slots copy); long
+    // keep_streams runs would otherwise transiently double stream memory.
+    std::vector<NodeId> last_user(result.streams.size(), kInvalidNode);
+    for (NodeId id = 0; id < program.node_count(); ++id) {
+      const NodeId mapped = optimized.node_map[id];
+      if (mapped != kInvalidNode) last_user[mapped] = id;
+    }
+    std::vector<Bitstream> streams(program.node_count());
+    for (NodeId id = 0; id < program.node_count(); ++id) {
+      const NodeId mapped = optimized.node_map[id];
+      if (mapped == kInvalidNode) continue;
+      streams[id] = last_user[mapped] == id
+                        ? std::move(result.streams[mapped])
+                        : result.streams[mapped];
+    }
+    result.streams = std::move(streams);
+  }
+  return result;
+}
+
 class ReferenceBackend final : public ExecutorBackend {
  public:
   std::string name() const override { return "reference"; }
   ExecutionResult run(const Program& program, const ProgramPlan& plan,
                       const ExecConfig& config) override {
-    return run_whole(program, plan, config, /*kernel_path=*/false);
+    return run_with_optimizer(
+        program, plan, config, [&](const Program& p, const ProgramPlan& pl) {
+          return run_whole(p, pl, config, /*kernel_path=*/false);
+        });
   }
 };
 
@@ -444,7 +509,10 @@ class KernelBackend final : public ExecutorBackend {
   std::string name() const override { return "kernel"; }
   ExecutionResult run(const Program& program, const ProgramPlan& plan,
                       const ExecConfig& config) override {
-    return run_whole(program, plan, config, /*kernel_path=*/true);
+    return run_with_optimizer(
+        program, plan, config, [&](const Program& p, const ProgramPlan& pl) {
+          return run_whole(p, pl, config, /*kernel_path=*/true);
+        });
   }
 };
 
@@ -454,7 +522,10 @@ class EngineBackend final : public ExecutorBackend {
   std::string name() const override { return "engine"; }
   ExecutionResult run(const Program& program, const ProgramPlan& plan,
                       const ExecConfig& config) override {
-    return run_chunked(program, plan, config, session_);
+    return run_with_optimizer(
+        program, plan, config, [&](const Program& p, const ProgramPlan& pl) {
+          return run_chunked(p, pl, config, session_);
+        });
   }
 
  private:
@@ -494,21 +565,23 @@ std::vector<std::uint32_t> derived_seeds(const Program& program,
       continue;
     }
     const OperatorDef& def = program.def_of(id);
+    const std::uint32_t tag = node.seed_tag;
     for (unsigned slot = 0; slot < def.rng_slots; ++slot) {
-      out.push_back(derive_seed32(config.seed, id, Role::kOpPrivate, slot));
+      out.push_back(derive_seed32(config.seed, tag, Role::kOpPrivate, slot));
     }
     const std::vector<const PairFix*> fixes = plan.fixes_for(id);
-    for (std::size_t lane = 0; lane < fixes.size(); ++lane) {
-      const auto lane32 = static_cast<std::uint32_t>(lane);
-      switch (fixes[lane]->fix) {
+    for (const PairFix* fix : fixes) {
+      const std::uint32_t lane32 = fix_lane(*fix);
+      switch (fix->fix) {
         case FixKind::kDecorrelator:
         case FixKind::kRegenerateDistinct:
-          out.push_back(derive_seed32(config.seed, id, Role::kFixAuxA, lane32));
-          out.push_back(derive_seed32(config.seed, id, Role::kFixAuxB, lane32));
+          out.push_back(derive_seed32(config.seed, tag, Role::kFixAuxA, lane32));
+          out.push_back(derive_seed32(config.seed, tag, Role::kFixAuxB, lane32));
           break;
+        case FixKind::kDecorrelatorChain:
         case FixKind::kRegenerateShared:
         case FixKind::kRegenerateComplementary:
-          out.push_back(derive_seed32(config.seed, id, Role::kFixAuxA, lane32));
+          out.push_back(derive_seed32(config.seed, tag, Role::kFixAuxA, lane32));
           break;
         default:
           break;  // synchronizer/desynchronizer draw no RNG

@@ -57,6 +57,14 @@ struct ExecConfig {
   /// engine backend to run long streams in O(chunk) memory (streams stay
   /// empty; output values are still exact reductions).
   bool keep_streams = true;
+  /// Run opt::optimize as the front of every backend: the default pass
+  /// pipeline (chain decorrelators, CSE, constant folding, dead-value
+  /// elimination, correction sharing) rewrites the program/plan before
+  /// execution.  Streams and output_nodes in the result are mapped back
+  /// to the caller's node ids (removed nodes get empty streams, merged
+  /// duplicates share the survivor's stream).  Off by default so existing
+  /// plans execute exactly as handed in.
+  bool optimize = false;
 };
 
 /// Per-output accuracy and the overall summary.

@@ -44,21 +44,6 @@ Relation classify_with(const Program& program,
                                           : Relation::kUnknown;
 }
 
-bool satisfied(Requirement requirement, Relation relation) {
-  switch (requirement) {
-    case Requirement::kAgnostic:
-      return true;
-    case Requirement::kUncorrelated:
-      return relation == Relation::kIndependent;
-    case Requirement::kPositive:
-      return relation == Relation::kPositive;
-    case Requirement::kNegative:
-      // Generation never proves negative correlation; always needs a fix.
-      return false;
-  }
-  return false;
-}
-
 FixKind fix_for_requirement(Requirement requirement, Strategy strategy) {
   if (strategy == Strategy::kManipulation) {
     switch (requirement) {
@@ -87,6 +72,23 @@ FixKind fix_for_requirement(Requirement requirement, Strategy strategy) {
   return FixKind::kNone;
 }
 
+}  // namespace
+
+bool requirement_satisfied(Requirement requirement, Relation relation) {
+  switch (requirement) {
+    case Requirement::kAgnostic:
+      return true;
+    case Requirement::kUncorrelated:
+      return relation == Relation::kIndependent;
+    case Requirement::kPositive:
+      return relation == Relation::kPositive;
+    case Requirement::kNegative:
+      // Generation never proves negative correlation; always needs a fix.
+      return false;
+  }
+  return false;
+}
+
 hw::Netlist fix_netlist(FixKind kind, const PlannerConfig& config) {
   switch (kind) {
     case FixKind::kNone:
@@ -100,6 +102,10 @@ hw::Netlist fix_netlist(FixKind kind, const PlannerConfig& config) {
       // one LFSR per decorrelator as a conservative middle ground.
       return hw::decorrelator_netlist(config.shuffle_depth) +
              hw::lfsr_netlist(config.width);
+    case FixKind::kDecorrelatorChain:
+      // One shuffle buffer per chain link (the X side passes through).
+      return hw::shuffle_buffer_netlist(config.shuffle_depth) +
+             hw::lfsr_netlist(config.width);
     case FixKind::kRegenerateShared:
     case FixKind::kRegenerateDistinct:
     case FixKind::kRegenerateComplementary:
@@ -111,8 +117,6 @@ hw::Netlist fix_netlist(FixKind kind, const PlannerConfig& config) {
   }
   return hw::Netlist{};
 }
-
-}  // namespace
 
 std::string to_string(Relation relation) {
   switch (relation) {
@@ -148,6 +152,8 @@ std::string to_string(FixKind kind) {
       return "desynchronizer";
     case FixKind::kDecorrelator:
       return "decorrelator";
+    case FixKind::kDecorrelatorChain:
+      return "decorrelator-chain";
     case FixKind::kRegenerateShared:
       return "regen-shared";
     case FixKind::kRegenerateDistinct:
@@ -162,6 +168,11 @@ bool is_regenerating(FixKind kind) {
   return kind == FixKind::kRegenerateShared ||
          kind == FixKind::kRegenerateDistinct ||
          kind == FixKind::kRegenerateComplementary;
+}
+
+bool fix_draws_rng(FixKind kind) {
+  return kind == FixKind::kDecorrelator ||
+         kind == FixKind::kDecorrelatorChain || is_regenerating(kind);
 }
 
 Relation classify(const Program& program, NodeId a, NodeId b) {
@@ -211,7 +222,7 @@ ProgramPlan plan_program(const Program& program, Strategy strategy,
         if (fix.requirement == Requirement::kAgnostic) continue;
         fix.relation = classify_with(program, lineage, node.operands[a],
                                      node.operands[b]);
-        if (!satisfied(fix.requirement, fix.relation)) {
+        if (!requirement_satisfied(fix.requirement, fix.relation)) {
           fix.fix = fix_for_requirement(fix.requirement, strategy);
           if (fix.fix == FixKind::kNone) {
             violated = true;

@@ -16,7 +16,9 @@
 /// registry makes the planner work on operators it has never seen.  Note
 /// the quadratic cost: pairwise insertion charges n(n-1)/2 units where
 /// the paper's decorrelator chain over a same-source copy group needs
-/// n-1; chain-style insertion for such groups is future work.
+/// n-1; the optimizer's chain pass (src/opt/) rewrites such groups down
+/// to the linear chain after planning — run opt::optimize (or set
+/// ExecConfig::optimize) to get the paper's cost.
 ///
 /// Strategies mirror the paper's §IV comparison:
 ///   kNone         - insert nothing; violations are recorded (the paper's
@@ -66,6 +68,12 @@ enum class FixKind {
   kSynchronizer,             ///< drive SCC -> +1 in-stream
   kDesynchronizer,           ///< drive SCC -> -1 in-stream
   kDecorrelator,             ///< drive SCC -> 0 in-stream
+  /// One link of the paper's series decorrelator chain (§III-C): the
+  /// second operand becomes shuffle(first operand), composing shuffles
+  /// along a same-source copy group with one single-buffer circuit per
+  /// link.  Emitted by the optimizer's chain pass (never by the planner);
+  /// only valid when both operands carry the same stream.
+  kDecorrelatorChain,
   kRegenerateShared,         ///< S/D + D/S both operands, one shared RNG
   kRegenerateDistinct,       ///< S/D + D/S, independent RNGs
   kRegenerateComplementary,  ///< S/D + D/S, complementary RNG pair
@@ -79,6 +87,13 @@ std::string to_string(FixKind kind);
 /// backend falls back to whole-stream execution for such plans.
 bool is_regenerating(FixKind kind);
 
+/// True when `kind` draws auxiliary RNG sequences (seeded per op node /
+/// lane): decorrelators, chain links, and every regeneration kind.  An op
+/// whose plan carries such a fix does not produce a stream that is a
+/// deterministic function of (operator, operands) alone — which is why
+/// the optimizer's CSE refuses to merge it.
+bool fix_draws_rng(FixKind kind);
+
 /// Planned fix for one operand pair of one op node.
 struct PairFix {
   NodeId op_node = 0;
@@ -87,6 +102,14 @@ struct PairFix {
   Requirement requirement = Requirement::kAgnostic;
   Relation relation = Relation::kUnknown;
   FixKind fix = FixKind::kNone;
+  /// Index (into ProgramPlan::fixes) of the representative fix this one
+  /// mirrors, or -1 when it is its own circuit.  The optimizer's sharing
+  /// pass marks RNG-free fixes (synchronizer / desynchronizer) whose
+  /// operand streams equal another fix's: in hardware one circuit fans out
+  /// to every consumer, so shared fixes charge no extra cells — and since
+  /// the mirrored FSM is deterministic on identical inputs, backends may
+  /// keep applying the transform per consumer with bit-identical results.
+  std::int32_t shared_with = -1;
 };
 
 /// Planner knobs.  `sync_depth` configures inserted synchronizers /
@@ -116,6 +139,15 @@ struct ProgramPlan {
 /// Computes the insertion plan for a registry program.
 ProgramPlan plan_program(const Program& program, Strategy strategy,
                          const PlannerConfig& config = {});
+
+/// True when `relation` provably meets `requirement` (the planner's
+/// satisfaction rule, shared with the optimizer's safety verifier).
+bool requirement_satisfied(Requirement requirement, Relation relation);
+
+/// Inserted hardware of one fix kind under a PlannerConfig — the unit the
+/// planner charges per planned fix; the optimizer uses it to re-price a
+/// rewritten plan.
+hw::Netlist fix_netlist(FixKind kind, const PlannerConfig& config);
 
 // --------------------------------------------------------------- legacy API
 

@@ -67,6 +67,9 @@ GraphBuilder::GraphBuilder(const OperatorRegistry& reg)
 NodeId GraphBuilder::push(ProgramNode node) {
   program_.nodes_.push_back(std::move(node));
   const auto id = static_cast<NodeId>(program_.nodes_.size() - 1);
+  if (program_.nodes_.back().seed_tag == ProgramNode::kAutoSeedTag) {
+    program_.nodes_.back().seed_tag = id;
+  }
   if (!program_.nodes_.back().name.empty()) {
     names_.emplace(program_.nodes_.back().name, id);
   }
@@ -144,6 +147,21 @@ Value GraphBuilder::op(OpId id, const std::vector<Value>& operands) {
           "GraphBuilder::op: operand is not a value of this builder");
     }
     node.operands.push_back(v.id);
+  }
+  return Value{push(std::move(node))};
+}
+
+Value GraphBuilder::raw_node(ProgramNode node) {
+  if (node.kind == ProgramNode::Kind::kOp) {
+    if (node.op >= program_.registry_->size()) {
+      throw std::invalid_argument("GraphBuilder::raw_node: OpId out of range");
+    }
+    for (NodeId operand : node.operands) {
+      if (operand >= program_.nodes_.size()) {
+        throw std::invalid_argument(
+            "GraphBuilder::raw_node: operand references a later node");
+      }
+    }
   }
   return Value{push(std::move(node))};
 }

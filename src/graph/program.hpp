@@ -47,6 +47,16 @@ struct ProgramNode {
   // Op fields.
   OpId op = 0;
   std::vector<NodeId> operands;
+
+  /// Key the backends derive this node's private seeds from (operator RNG
+  /// slots, per-fix aux RNGs).  Builders assign it equal to the node id;
+  /// optimizer rewrites (src/opt/) preserve the tag when nodes move, so a
+  /// pass that only deduplicates or removes nodes leaves every surviving
+  /// node's random draws — and therefore its stream — bit-identical.
+  /// kAutoSeedTag means "assign my node id on push".
+  std::uint32_t seed_tag = kAutoSeedTag;
+
+  static constexpr std::uint32_t kAutoSeedTag = 0xFFFFFFFFu;
 };
 
 /// An immutable registry-backed DAG (build one with GraphBuilder).
@@ -118,6 +128,13 @@ class GraphBuilder {
   /// Adds an n-ary operation by registry name or id.
   Value op(const std::string& op_name, const std::vector<Value>& operands);
   Value op(OpId id, const std::vector<Value>& operands);
+
+  /// Optimizer rebuild path: appends a fully-specified node verbatim — no
+  /// name uniquification, rng-group assignment, or seed-tag reset.  Operand
+  /// ids must reference earlier nodes of this builder; a kAutoSeedTag tag
+  /// is still replaced by the node's id.  Used by opt:: passes to rebuild
+  /// programs while preserving every surviving node's RNG identity.
+  Value raw_node(ProgramNode node);
 
   /// Marks a value as a program output, optionally renaming it.  Throws
   /// if `name` already names a different value.

@@ -32,4 +32,18 @@ CostReport evaluate(const Netlist& netlist, const CostConfig& config) {
   return report;
 }
 
+CostReport evaluate_delta(const Netlist& before, const Netlist& after,
+                          const CostConfig& config) {
+  const CostReport a = evaluate(before, config);
+  const CostReport b = evaluate(after, config);
+  CostReport delta;
+  delta.label = "delta(" + before.label() + " -> " + after.label() + ")";
+  delta.area_um2 = b.area_um2 - a.area_um2;
+  delta.leakage_uw = b.leakage_uw - a.leakage_uw;
+  delta.dynamic_uw = b.dynamic_uw - a.dynamic_uw;
+  delta.power_uw = b.power_uw - a.power_uw;
+  delta.energy_pj = b.energy_pj - a.energy_pj;
+  return delta;
+}
+
 }  // namespace sc::hw

@@ -42,4 +42,11 @@ struct CostReport {
 /// Evaluates a netlist at the given operating point.
 CostReport evaluate(const Netlist& netlist, const CostConfig& config = {});
 
+/// Cost change from `before` to `after` at one operating point (after
+/// minus before, fieldwise) — negative numbers are savings.  The program
+/// optimizer (src/opt/) reports removed or shared correction hardware
+/// this way.
+CostReport evaluate_delta(const Netlist& before, const Netlist& after,
+                          const CostConfig& config = {});
+
 }  // namespace sc::hw

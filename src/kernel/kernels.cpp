@@ -698,6 +698,32 @@ class TfmStreamKernel final : public StreamKernel {
   std::vector<std::uint32_t> raw_;
 };
 
+/// Decorrelator chain link: y := shuffle(x), x untouched.  Copies x's
+/// bits into y (preserving y's tail past `bits`), then runs the
+/// single-stream shuffle kernel on y — bit-identical to the serial step
+/// by the stream kernel's own equivalence.
+class ChainLinkKernel final : public PairKernel {
+ public:
+  explicit ChainLinkKernel(std::unique_ptr<StreamKernel> shuffle)
+      : shuffle_(std::move(shuffle)) {}
+
+  void process(Word* xw, Word* yw, std::size_t bits) override {
+    const std::size_t words = bits / 64;
+    for (std::size_t w = 0; w < words; ++w) yw[w] = xw[w];
+    const unsigned rem = bits % 64;
+    if (rem != 0) {
+      const Word mask = (Word{1} << rem) - 1;
+      yw[words] = (xw[words] & mask) | (yw[words] & ~mask);
+    }
+    shuffle_->process(yw, bits);
+  }
+
+  void finish() override { shuffle_->finish(); }
+
+ private:
+  std::unique_ptr<StreamKernel> shuffle_;
+};
+
 }  // namespace
 
 // ------------------------------------------------------------------ factory
@@ -716,6 +742,11 @@ std::unique_ptr<PairKernel> make_pair_kernel(core::PairTransform& transform) {
   if (auto* dec = dynamic_cast<core::Decorrelator*>(&transform)) {
     if (dec->depth() < 1 || dec->depth() > 64) return nullptr;
     return std::make_unique<DecorrelatorKernel>(*dec);
+  }
+  if (auto* link = dynamic_cast<core::DecorrelatorChainLink*>(&transform)) {
+    auto shuffle = make_stream_kernel(link->buffer());
+    if (!shuffle) return nullptr;
+    return std::make_unique<ChainLinkKernel>(std::move(shuffle));
   }
   if (auto* tfm = dynamic_cast<core::TfmPair*>(&transform)) {
     const auto& config = tfm->tfm_x().config();

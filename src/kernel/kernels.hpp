@@ -69,7 +69,8 @@ class StreamKernel {
 /// Compiles a kernel for the transform's exact current state, or returns
 /// nullptr when the concrete type/configuration has no table-driven path.
 /// Supported: core::Synchronizer, core::Desynchronizer, core::Decorrelator
-/// (buffer depth <= 64), core::TfmPair (precision <= 16).
+/// and core::DecorrelatorChainLink (buffer depth <= 64), core::TfmPair
+/// (precision <= 16).
 std::unique_ptr<PairKernel> make_pair_kernel(core::PairTransform& transform);
 
 /// Single-stream version.  Supported: core::ShuffleBuffer (depth <= 64),

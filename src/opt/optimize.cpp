@@ -1,0 +1,54 @@
+#include "opt/optimize.hpp"
+
+#include <numeric>
+#include <sstream>
+
+namespace sc::opt {
+
+std::size_t OptResult::nodes_removed() const {
+  std::size_t total = 0;
+  for (const PassReport& report : reports) {
+    if (report.accepted) total += report.nodes_removed;
+  }
+  return total;
+}
+
+std::size_t OptResult::corrections_saved() const {
+  std::size_t total = 0;
+  for (const PassReport& report : reports) {
+    if (report.accepted) total += report.corrections_saved;
+  }
+  return total;
+}
+
+std::string OptResult::summary() const {
+  std::ostringstream out;
+  for (const PassReport& report : reports) {
+    out << "  " << to_string(report) << "\n";
+  }
+  out << "  modeled area " << area_before_um2 << " -> " << area_after_um2
+      << " um2 (" << (cost_delta.power_uw <= 0 ? "" : "+")
+      << cost_delta.power_uw << " uW)";
+  return out.str();
+}
+
+OptResult optimize(const graph::Program& program,
+                   const graph::ProgramPlan& plan, const OptConfig& config) {
+  OptResult result;
+  result.program = program;
+  result.plan = plan;
+  result.node_map.resize(program.node_count());
+  std::iota(result.node_map.begin(), result.node_map.end(), 0u);
+  result.area_before_um2 = modeled_area(program, plan, config);
+  const PassManager pipeline = default_pipeline(config);
+  result.reports =
+      pipeline.run(result.program, result.plan, result.node_map, config);
+  result.area_after_um2 = modeled_area(result.program, result.plan, config);
+  result.cost_delta = hw::evaluate_delta(
+      program.base_netlist(config.width) + plan.overhead,
+      result.program.base_netlist(config.width) + result.plan.overhead,
+      config.cost);
+  return result;
+}
+
+}  // namespace sc::opt

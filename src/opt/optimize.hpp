@@ -1,0 +1,46 @@
+/// \file optimize.hpp
+/// One-call front of the optimizer subsystem: opt::optimize runs the
+/// default pass pipeline (pass.hpp) over a planned program and returns the
+/// rewritten program/plan plus per-pass diff reports.  Backends invoke it
+/// automatically when ExecConfig::optimize is set; library users can call
+/// it directly to inspect or price the rewrites.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "opt/pass.hpp"
+
+namespace sc::opt {
+
+/// Everything optimize() produced.
+struct OptResult {
+  graph::Program program;
+  graph::ProgramPlan plan;
+  /// Original node id -> optimized node id; graph::kInvalidNode for
+  /// removed nodes, the survivor's id for CSE-merged duplicates (their
+  /// streams are one and the same).
+  std::vector<graph::NodeId> node_map;
+  std::vector<PassReport> reports;
+  double area_before_um2 = 0.0;
+  double area_after_um2 = 0.0;
+  /// Full-design cost change (after minus before: area, leakage, dynamic
+  /// power, energy) at the config's operating point — negative is saved.
+  hw::CostReport cost_delta;
+
+  std::size_t nodes_removed() const;
+  std::size_t corrections_saved() const;
+  /// One line per accepted pass plus the area totals.
+  std::string summary() const;
+};
+
+/// Runs the default pipeline (fold -> cse -> dve -> chain -> share, per
+/// config toggles) over a copy of (program, plan).  config.planner must
+/// match the PlannerConfig the plan was made with.
+OptResult optimize(const graph::Program& program,
+                   const graph::ProgramPlan& plan,
+                   const OptConfig& config = {});
+
+}  // namespace sc::opt

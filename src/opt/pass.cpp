@@ -1,0 +1,151 @@
+#include "opt/pass.hpp"
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace sc::opt {
+
+using graph::FixKind;
+using graph::NodeId;
+using graph::PairFix;
+using graph::ProgramPlan;
+
+namespace {
+
+/// Area comparisons tolerate float noise from netlist summation order.
+constexpr double kAreaEpsilon = 1e-6;
+
+}  // namespace
+
+std::string to_string(const PassReport& report) {
+  std::ostringstream out;
+  out << report.pass << ": ";
+  if (!report.changed) {
+    out << "no rewrite";
+    return out.str();
+  }
+  out << (report.accepted ? "accepted" : "REJECTED");
+  if (report.nodes_removed != 0) out << ", -" << report.nodes_removed << " nodes";
+  if (report.nodes_folded != 0) out << ", " << report.nodes_folded << " folded";
+  if (report.corrections_saved != 0) {
+    out << ", -" << report.corrections_saved << " corrections";
+  }
+  out << ", area " << (report.area_delta_um2 <= 0 ? "" : "+")
+      << report.area_delta_um2 << " um2";
+  if (!report.detail.empty()) out << " (" << report.detail << ")";
+  return out.str();
+}
+
+double modeled_area(const graph::Program& program, const ProgramPlan& plan,
+                    const OptConfig& config) {
+  return hw::evaluate(program.base_netlist(config.width) + plan.overhead,
+                      config.cost)
+      .area_um2;
+}
+
+void reprice_plan(ProgramPlan& plan, const graph::PlannerConfig& config) {
+  plan.overhead =
+      hw::Netlist("insertion-overhead(" + to_string(plan.strategy) + ")");
+  plan.inserted_units = 0;
+  for (const PairFix& fix : plan.fixes) {
+    if (fix.fix == FixKind::kNone || fix.shared_with >= 0) continue;
+    plan.overhead += graph::fix_netlist(fix.fix, config);
+    ++plan.inserted_units;
+  }
+}
+
+bool plan_covers(const ProgramPlan& plan) {
+  // Slots of each op that some decorrelator fix re-shuffles (a chain link
+  // only re-shuffles its second operand; the first passes through).
+  std::map<NodeId, std::set<unsigned>> shuffled;
+  for (const PairFix& fix : plan.fixes) {
+    if (fix.fix == FixKind::kDecorrelator) {
+      shuffled[fix.op_node].insert(fix.operand_a);
+      shuffled[fix.op_node].insert(fix.operand_b);
+    } else if (fix.fix == FixKind::kDecorrelatorChain) {
+      shuffled[fix.op_node].insert(fix.operand_b);
+    }
+  }
+  const std::set<NodeId> violated(plan.violations.begin(),
+                                  plan.violations.end());
+  for (const PairFix& fix : plan.fixes) {
+    if (graph::requirement_satisfied(fix.requirement, fix.relation)) continue;
+    if (fix.fix != FixKind::kNone) continue;
+    if (violated.count(fix.op_node) != 0) continue;
+    if (fix.requirement == graph::Requirement::kUncorrelated) {
+      const auto it = shuffled.find(fix.op_node);
+      if (it != shuffled.end() && (it->second.count(fix.operand_a) != 0 ||
+                                   it->second.count(fix.operand_b) != 0)) {
+        continue;  // chain-covered
+      }
+    }
+    return false;
+  }
+  return true;
+}
+
+PassManager& PassManager::add(std::unique_ptr<Pass> pass) {
+  passes_.push_back(std::move(pass));
+  return *this;
+}
+
+std::vector<PassReport> PassManager::run(graph::Program& program,
+                                         ProgramPlan& plan,
+                                         std::vector<NodeId>& node_map,
+                                         const OptConfig& config) const {
+  std::vector<PassReport> reports;
+  reports.reserve(passes_.size());
+  for (const std::unique_ptr<Pass>& pass : passes_) {
+    const graph::Program before_program = program;
+    const ProgramPlan before_plan = plan;
+    const double area_before = modeled_area(program, plan, config);
+
+    PassReport report;
+    report.pass = pass->name();
+    std::vector<NodeId> remap = pass->run(program, plan, config, report);
+    if (!report.changed) {
+      reports.push_back(std::move(report));
+      continue;
+    }
+    if (!remap.empty()) {
+      // The program changed: replan under the same strategy so fixes,
+      // relations, and violations track the rewritten operand identities.
+      plan = plan_program(program, plan.strategy, config.planner);
+    }
+    reprice_plan(plan, config.planner);
+
+    const double area_after = modeled_area(program, plan, config);
+    const bool lowers =
+        area_after < area_before - kAreaEpsilon ||
+        (area_after <= area_before + kAreaEpsilon &&
+         (report.nodes_removed != 0 || report.corrections_saved != 0));
+    const bool safe = plan_covers(plan) &&
+                      plan.violations.size() <= before_plan.violations.size();
+    if (!lowers || !safe) {
+      program = before_program;
+      plan = before_plan;
+      report.accepted = false;
+      report.area_delta_um2 = 0.0;
+      report.nodes_removed = 0;
+      report.nodes_folded = 0;
+      report.corrections_saved = 0;
+      reports.push_back(std::move(report));
+      continue;
+    }
+
+    report.accepted = true;
+    report.area_delta_um2 = area_after - area_before;
+    if (!remap.empty()) {
+      for (NodeId& mapped : node_map) {
+        if (mapped != graph::kInvalidNode) mapped = remap[mapped];
+      }
+    }
+    reports.push_back(std::move(report));
+  }
+  return reports;
+}
+
+}  // namespace sc::opt

@@ -1,0 +1,163 @@
+/// \file pass.hpp
+/// The program-optimizer pass pipeline (Pass / PassManager).
+///
+/// A Pass rewrites a graph::Program and its ProgramPlan before execution.
+/// The PassManager runs passes in order and guards every rewrite with the
+/// hw::cost model: a pass's result is kept only when it does not raise the
+/// modeled area of the full design (operator cells + SNG bank + inserted
+/// correction hardware) and leaves every per-operand-pair Requirement
+/// either provably satisfied, fixed, chain-covered (see plan_covers), or —
+/// under Strategy::kNone — recorded as a violation.  Rejected rewrites are
+/// rolled back wholesale, so a buggy or unprofitable pass can never
+/// corrupt a program.
+///
+/// Five passes ship (factories below, canonical order in
+/// opt::default_pipeline):
+///   1. constant folding        — ops whose inputs are all constants
+///                                become constants (reseeded),
+///   2. common-subexpression    — duplicate registry ops merge when their
+///      elimination               name, operand identity, and RNG-slot
+///                                seeds agree and no planned fix in front
+///                                of them draws RNG (bit-identical),
+///   3. dead-value elimination  — nodes not reaching any output are
+///                                dropped (bit-identical),
+///   4. chain decorrelators     — k-way same-source copy groups get the
+///                                paper's k-1 decorrelator chain instead
+///                                of the planner's k(k-1)/2 pairwise
+///                                insertions (reseeded),
+///   5. correction sharing      — duplicate RNG-free synchronizer /
+///                                desynchronizer insertions feeding
+///                                sibling ops are merged into one charged
+///                                circuit (bit-identical).
+/// "Bit-identical" passes preserve every surviving node's streams exactly
+/// (ProgramNode::seed_tag keeps RNG identity stable across rewrites);
+/// "reseeded" passes preserve exact semantics and are statistically
+/// equivalent.
+
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/planner.hpp"
+#include "graph/program.hpp"
+#include "hw/cost.hpp"
+
+namespace sc::opt {
+
+/// Optimizer knobs.  `planner` must match the PlannerConfig the incoming
+/// plan was made with (it sizes replanned / re-priced fix hardware);
+/// `cost` is the operating point of the area guidance; `width` prices the
+/// base netlist's SNG bank.
+struct OptConfig {
+  graph::PlannerConfig planner;
+  hw::CostConfig cost;
+  unsigned width = 8;
+
+  // Per-pass toggles (all on by default).
+  bool constant_folding = true;
+  bool cse = true;
+  bool dead_value_elimination = true;
+  bool chain_decorrelators = true;
+  bool correction_sharing = true;
+
+  /// Only the passes that never reseed (CSE, DVE, correction sharing):
+  /// optimized programs stay bit-identical to unoptimized ones.
+  static OptConfig bit_identical() {
+    OptConfig config;
+    config.constant_folding = false;
+    config.chain_decorrelators = false;
+    return config;
+  }
+};
+
+/// Diff summary of one pass application.
+struct PassReport {
+  std::string pass;
+  bool changed = false;   ///< the pass found a rewrite
+  bool accepted = false;  ///< the rewrite survived the cost/safety gate
+  std::size_t nodes_removed = 0;
+  std::size_t nodes_folded = 0;
+  /// Correction circuits no longer charged: fixes dropped by chaining plus
+  /// fixes marked shared (PairFix::shared_with).
+  std::size_t corrections_saved = 0;
+  double area_delta_um2 = 0.0;  ///< modeled-area change (0 when rejected)
+  std::string detail;           ///< human-readable specifics
+};
+
+std::string to_string(const PassReport& report);
+
+/// One rewrite stage.  Passes mutate program/plan in place; the manager
+/// snapshots both and rolls back when the gate rejects the result.
+class Pass {
+ public:
+  virtual ~Pass() = default;
+  virtual std::string name() const = 0;
+
+  /// Rewrites program and/or plan, filling `report` (changed, nodes_*,
+  /// corrections_saved, detail).  Returns the node remap for program
+  /// rewrites — old id -> new id, graph::kInvalidNode for removed nodes —
+  /// or an empty vector when the program was left untouched.  After a
+  /// non-empty remap the manager replans the program under the plan's
+  /// strategy, so plan-only passes must run after program passes (the
+  /// default pipeline does).
+  virtual std::vector<graph::NodeId> run(graph::Program& program,
+                                         graph::ProgramPlan& plan,
+                                         const OptConfig& config,
+                                         PassReport& report) = 0;
+};
+
+/// Ordered pass pipeline with the cost/safety gate.
+class PassManager {
+ public:
+  PassManager& add(std::unique_ptr<Pass> pass);
+  std::size_t size() const { return passes_.size(); }
+
+  /// Runs every pass.  `node_map` (original id -> current id,
+  /// graph::kInvalidNode for removed) is composed across accepted program
+  /// rewrites; pass an identity map sized to the original program.
+  std::vector<PassReport> run(graph::Program& program,
+                              graph::ProgramPlan& plan,
+                              std::vector<graph::NodeId>& node_map,
+                              const OptConfig& config) const;
+
+ private:
+  std::vector<std::unique_ptr<Pass>> passes_;
+};
+
+// ------------------------------------------------------------- factories
+
+std::unique_ptr<Pass> make_constant_folding_pass();
+std::unique_ptr<Pass> make_cse_pass();
+std::unique_ptr<Pass> make_dead_value_elimination_pass();
+std::unique_ptr<Pass> make_chain_decorrelator_pass();
+std::unique_ptr<Pass> make_correction_sharing_pass();
+
+/// The five passes in canonical order (program rewrites first, then plan
+/// rewrites), honoring the config's toggles.
+PassManager default_pipeline(const OptConfig& config);
+
+// --------------------------------------------------------------- helpers
+
+/// Modeled area of the full design: base netlist (operator cells + SNG
+/// bank at config.width) plus the plan's correction overhead, evaluated at
+/// config.cost.
+double modeled_area(const graph::Program& program,
+                    const graph::ProgramPlan& plan, const OptConfig& config);
+
+/// Recomputes plan.overhead / plan.inserted_units from plan.fixes,
+/// charging each non-kNone, non-shared fix once.
+void reprice_plan(graph::ProgramPlan& plan,
+                  const graph::PlannerConfig& config);
+
+/// True when every examined operand pair of the plan is provably
+/// satisfied, carries a fix, is covered by a decorrelator chain (a slot
+/// re-shuffled by an independent schedule is uncorrelated with every other
+/// operand, so a kUncorrelated pair is met when either slot appears in a
+/// kDecorrelator fix of the same op), or is a recorded violation.  The
+/// safety half of the PassManager's gate.
+bool plan_covers(const graph::ProgramPlan& plan);
+
+}  // namespace sc::opt

@@ -1,0 +1,437 @@
+/// \file passes.cpp
+/// The five shipped optimizer passes (see pass.hpp for the contract).
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+#include "opt/pass.hpp"
+
+namespace sc::opt {
+namespace {
+
+using graph::FixKind;
+using graph::GraphBuilder;
+using graph::NodeId;
+using graph::OpId;
+using graph::PairFix;
+using graph::Program;
+using graph::ProgramNode;
+using graph::ProgramPlan;
+using graph::Requirement;
+using graph::Value;
+
+/// Marks every node reachable from the outputs through operand edges.
+/// Nodes flagged in `stop` (optional) are treated as leaves: marked live
+/// but not traversed through — the fold pass uses it to orphan the
+/// operands of ops it is about to replace with constants.
+std::vector<bool> reachable_from_outputs(const Program& program,
+                                         const std::vector<bool>* stop =
+                                             nullptr) {
+  std::vector<bool> live(program.node_count(), false);
+  std::vector<NodeId> stack(program.outputs().begin(),
+                            program.outputs().end());
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    if (live[id]) continue;
+    live[id] = true;
+    if (stop != nullptr && (*stop)[id]) continue;
+    for (NodeId operand : program.node(id).operands) stack.push_back(operand);
+  }
+  return live;
+}
+
+// -------------------------------------------------------- constant folding
+
+/// Ops whose operands are all constants become constants of their exact
+/// value (on a fresh private RNG group — a reseeding rewrite).  Operand
+/// constants orphaned by the fold are dropped in the same rewrite, so the
+/// saved comparator/LFSR cells are visible to this pass's own cost gate.
+class ConstantFoldingPass final : public Pass {
+ public:
+  std::string name() const override { return "constant-fold"; }
+
+  std::vector<NodeId> run(Program& program, ProgramPlan& /*plan*/,
+                          const OptConfig& /*config*/,
+                          PassReport& report) override {
+    const std::size_t n = program.node_count();
+    std::vector<bool> constant(n, false);
+    std::vector<bool> fold(n, false);
+    bool any = false;
+    for (NodeId id = 0; id < n; ++id) {
+      const ProgramNode& node = program.node(id);
+      if (node.kind == ProgramNode::Kind::kConstant) {
+        constant[id] = true;
+        continue;
+      }
+      if (node.kind != ProgramNode::Kind::kOp) continue;
+      bool all_const = !node.operands.empty();
+      for (NodeId operand : node.operands) all_const &= constant[operand];
+      if (all_const) {
+        fold[id] = constant[id] = true;
+        any = true;
+      }
+    }
+    if (!any) return {};
+    report.changed = true;
+
+    // Liveness after folding: folded ops no longer reference their
+    // operands, so orphaned constants vanish with them.
+    const std::vector<bool> live = reachable_from_outputs(program, &fold);
+
+    // Fresh RNG groups / seed tags for the new constants, above every id
+    // the program already uses.
+    unsigned next_group = graph::kConstantGroupBase;
+    std::uint32_t next_tag = 0;
+    for (NodeId id = 0; id < n; ++id) {
+      const ProgramNode& node = program.node(id);
+      next_tag = std::max(next_tag, node.seed_tag + 1);
+      if (node.kind != ProgramNode::Kind::kOp) {
+        next_group = std::max(next_group, node.rng_group + 1);
+      }
+    }
+
+    const std::vector<double> values = program.exact_values();
+    GraphBuilder builder(program.reg());
+    std::vector<NodeId> remap(n, graph::kInvalidNode);
+    for (NodeId id = 0; id < n; ++id) {
+      if (!live[id]) {
+        ++report.nodes_removed;
+        continue;
+      }
+      ProgramNode copy = program.node(id);
+      if (fold[id]) {
+        ProgramNode folded;
+        folded.kind = ProgramNode::Kind::kConstant;
+        folded.name = copy.name;
+        folded.value = std::clamp(values[id], 0.0, 1.0);
+        folded.rng_group = next_group++;
+        folded.seed_tag = next_tag++;
+        copy = std::move(folded);
+        ++report.nodes_folded;
+      } else if (copy.kind == ProgramNode::Kind::kOp) {
+        for (NodeId& operand : copy.operands) operand = remap[operand];
+      }
+      remap[id] = builder.raw_node(std::move(copy)).id;
+    }
+    for (NodeId out : program.outputs()) builder.output(Value{remap[out]});
+    program = builder.build();
+    return remap;
+  }
+};
+
+// ------------------------------------------------- common subexpressions
+
+/// Merges op nodes whose operator, operand identity, and RNG-slot seeds
+/// agree.  Operators with private RNG slots draw from seeds keyed by
+/// their seed_tag, and so do the planned fixes in front of an op
+/// (decorrelator / chain / regeneration aux RNGs) — in either case
+/// distinct duplicates produce *different* streams, so the CSE key keeps
+/// them apart and only truly deterministic nodes merge.  That is exactly
+/// what makes the rewrite bit-identical: a deterministic evaluator on
+/// identical (unfixed or RNG-free-fixed) operand streams emits identical
+/// bits, so consumers of the dropped duplicate see the same stream.
+class CsePass final : public Pass {
+ public:
+  std::string name() const override { return "cse"; }
+
+  std::vector<NodeId> run(Program& program, ProgramPlan& plan,
+                          const OptConfig& /*config*/,
+                          PassReport& report) override {
+    using Key = std::tuple<OpId, std::uint32_t, std::vector<NodeId>>;
+    const std::size_t n = program.node_count();
+    // Ops whose planned fixes draw RNG (seeded per node): their output is
+    // not a function of (op, operands) alone.
+    std::vector<bool> rng_fixed(n, false);
+    for (const PairFix& fix : plan.fixes) {
+      if (graph::fix_draws_rng(fix.fix)) rng_fixed[fix.op_node] = true;
+    }
+    std::map<Key, NodeId> seen;
+    GraphBuilder builder(program.reg());
+    std::vector<NodeId> remap(n, graph::kInvalidNode);
+    for (NodeId id = 0; id < n; ++id) {
+      ProgramNode copy = program.node(id);
+      if (copy.kind == ProgramNode::Kind::kOp) {
+        for (NodeId& operand : copy.operands) operand = remap[operand];
+        const bool draws_rng =
+            program.def_of(id).rng_slots > 0 || rng_fixed[id];
+        Key key{copy.op, draws_rng ? copy.seed_tag : 0, copy.operands};
+        const auto it = seen.find(key);
+        if (it != seen.end()) {
+          remap[id] = it->second;
+          ++report.nodes_removed;
+          report.changed = true;
+          continue;
+        }
+        remap[id] = builder.raw_node(std::move(copy)).id;
+        seen.emplace(std::move(key), remap[id]);
+        continue;
+      }
+      remap[id] = builder.raw_node(std::move(copy)).id;
+    }
+    if (!report.changed) return {};
+    for (NodeId out : program.outputs()) builder.output(Value{remap[out]});
+    program = builder.build();
+    return remap;
+  }
+};
+
+// ------------------------------------------------- dead value elimination
+
+/// Drops nodes that reach no program output (bit-identical: surviving
+/// nodes keep their operands, rng groups, and seed tags).
+class DeadValueEliminationPass final : public Pass {
+ public:
+  std::string name() const override { return "dve"; }
+
+  std::vector<NodeId> run(Program& program, ProgramPlan& /*plan*/,
+                          const OptConfig& /*config*/,
+                          PassReport& report) override {
+    const std::vector<bool> live = reachable_from_outputs(program);
+    const std::size_t n = program.node_count();
+    if (std::all_of(live.begin(), live.end(), [](bool b) { return b; })) {
+      return {};
+    }
+    report.changed = true;
+    GraphBuilder builder(program.reg());
+    std::vector<NodeId> remap(n, graph::kInvalidNode);
+    for (NodeId id = 0; id < n; ++id) {
+      if (!live[id]) {
+        ++report.nodes_removed;
+        continue;
+      }
+      ProgramNode copy = program.node(id);
+      if (copy.kind == ProgramNode::Kind::kOp) {
+        for (NodeId& operand : copy.operands) operand = remap[operand];
+      }
+      remap[id] = builder.raw_node(std::move(copy)).id;
+    }
+    for (NodeId out : program.outputs()) builder.output(Value{remap[out]});
+    program = builder.build();
+    return remap;
+  }
+};
+
+// ---------------------------------------------------- chain decorrelators
+
+/// Rewrites the planner's pairwise decorrelator insertions over a k-way
+/// same-node copy group (k(k-1)/2 two-buffer circuits) into the paper's
+/// series chain (§III-C) of k-1 single-buffer links over consecutive
+/// slots: copy j becomes the composition of j independent shuffles of
+/// copy 0, so shuffle windows compound along the chain and every pair —
+/// inside the group and against any other operand — reaches SCC ~ 0.
+/// Only groups whose slots reference one *node* are chained (a link
+/// replaces its second stream with a shuffle of the first, which
+/// preserves the value only when the streams are identical); same-group
+/// inputs with different values keep the pairwise insertions.  The
+/// dropped PairFix entries stay in the plan with fix = kNone so
+/// plan_covers can check the chain rule.  Reseeding rewrite (chain lanes
+/// draw fresh per-lane aux seeds).
+class ChainDecorrelatorPass final : public Pass {
+ public:
+  std::string name() const override { return "chain-decorrelators"; }
+
+  std::vector<NodeId> run(Program& program, ProgramPlan& plan,
+                          const OptConfig& /*config*/,
+                          PassReport& report) override {
+    std::map<NodeId, std::vector<std::size_t>> by_op;
+    for (std::size_t i = 0; i < plan.fixes.size(); ++i) {
+      by_op[plan.fixes[i].op_node].push_back(i);
+    }
+    std::vector<PairFix> chain_fixes;
+    std::size_t groups = 0;
+    for (const auto& [op_node, indices] : by_op) {
+      const ProgramNode& node = program.node(op_node);
+
+      // Slots already claimed by non-decorrelator fixes must not be
+      // re-shuffled (a chain after a synchronizer would destroy the
+      // alignment it just built).
+      std::set<unsigned> off_limits;
+      for (std::size_t i : indices) {
+        const PairFix& fix = plan.fixes[i];
+        if (fix.fix == FixKind::kNone || fix.fix == FixKind::kDecorrelator) {
+          continue;
+        }
+        off_limits.insert(fix.operand_a);
+        off_limits.insert(fix.operand_b);
+      }
+
+      // Copy groups: slots that reference the same node carry one and the
+      // same stream, so a chain link's shuffle(previous copy) preserves
+      // their value exactly.
+      std::map<NodeId, std::vector<unsigned>> sources;
+      for (unsigned slot = 0; slot < node.operands.size(); ++slot) {
+        if (off_limits.count(slot) != 0) continue;
+        sources[node.operands[slot]].push_back(slot);
+      }
+
+      std::set<unsigned> chained;
+      for (const auto& [source, slots] : sources) {
+        (void)source;
+        // 2-copy groups keep the planner's Fig. 4a pair decorrelator on
+        // purpose: it shuffles *both* streams (relative window ~2D),
+        // while a lone chain link shuffles only one (~D) — swapping
+        // would trade decorrelation quality for area, which the
+        // area-only gate cannot see.  Chains only win at k >= 3, where
+        // links compose.
+        if (slots.size() < 3) continue;
+        // Every intra-group pair must currently be a planned pairwise
+        // decorrelator with the kUncorrelated requirement.
+        std::vector<std::size_t> pair_indices;
+        bool eligible = true;
+        for (std::size_t a = 0; a < slots.size() && eligible; ++a) {
+          for (std::size_t b = a + 1; b < slots.size() && eligible; ++b) {
+            bool found = false;
+            for (std::size_t i : indices) {
+              const PairFix& fix = plan.fixes[i];
+              if (fix.operand_a == slots[a] && fix.operand_b == slots[b] &&
+                  fix.fix == FixKind::kDecorrelator && fix.shared_with < 0 &&
+                  fix.requirement == Requirement::kUncorrelated) {
+                pair_indices.push_back(i);
+                found = true;
+                break;
+              }
+            }
+            eligible &= found;
+          }
+        }
+        if (!eligible) continue;
+
+        for (std::size_t i : pair_indices) plan.fixes[i].fix = FixKind::kNone;
+        for (std::size_t t = 0; t + 1 < slots.size(); ++t) {
+          PairFix link;
+          link.op_node = op_node;
+          link.operand_a = slots[t];
+          link.operand_b = slots[t + 1];
+          link.requirement = Requirement::kUncorrelated;
+          link.relation = graph::Relation::kPositive;
+          link.fix = FixKind::kDecorrelatorChain;
+          chain_fixes.push_back(link);
+        }
+        // Every slot but the chain head is re-shuffled.
+        chained.insert(slots.begin() + 1, slots.end());
+        report.corrections_saved += pair_indices.size() - (slots.size() - 1);
+        report.changed = true;
+        ++groups;
+      }
+
+      // Cross-group decorrelators touching a chained (already re-shuffled)
+      // slot are redundant: that slot is independent of everything.
+      if (!chained.empty()) {
+        for (std::size_t i : indices) {
+          PairFix& fix = plan.fixes[i];
+          if (fix.fix != FixKind::kDecorrelator || fix.shared_with >= 0) {
+            continue;
+          }
+          if (chained.count(fix.operand_a) != 0 ||
+              chained.count(fix.operand_b) != 0) {
+            fix.fix = FixKind::kNone;
+            ++report.corrections_saved;
+            report.changed = true;
+          }
+        }
+      }
+    }
+    if (!report.changed) return {};
+    plan.fixes.insert(plan.fixes.end(), chain_fixes.begin(),
+                      chain_fixes.end());
+    std::ostringstream detail;
+    detail << groups << " copy group" << (groups == 1 ? "" : "s")
+           << " chained";
+    report.detail = detail.str();
+    return {};
+  }
+};
+
+// ------------------------------------------------------ correction sharing
+
+/// Marks duplicate RNG-free synchronizer / desynchronizer insertions that
+/// read the same producer pair as shared (PairFix::shared_with): one
+/// physical circuit fans out to every sibling consumer, so the plan
+/// charges it once.  Only fixes whose slots no other fix of the same op
+/// touches are candidates — their inputs are provably the raw producer
+/// streams — and the mirrored FSM is deterministic, so backends stay
+/// bit-identical without any change.
+class CorrectionSharingPass final : public Pass {
+ public:
+  std::string name() const override { return "share-corrections"; }
+
+  std::vector<NodeId> run(Program& program, ProgramPlan& plan,
+                          const OptConfig& /*config*/,
+                          PassReport& report) override {
+    // Per-op slot usage over all active fixes.
+    std::map<NodeId, std::map<unsigned, unsigned>> usage;
+    for (const PairFix& fix : plan.fixes) {
+      if (fix.fix == FixKind::kNone) continue;
+      ++usage[fix.op_node][fix.operand_a];
+      ++usage[fix.op_node][fix.operand_b];
+    }
+    std::map<std::tuple<NodeId, NodeId, int>, std::size_t> representative;
+    std::size_t shared = 0;
+    for (std::size_t i = 0; i < plan.fixes.size(); ++i) {
+      PairFix& fix = plan.fixes[i];
+      if ((fix.fix != FixKind::kSynchronizer &&
+           fix.fix != FixKind::kDesynchronizer) ||
+          fix.shared_with >= 0) {
+        continue;
+      }
+      const std::map<unsigned, unsigned>& slots = usage[fix.op_node];
+      if (slots.at(fix.operand_a) != 1 || slots.at(fix.operand_b) != 1) {
+        continue;  // another fix rewrites these streams first
+      }
+      const ProgramNode& node = program.node(fix.op_node);
+      const std::tuple<NodeId, NodeId, int> key{
+          node.operands[fix.operand_a], node.operands[fix.operand_b],
+          static_cast<int>(fix.fix)};
+      const auto it = representative.find(key);
+      if (it == representative.end()) {
+        representative.emplace(key, i);
+        continue;
+      }
+      fix.shared_with = static_cast<std::int32_t>(it->second);
+      ++shared;
+    }
+    if (shared == 0) return {};
+    report.changed = true;
+    report.corrections_saved = shared;
+    std::ostringstream detail;
+    detail << shared << " correction" << (shared == 1 ? "" : "s")
+           << " fanned out from siblings";
+    report.detail = detail.str();
+    return {};
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_constant_folding_pass() {
+  return std::make_unique<ConstantFoldingPass>();
+}
+std::unique_ptr<Pass> make_cse_pass() { return std::make_unique<CsePass>(); }
+std::unique_ptr<Pass> make_dead_value_elimination_pass() {
+  return std::make_unique<DeadValueEliminationPass>();
+}
+std::unique_ptr<Pass> make_chain_decorrelator_pass() {
+  return std::make_unique<ChainDecorrelatorPass>();
+}
+std::unique_ptr<Pass> make_correction_sharing_pass() {
+  return std::make_unique<CorrectionSharingPass>();
+}
+
+PassManager default_pipeline(const OptConfig& config) {
+  PassManager pipeline;
+  if (config.constant_folding) pipeline.add(make_constant_folding_pass());
+  if (config.cse) pipeline.add(make_cse_pass());
+  if (config.dead_value_elimination) {
+    pipeline.add(make_dead_value_elimination_pass());
+  }
+  if (config.chain_decorrelators) pipeline.add(make_chain_decorrelator_pass());
+  if (config.correction_sharing) pipeline.add(make_correction_sharing_pass());
+  return pipeline;
+}
+
+}  // namespace sc::opt

@@ -18,12 +18,17 @@
 #include "graph/program.hpp"
 #include "graph/registry.hpp"
 #include "graph/seeds.hpp"
+#include "graph_fixtures.hpp"
 #include "img/sc_pipeline.hpp"
 
 namespace sc::graph {
 namespace {
 
-/// Mirrors the planner's satisfaction rule for the property test.
+using fixtures::random_program;
+
+/// Mirrors the planner's satisfaction rule for the property test (also
+/// exported as graph::requirement_satisfied; kept spelled out here so the
+/// property test does not certify the implementation with itself).
 bool provably_satisfied(Requirement requirement, Relation relation) {
   switch (requirement) {
     case Requirement::kAgnostic:
@@ -36,40 +41,6 @@ bool provably_satisfied(Requirement requirement, Relation relation) {
       return false;
   }
   return false;
-}
-
-/// Random registry program: a handful of grouped inputs and constants, a
-/// random mix of registered operators (unary, binary, and n-ary) over
-/// random operands, two outputs.
-Program random_program(std::mt19937_64& gen, std::size_t op_count = 8) {
-  static const char* kOps[] = {
-      "multiply",        "scaled-add", "saturating-add",   "subtract",
-      "max",             "min",        "divide",           "toggle-add",
-      "multiply-bipolar", "negate-bipolar", "scaled-sub-bipolar",
-      "stanh-8",         "sexp-8-1",   "bernstein-x2-3"};
-  std::uniform_real_distribution<double> unit(0.05, 0.95);
-  GraphBuilder b;
-  std::vector<Value> values;
-  const std::size_t inputs = 3 + gen() % 4;
-  for (std::size_t i = 0; i < inputs; ++i) {
-    values.push_back(b.input("in" + std::to_string(i), unit(gen),
-                             static_cast<unsigned>(gen() % 3)));
-  }
-  values.push_back(b.constant(unit(gen)));
-
-  const OperatorRegistry& reg = registry();
-  for (std::size_t i = 0; i < op_count; ++i) {
-    const char* name = kOps[gen() % (sizeof(kOps) / sizeof(kOps[0]))];
-    const OperatorDef& def = *reg.find(name);
-    std::vector<Value> operands;
-    for (unsigned k = 0; k < def.arity; ++k) {
-      operands.push_back(values[gen() % values.size()]);
-    }
-    values.push_back(b.op(name, operands));
-  }
-  b.output(values.back(), "out");
-  b.output(values[values.size() / 2], "mid");
-  return b.build();
 }
 
 void expect_identical(const ExecutionResult& a, const ExecutionResult& b,

@@ -5,6 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+#include <iterator>
+
 #include "bitstream/correlation.hpp"
 #include "graph/dataflow.hpp"
 #include "graph/executor.hpp"
@@ -216,17 +220,23 @@ TEST(Executor, SaturatingAddViaDesynchronizer) {
   const NodeId a = g.add_input("a", 0.55, 0);
   const NodeId b = g.add_input("b", 0.6, 1);
   g.mark_output(g.add_op(OpKind::kSaturatingAdd, a, b));
+  const Plan plan = plan_insertions(g, Strategy::kManipulation);
   // Default depth-2 desynchronizer gets close; the LFSR streams' run
-  // structure leaves a few paired 1s (how many depends on the derived
-  // trace seeds, so the margin is loose).
-  const ExecutionResult fixed =
-      execute(g, plan_insertions(g, Strategy::kManipulation));
-  EXPECT_NEAR(fixed.values[0], 1.0, 0.08);
+  // structure leaves a few paired 1s, and how many depends on the derived
+  // trace seeds.  Averaging over several base seeds removes that seed
+  // luck, so the bound stays tight without being a lottery ticket.
+  double total_error = 0.0;
+  const std::uint32_t seeds[] = {3, 5, 7, 11, 13};
+  for (const std::uint32_t seed : seeds) {
+    ExecConfig config;
+    config.seed = seed;
+    total_error += std::abs(execute(g, plan, config).values[0] - 1.0);
+  }
+  EXPECT_LT(total_error / std::size(seeds), 0.06);
   // Depth 8 absorbs the runs and saturates exactly.
   ExecConfig deep;
   deep.sync_depth = 8;
-  const ExecutionResult deeper =
-      execute(g, plan_insertions(g, Strategy::kManipulation), deep);
+  const ExecutionResult deeper = execute(g, plan, deep);
   EXPECT_NEAR(deeper.values[0], 1.0, 0.01);
 }
 

@@ -6,7 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "func/bernstein.hpp"
 #include "func/fsm_function.hpp"
@@ -73,6 +76,40 @@ TEST(Registry, RejectsBadDefinitions) {
 
   EXPECT_THROW(reg.id_of("no-such-operator"), std::invalid_argument);
   EXPECT_EQ(reg.find("no-such-operator"), nullptr);
+}
+
+TEST(Registry, DuplicateRegistrationIsAHardErrorNamingTheConflict) {
+  // A fully *valid* definition under an existing name must still be
+  // rejected (RejectsBadDefinitions only covers invalid ones, which trip
+  // the completeness checks first), the message must name the conflicting
+  // operator, and the registry must be left untouched — no silent
+  // shadowing or last-wins.
+  OperatorRegistry reg = OperatorRegistry::with_builtins();
+  const std::size_t size_before = reg.size();
+  const OpId original = reg.id_of("multiply");
+
+  OperatorDef dup;
+  dup.name = "multiply";
+  dup.arity = 2;
+  dup.exact = [](sc::span<const double> v) { return v[0] + v[1]; };
+  dup.make_evaluator = [](const OpContext&) -> std::unique_ptr<OpEvaluator> {
+    return nullptr;
+  };
+  try {
+    reg.add(std::move(dup));
+    FAIL() << "duplicate registration did not throw";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("multiply"), std::string::npos)
+        << "message does not name the conflicting operator: " << error.what();
+  }
+  EXPECT_EQ(reg.size(), size_before);
+  EXPECT_EQ(reg.id_of("multiply"), original);
+  // The surviving definition is the original one, not the rejected dup
+  // (which claimed exact = a + b).
+  const std::vector<double> operands{0.5, 0.5};
+  EXPECT_DOUBLE_EQ(reg.def(original).exact(
+                       sc::span<const double>(operands.data(), 2)),
+                   0.25);
 }
 
 TEST(Registry, CustomRegistrationIsLocal) {
