@@ -1,0 +1,19 @@
+#include "fault/fault.hpp"
+
+namespace sc::fault {
+
+std::string to_string(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::kStuckAt0:
+      return "stuck-at-0";
+    case ErrorKind::kStuckAt1:
+      return "stuck-at-1";
+    case ErrorKind::kBitFlip:
+      return "bit-flip";
+    case ErrorKind::kBurst:
+      return "burst";
+  }
+  return "?";
+}
+
+}  // namespace sc::fault

@@ -16,6 +16,7 @@
 #include "core/synchronizer.hpp"
 #include "engine/chunked_stream.hpp"
 #include "engine/session.hpp"
+#include "fault/inject.hpp"
 #include "graph/seeds.hpp"
 #include "kernel/apply.hpp"
 #include "opt/optimize.hpp"
@@ -181,6 +182,8 @@ void reduce_outputs(const Program& program, ExecutionResult& result,
 
 ExecutionResult run_whole(const Program& program, const ProgramPlan& plan,
                           const ExecConfig& config, bool kernel_path) {
+  const fault::ResolvedFaultPlan faults =
+      fault::resolve(config.fault_plan, program, &plan);
   const std::size_t n = config.stream_length;
   // 64-bit: `1u << 32` is UB and a uint32 period wraps to 0 at width 32.
   const std::uint64_t natural = std::uint64_t{1} << config.width;
@@ -212,6 +215,7 @@ ExecutionResult run_whole(const Program& program, const ProgramPlan& plan,
         if (trace[i] < level) stream.set(i, true);
       }
       result.streams[id] = std::move(stream);
+      fault::apply_edge_faults(faults, id, result.streams[id], 0);
       measured[id] = result.streams[id].value();
       continue;
     }
@@ -236,8 +240,8 @@ ExecutionResult run_whole(const Program& program, const ProgramPlan& plan,
       return copies[static_cast<std::size_t>(it - fixed_slots.begin())];
     };
     const NodeId tag = node.seed_tag;
-    for (const PairFix* fix_ptr : fixes) {
-      const PairFix& fix = *fix_ptr;
+    for (std::size_t position = 0; position < fixes.size(); ++position) {
+      const PairFix& fix = *fixes[position];
       Bitstream& a = copy_of(fix.operand_a);
       Bitstream& b = copy_of(fix.operand_b);
       if (is_regenerating(fix.fix)) {
@@ -245,7 +249,9 @@ ExecutionResult run_whole(const Program& program, const ProgramPlan& plan,
         continue;
       }
       const std::unique_ptr<core::PairTransform> transform =
-          make_fix_transform(fix.fix, config, tag, fix_lane(fix));
+          fault::wrap_fsm_faults(
+              make_fix_transform(fix.fix, config, tag, fix_lane(fix)), faults,
+              id, static_cast<unsigned>(position));
       const sc::StreamPair out = kernel_path ? kernel::apply(*transform, a, b)
                                              : core::apply(*transform, a, b);
       a = out.x;
@@ -269,6 +275,7 @@ ExecutionResult run_whole(const Program& program, const ProgramPlan& plan,
       evaluator->OpEvaluator::process(ins, out);
     }
     result.streams[id] = std::move(out);
+    fault::apply_edge_faults(faults, id, result.streams[id], 0);
     measured[id] = result.streams[id].value();
   }
 
@@ -316,6 +323,8 @@ ExecutionResult run_chunked(const Program& program, const ProgramPlan& plan,
     return run_whole(program, plan, config, /*kernel_path=*/true);
   }
 
+  const fault::ResolvedFaultPlan faults =
+      fault::resolve(config.fault_plan, program, &plan);
   const std::size_t n = config.stream_length;
   const std::uint64_t natural = std::uint64_t{1} << config.width;
   std::size_t chunk_bits =
@@ -355,9 +364,14 @@ ExecutionResult run_chunked(const Program& program, const ProgramPlan& plan,
         level_of[id] = level;
         state.fixes = plan.fixes_for(id);
         for (std::size_t lane = 0; lane < state.fixes.size(); ++lane) {
-          state.fix_transforms.push_back(make_fix_transform(
-              state.fixes[lane]->fix, config, node.seed_tag,
-              fix_lane(*state.fixes[lane])));
+          // Wrapped fix FSMs (fault plans) have no table kernel; the
+          // applier below steps them bit-serially with state carried
+          // across chunks, landing the corruption on the same absolute
+          // cycle as the whole-stream backends.
+          state.fix_transforms.push_back(fault::wrap_fsm_faults(
+              make_fix_transform(state.fixes[lane]->fix, config,
+                                 node.seed_tag, fix_lane(*state.fixes[lane])),
+              faults, id, static_cast<unsigned>(lane)));
           auto applier = std::make_unique<kernel::ChunkedPairApplier>(
               *state.fix_transforms.back());
           applier->begin(n);
@@ -411,6 +425,10 @@ ExecutionResult run_chunked(const Program& program, const ProgramPlan& plan,
                                            state.operand_chunks.size()),
           state.chunk);
     }
+    // Corrupt the chunk at its absolute offset *before* the ones count and
+    // the downstream reads — consumers of a faulted edge must see the
+    // faulted bits, exactly as in the whole-stream path.
+    fault::apply_edge_faults(faults, id, state.chunk, offset);
     state.ones += state.chunk.count_ones();
     if (config.keep_streams) {
       copy_chunk_into(result.streams[id], state.chunk, offset);

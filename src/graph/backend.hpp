@@ -39,6 +39,10 @@ namespace sc::engine {
 class Session;
 }
 
+namespace sc::fault {
+struct FaultPlan;
+}
+
 namespace sc::graph {
 
 /// Execution parameters.
@@ -65,6 +69,19 @@ struct ExecConfig {
   /// duplicates share the survivor's stream).  Off by default so existing
   /// plans execute exactly as handed in.
   bool optimize = false;
+  /// Fault-injection campaign (src/fault/): error models applied to named
+  /// stream edges and planned fix FSMs during execution, identically on
+  /// every backend — edge corruption is a pure function of (fault seed,
+  /// edge name, absolute bit index), so chunking cannot move it, and FSM
+  /// corruption wraps the fix in a kernel-less decorator every backend
+  /// steps bit-serially.  Non-owning; the plan must outlive the run.
+  /// nullptr (the default) injects nothing.  With ExecConfig::optimize,
+  /// faults resolve against the *optimized* program: a fault naming a
+  /// value the optimizer removed (including a CSE-merged duplicate — the
+  /// value lives on under the survivor's name, the duplicate's wire does
+  /// not) vanishes with it, and an FSM fault on a correction-shared fix
+  /// wipes every sibling consumer of the one physical circuit.
+  const fault::FaultPlan* fault_plan = nullptr;
 };
 
 /// Per-output accuracy and the overall summary.

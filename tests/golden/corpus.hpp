@@ -1,0 +1,53 @@
+/// \file corpus.hpp
+/// Committed golden checksums for tests/golden_test.cpp (see README.md
+/// alongside this file).  Regenerate with SC_GOLDEN_PRINT=1 ./golden_test
+/// ONLY for intentional bit-level changes, and commit the diff with them.
+
+#pragma once
+
+#include <cstdint>
+
+namespace sc::golden {
+
+struct GoldenEntry {
+  const char* program;
+  const char* backend;
+  std::uint64_t checksum;
+};
+
+inline constexpr GoldenEntry kGoldenCorpus[] = {
+    {"multiply-decor", "reference", 0xB92A1FA276C61A2FULL},
+    {"multiply-decor", "kernel", 0xB92A1FA276C61A2FULL},
+    {"multiply-decor", "engine", 0xB92A1FA276C61A2FULL},
+    {"multiply-decor", "engine-chunked", 0xB92A1FA276C61A2FULL},
+    {"max-resync", "reference", 0x8361C4FFACF81366ULL},
+    {"max-resync", "kernel", 0x8361C4FFACF81366ULL},
+    {"max-resync", "engine", 0x8361C4FFACF81366ULL},
+    {"max-resync", "engine-chunked", 0x8361C4FFACF81366ULL},
+    {"satadd-desync", "reference", 0x1B9DF166219034C7ULL},
+    {"satadd-desync", "kernel", 0x1B9DF166219034C7ULL},
+    {"satadd-desync", "engine", 0x1B9DF166219034C7ULL},
+    {"satadd-desync", "engine-chunked", 0x1B9DF166219034C7ULL},
+    {"bernstein-fan", "reference", 0x7FBF18D2819F2522ULL},
+    {"bernstein-fan", "kernel", 0x7FBF18D2819F2522ULL},
+    {"bernstein-fan", "engine", 0x7FBF18D2819F2522ULL},
+    {"bernstein-fan", "engine-chunked", 0x7FBF18D2819F2522ULL},
+    {"divide-sync", "reference", 0x5351598998261CFEULL},
+    {"divide-sync", "kernel", 0x5351598998261CFEULL},
+    {"divide-sync", "engine", 0x5351598998261CFEULL},
+    {"divide-sync", "engine-chunked", 0x5351598998261CFEULL},
+    {"regen-shared", "reference", 0xFA84AAC6EE1962F7ULL},
+    {"regen-shared", "kernel", 0xFA84AAC6EE1962F7ULL},
+    {"regen-shared", "engine", 0xFA84AAC6EE1962F7ULL},
+    {"regen-shared", "engine-chunked", 0xFA84AAC6EE1962F7ULL},
+    {"faulted-mixed", "reference", 0x8B16076BFAAFD26CULL},
+    {"faulted-mixed", "kernel", 0x8B16076BFAAFD26CULL},
+    {"faulted-mixed", "engine", 0x8B16076BFAAFD26CULL},
+    {"faulted-mixed", "engine-chunked", 0x8B16076BFAAFD26CULL},
+    {"optimized-chain", "reference", 0x66CC33AE53FD4AC0ULL},
+    {"optimized-chain", "kernel", 0x66CC33AE53FD4AC0ULL},
+    {"optimized-chain", "engine", 0x66CC33AE53FD4AC0ULL},
+    {"optimized-chain", "engine-chunked", 0x66CC33AE53FD4AC0ULL},
+};
+
+}  // namespace sc::golden

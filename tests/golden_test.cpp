@@ -1,0 +1,194 @@
+/// Seed-stability regression corpus: eight representative registry
+/// programs — every fix kind, a regeneration plan, a fault campaign, and
+/// an optimizer chain rewrite — executed on all four backend
+/// configurations and checksummed bit-for-bit against tests/golden/
+/// corpus.hpp.  A mismatch here with the differential suites green means
+/// every backend shifted *together*: exactly the failure mode of the PR 3
+/// seed-derivation migration, which silently moved all results at once.
+/// See tests/golden/README.md for the (intentional-change-only)
+/// regeneration workflow.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/session.hpp"
+#include "fault/fault.hpp"
+#include "fault_fixtures.hpp"
+#include "golden/corpus.hpp"
+#include "graph/backend.hpp"
+#include "graph/planner.hpp"
+#include "graph/program.hpp"
+#include "graph_fixtures.hpp"
+
+namespace sc::golden {
+namespace {
+
+using graph::BackendKind;
+using graph::ExecConfig;
+using graph::ExecutionResult;
+using graph::GraphBuilder;
+using graph::Program;
+using graph::ProgramPlan;
+using graph::Strategy;
+using graph::Value;
+
+/// FNV-1a over every node stream (length + packed words) and the output
+/// node list.  Word padding past size() is zeroed by Bitstream's
+/// invariant, and the packed words are platform-independent functions of
+/// the bit sequence, so the checksum is stable anywhere the bits are.
+std::uint64_t checksum(const ExecutionResult& result) {
+  std::uint64_t hash = 1469598103934665603ULL;
+  const auto mix = [&hash](std::uint64_t v) {
+    for (unsigned byte = 0; byte < 8; ++byte) {
+      hash ^= (v >> (8 * byte)) & 0xFFu;
+      hash *= 1099511628211ULL;
+    }
+  };
+  mix(result.streams.size());
+  for (const Bitstream& stream : result.streams) {
+    mix(stream.size());
+    for (const Bitstream::Word word : stream.words()) mix(word);
+  }
+  mix(result.output_nodes.size());
+  for (const graph::NodeId node : result.output_nodes) mix(node);
+  return hash;
+}
+
+struct Case {
+  std::string name;
+  Program program;
+  ProgramPlan plan;
+  ExecConfig config;
+  // Owned here so config.fault_plan stays valid for the run.
+  std::shared_ptr<fault::FaultPlan> faults;
+};
+
+using fault::fixtures::two_input;
+
+std::vector<Case> corpus_cases() {
+  // Fixed, hand-written values only — no std::uniform_real_distribution,
+  // whose output is implementation-defined and would break the corpus
+  // across standard libraries.
+  ExecConfig base;
+  base.stream_length = 333;  // odd: exercises tails everywhere
+  base.width = 8;
+  base.seed = 3;
+
+  std::vector<Case> cases;
+  const auto add = [&](std::string name, Program program, Strategy strategy) {
+    Case c;
+    c.name = std::move(name);
+    c.plan = plan_program(program, strategy);
+    c.program = std::move(program);
+    c.config = base;
+    cases.push_back(std::move(c));
+  };
+
+  add("multiply-decor", two_input("multiply", true), Strategy::kManipulation);
+  add("max-resync", two_input("max", false), Strategy::kManipulation);
+  add("satadd-desync", two_input("saturating-add", false),
+      Strategy::kManipulation);
+  {
+    GraphBuilder b;
+    const Value x = b.input("x", 0.5, 0);
+    b.output(b.op("bernstein-x2-3", {x, x, x}), "fx");
+    add("bernstein-fan", b.build(), Strategy::kManipulation);
+  }
+  add("divide-sync", two_input("divide", false), Strategy::kManipulation);
+  add("regen-shared", two_input("multiply", true), Strategy::kRegeneration);
+  {
+    // Every edge-error kind plus an FSM wipe at once: pins the fault hash
+    // scheme (fault_key / hash_at) and the injection order.
+    Case c;
+    c.name = "faulted-mixed";
+    c.program = two_input("max", false);
+    c.plan = plan_program(c.program, Strategy::kManipulation);
+    c.config = base;
+    c.faults = std::make_shared<fault::FaultPlan>();
+    c.faults->seed = 0xFA170;
+    c.faults->edges.push_back({"x", fault::ErrorKind::kBitFlip, 0.05, 16, 0});
+    c.faults->edges.push_back({"y", fault::ErrorKind::kBurst, 0.1, 24, 1});
+    fault::EdgeFault stuck;
+    stuck.edge = "x";
+    stuck.kind = fault::ErrorKind::kStuckAt1;
+    stuck.begin = 300;
+    stuck.end = 320;
+    c.faults->edges.push_back(stuck);
+    fault::EdgeFault dead;
+    dead.edge = "out";
+    dead.kind = fault::ErrorKind::kStuckAt0;
+    dead.begin = 50;
+    dead.end = 60;
+    c.faults->edges.push_back(dead);
+    c.faults->fsms.push_back({"out", 150, 0, -1});
+    c.config.fault_plan = c.faults.get();
+    cases.push_back(std::move(c));
+  }
+  {
+    // The optimizer's chain rewrite on the 16-way fan-out: pins the
+    // chain pass, seed_tag preservation, and the rebuild paths.
+    Case c;
+    c.name = "optimized-chain";
+    c.program = graph::fixtures::fanout16_program();
+    c.plan = plan_program(c.program, Strategy::kManipulation);
+    c.config = base;
+    c.config.optimize = true;
+    cases.push_back(std::move(c));
+  }
+  return cases;
+}
+
+TEST(GoldenCorpus, BitLevelResultsMatchTheCommittedChecksums) {
+  const bool print = std::getenv("SC_GOLDEN_PRINT") != nullptr;
+  if (print) std::printf("inline constexpr GoldenEntry kGoldenCorpus[] = {\n");
+
+  for (const Case& c : corpus_cases()) {
+    engine::Session session({1, /*chunk_bits=*/128, 0x5eed});
+    const struct {
+      const char* label;
+      std::unique_ptr<graph::ExecutorBackend> backend;
+    } backends[] = {
+        {"reference", graph::make_backend(BackendKind::kReference)},
+        {"kernel", graph::make_backend(BackendKind::kKernel)},
+        {"engine", graph::make_backend(BackendKind::kEngine)},
+        {"engine-chunked", graph::make_engine_backend(session)},
+    };
+    for (const auto& entry : backends) {
+      const std::uint64_t got =
+          checksum(entry.backend->run(c.program, c.plan, c.config));
+      if (print) {
+        std::printf("    {\"%s\", \"%s\", 0x%016llXULL},\n", c.name.c_str(),
+                    entry.label, static_cast<unsigned long long>(got));
+        continue;
+      }
+      bool found = false;
+      for (const GoldenEntry& golden : kGoldenCorpus) {
+        if (c.name != golden.program ||
+            std::string(entry.label) != golden.backend) {
+          continue;
+        }
+        found = true;
+        EXPECT_EQ(got, golden.checksum)
+            << c.name << " on " << entry.label
+            << ": bit-level results changed.  If every row moved together "
+               "this is a seeding/derivation migration; see "
+               "tests/golden/README.md before regenerating.";
+      }
+      EXPECT_TRUE(found) << "no golden entry for " << c.name << " on "
+                         << entry.label;
+    }
+  }
+  if (print) {
+    std::printf("};\n");
+    GTEST_SKIP() << "SC_GOLDEN_PRINT set: printed the corpus instead of "
+                    "checking it";
+  }
+}
+
+}  // namespace
+}  // namespace sc::golden

@@ -9,6 +9,8 @@
 #include <set>
 #include <vector>
 
+#include "bitstream/bitstream.hpp"
+#include "bitstream/correlation.hpp"
 #include "rng/counter_source.hpp"
 #include "rng/factory.hpp"
 #include "rng/halton.hpp"
@@ -93,6 +95,48 @@ TEST(Lfsr, ClonePreservesState) {
   for (int i = 0; i < 7; ++i) lfsr.next();
   auto copy = lfsr.clone();
   for (int i = 0; i < 20; ++i) EXPECT_EQ(copy->next(), lfsr.next());
+}
+
+TEST(Lfsr, FillJumpAheadLanesMatchSerialAndStayPairwiseUncorrelated) {
+  // fill()'s block path advances 8 jump-ahead lanes in parallel; lane j
+  // emits the subsequence {out[8k + j]}.  Two obligations, audited here
+  // because the fault subsystem leans on fill-driven generation
+  // (SngChunkSource blocks feed every faulted chunked run, and resilience
+  // sweeps compare faulted against clean streams bit-for-bit):
+  //  1. the interleaved lanes must reproduce the serial next() sequence
+  //     exactly — any lane drift would silently shift faulted bits;
+  //  2. the lane-decimated subsequences must carry no structured pairwise
+  //     correlation, or per-lane consumers would inherit it.  Thresholded
+  //     m-sequence shifts ideally correlate at -1/(2^w - 1); the bound
+  //     here leaves sampling slack while still catching a broken leap
+  //     table (lockstep lanes hit |SCC| = 1).
+  constexpr std::size_t kLanes = 8;       // fill()'s kLeapLanes
+  constexpr std::size_t kPerLane = 2048;
+  for (const unsigned width : {8u, 12u, 16u}) {
+    Lfsr block(width, 0xACE1);
+    Lfsr serial(width, 0xACE1);
+    std::vector<std::uint32_t> buffer(kLanes * kPerLane);
+    block.fill(buffer.data(), buffer.size());
+    for (std::size_t i = 0; i < buffer.size(); ++i) {
+      ASSERT_EQ(buffer[i], serial.next()) << "width " << width << " i " << i;
+    }
+
+    const std::uint32_t level =
+        static_cast<std::uint32_t>((std::uint64_t{1} << width) / 2);
+    std::vector<sc::Bitstream> lane_bits(kLanes);
+    for (std::size_t lane = 0; lane < kLanes; ++lane) {
+      lane_bits[lane] = sc::Bitstream(kPerLane);
+      for (std::size_t k = 0; k < kPerLane; ++k) {
+        if (buffer[kLanes * k + lane] < level) lane_bits[lane].set(k, true);
+      }
+    }
+    for (std::size_t a = 0; a < kLanes; ++a) {
+      for (std::size_t b = a + 1; b < kLanes; ++b) {
+        EXPECT_LT(std::abs(sc::scc(lane_bits[a], lane_bits[b])), 0.1)
+            << "width " << width << " lanes " << a << " x " << b;
+      }
+    }
+  }
 }
 
 TEST(Lfsr, MaximalTapsKnownValues) {
