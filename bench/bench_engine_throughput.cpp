@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "core/decorrelator.hpp"
 #include "engine/batch.hpp"
 #include "engine/chunked_stream.hpp"
@@ -254,6 +255,7 @@ int main(int argc, char** argv) {
   if (!json_path.empty()) {
     std::ofstream out(json_path);
     out << "{\n"
+        << "  \"host\": " << sc::bench::host_json() << ",\n"
         << "  \"hardware_threads\": " << hw << ",\n"
         << "  \"chunked_stream\": {\n"
         << "    \"bits\": " << stream.bits << ",\n"

@@ -154,7 +154,8 @@ int main(int argc, char** argv) {
 
   if (!json_path.empty()) {
     std::ofstream out(json_path);
-    out << "{\n  \"stream_bits\": " << config.stream_length
+    out << "{\n  \"host\": " << sc::bench::host_json()
+        << ",\n  \"stream_bits\": " << config.stream_length
         << ",\n  \"reco1_ordering\": " << (ordering ? "true" : "false")
         << ",\n  \"backends_identical\": " << (identical ? "true" : "false")
         << ",\n  \"sweep\": [\n";

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "engine/session.hpp"
 #include "graph/backend.hpp"
 #include "graph/planner.hpp"
@@ -147,7 +148,8 @@ int main(int argc, char** argv) {
 
   if (!json_path.empty()) {
     std::ofstream out(json_path);
-    out << "{\n  \"stream_bits\": " << config.stream_length
+    out << "{\n  \"host\": " << sc::bench::host_json()
+        << ",\n  \"stream_bits\": " << config.stream_length
         << ",\n  \"node_count\": " << program.node_count()
         << ",\n  \"inserted_units\": " << plan.inserted_units
         << ",\n  \"reps\": " << reps << ",\n  \"backends\": [\n";

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "core/decorrelator.hpp"
 #include "core/desynchronizer.hpp"
 #include "core/synchronizer.hpp"
@@ -194,7 +195,8 @@ int main(int argc, char** argv) {
 
   if (!json_path.empty()) {
     std::ofstream out(json_path);
-    out << "{\n  \"bits_per_circuit\": " << bits
+    out << "{\n  \"host\": " << sc::bench::host_json()
+        << ",\n  \"bits_per_circuit\": " << bits
         << ",\n  \"chunk_bits\": " << engine::kDefaultChunkBits
         << ",\n  \"reps\": " << reps << ",\n  \"circuits\": [\n";
     for (std::size_t i = 0; i < results.size(); ++i) {

@@ -1,0 +1,205 @@
+/// \file bench_obs_overhead.cpp
+/// Cost of the telemetry subsystem (src/obs/) on the graph executor.
+///
+/// The same 16-copy fan-out workload as bench_graph_executor runs on each
+/// backend under three telemetry modes:
+///
+///   off      ExecConfig::telemetry = nullptr — the disabled path the rest
+///            of the library pays by default (one pointer test per site),
+///   metrics  a Telemetry with tracing disabled — atomic counter/gauge/
+///            histogram updates only,
+///   trace    tracing enabled — spans with clock reads and a mutex-guarded
+///            event buffer, plus a stream-health probe pair.
+///
+/// Every enabled run's outputs are verified bit-identical to the disabled
+/// run's on the same backend (telemetry neutrality), and the JSON records
+/// per-mode throughput so the repo can gate "telemetry off costs nothing"
+/// across PRs (BENCH_obs.json).
+///
+/// Usage: bench_obs_overhead [--json PATH] [--bits LOG2] [--reps N]
+
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "engine/session.hpp"
+#include "graph/backend.hpp"
+#include "graph/planner.hpp"
+#include "graph/program.hpp"
+#include "img/sc_pipeline.hpp"
+#include "obs/telemetry.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Same shape as bench_graph_executor's workload: the §IV window program
+/// fanned over 16 pixel copies plus the wider operator set.
+sc::graph::Program bench_program() {
+  using namespace sc::graph;
+  std::array<double, 16> pixels{};
+  for (std::size_t i = 0; i < 16; ++i) pixels[i] = 0.1 + 0.05 * (i % 10);
+  const Program window = sc::img::window_program(pixels);
+
+  GraphBuilder b;
+  std::vector<Value> args;
+  for (unsigned i = 0; i < 16; ++i) {
+    args.push_back(b.input("p" + std::to_string(i), pixels[i], i % 4));
+  }
+  const Value edge = b.append(window, args)[0];
+  const Value x = b.input("x", 0.62, 4);
+  const Value y = b.input("y", 0.35, 4);
+  const Value prod = b.op("multiply", {x, y});
+  const Value quot = b.op("divide", {y, x});
+  const Value bip = b.op("multiply-bipolar", {prod, b.constant(0.8)});
+  const Value nl = b.op("stanh-8", {b.op("scaled-add", {quot, bip})});
+  const Value poly = b.op("bernstein-x2-3", {nl, nl, nl});
+  b.output(b.op("saturating-add", {poly, edge}), "out");
+  b.output(edge, "edge");
+  return b.build();
+}
+
+struct ModeResult {
+  std::string mode;
+  double seconds = 0.0;
+  double node_mbit_per_s = 0.0;
+  double overhead_pct = 0.0;  ///< vs the same backend's "off" mode
+  bool identical = true;      ///< outputs match the "off" run bit-for-bit
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sc::graph;
+
+  std::string json_path;
+  unsigned log2_bits = 16;
+  unsigned reps = 3;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--bits") == 0 && i + 1 < argc) {
+      log2_bits = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else {
+      std::fprintf(stderr, "usage: %s [--json PATH] [--bits LOG2] [--reps N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const Program program = bench_program();
+  const ProgramPlan plan = plan_program(program, Strategy::kManipulation);
+  const std::size_t stream_bits = std::size_t{1} << log2_bits;
+  const double node_bits = static_cast<double>(stream_bits) *
+                           static_cast<double>(program.node_count());
+
+  std::printf("telemetry overhead bench: %zu nodes, 2^%u bits, %u reps\n\n",
+              program.node_count(), log2_bits, reps);
+
+  sc::engine::Session session({0});
+  std::vector<std::unique_ptr<ExecutorBackend>> backends;
+  backends.push_back(make_backend(BackendKind::kReference));
+  backends.push_back(make_backend(BackendKind::kKernel));
+  backends.push_back(make_engine_backend(session));
+
+  const std::array<const char*, 3> modes = {"off", "metrics", "trace"};
+  bool all_identical = true;
+  bool gate_ok = true;
+  // results[backend][mode]
+  std::vector<std::vector<ModeResult>> results;
+
+  for (const auto& backend : backends) {
+    results.emplace_back();
+    ExecutionResult baseline;
+    for (const char* mode : modes) {
+      // A fresh context per mode keeps instrument state from accumulating
+      // across modes; probes exercise the live-tap path under "trace".
+      std::unique_ptr<sc::obs::Telemetry> telemetry;
+      if (std::strcmp(mode, "metrics") == 0) {
+        sc::obs::TelemetryConfig tconfig;
+        tconfig.tracing = false;
+        telemetry = std::make_unique<sc::obs::Telemetry>(tconfig);
+      } else if (std::strcmp(mode, "trace") == 0) {
+        telemetry = std::make_unique<sc::obs::Telemetry>();
+        telemetry->add_probe({"out", "edge", 4096});
+      }
+
+      ExecConfig config;
+      config.stream_length = stream_bits;
+      config.width = 16;
+      config.telemetry = telemetry.get();
+
+      ModeResult r;
+      r.mode = mode;
+      ExecutionResult last;
+      double best = 1e300;
+      for (unsigned rep = 0; rep < reps; ++rep) {
+        const auto start = Clock::now();
+        last = backend->run(program, plan, config);
+        best = std::min(best, seconds_since(start));
+      }
+      r.seconds = best;
+      r.node_mbit_per_s = node_bits / best / 1e6;
+      if (baseline.streams.empty()) {
+        baseline = last;
+      } else {
+        for (std::size_t s = 0; s < baseline.streams.size(); ++s) {
+          if (last.streams[s] != baseline.streams[s]) {
+            r.identical = false;
+            all_identical = false;
+            break;
+          }
+        }
+        const double off_s = results.back().front().seconds;
+        r.overhead_pct = (best - off_s) / off_s * 100.0;
+      }
+      std::printf("  %-10s %-8s %8.3f ms   %8.1f node-Mbit/s   "
+                  "overhead %+6.2f%%   identical=%s\n",
+                  backend->name().c_str(), r.mode.c_str(), best * 1e3,
+                  r.node_mbit_per_s, r.overhead_pct,
+                  r.identical ? "yes" : "NO");
+      results.back().push_back(std::move(r));
+    }
+    std::printf("\n");
+  }
+
+  if (!all_identical) {
+    std::fprintf(stderr, "FAIL: telemetry changed execution results\n");
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n  \"host\": " << sc::bench::host_json()
+        << ",\n  \"stream_bits\": " << stream_bits
+        << ",\n  \"node_count\": " << program.node_count()
+        << ",\n  \"reps\": " << reps << ",\n  \"backends\": [\n";
+    for (std::size_t b = 0; b < backends.size(); ++b) {
+      out << "    {\"name\": \"" << backends[b]->name() << "\", \"modes\": [\n";
+      for (std::size_t m = 0; m < results[b].size(); ++m) {
+        const ModeResult& r = results[b][m];
+        out << "      {\"mode\": \"" << r.mode
+            << "\", \"node_mbit_per_s\": " << r.node_mbit_per_s
+            << ", \"overhead_pct\": " << r.overhead_pct
+            << ", \"identical\": " << (r.identical ? "true" : "false") << "}"
+            << (m + 1 < results[b].size() ? "," : "") << "\n";
+      }
+      out << "    ]}" << (b + 1 < backends.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return all_identical && gate_ok ? 0 : 1;
+}

@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "graph/backend.hpp"
 #include "graph/planner.hpp"
 #include "graph/program.hpp"
@@ -192,7 +193,8 @@ int main(int argc, char** argv) {
 
   if (!json_path.empty()) {
     std::ofstream out(json_path);
-    out << "{\n  \"stream_bits\": " << stream_length
+    out << "{\n  \"host\": " << sc::bench::host_json()
+        << ",\n  \"stream_bits\": " << stream_length
         << ",\n  \"workloads\": [\n";
     for (std::size_t i = 0; i < results.size(); ++i) {
       const WorkloadResult& r = results[i];

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bitstream/bitstream.hpp"
@@ -87,6 +88,39 @@ inline std::string cell_int(std::int64_t value) {
   char buffer[64];
   std::snprintf(buffer, sizeof(buffer), "%lld",
                 static_cast<long long>(value));
+  return buffer;
+}
+
+/// Host/build provenance as a JSON object, stamped into every BENCH_*.json
+/// baseline: throughput numbers from different machines, compilers, or
+/// build types must never be compared blindly, and the trajectory files
+/// live in the repo across PRs.
+inline std::string host_json() {
+#if defined(__clang__)
+  const std::string compiler = std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  const std::string compiler = std::string("gcc ") + __VERSION__;
+#else
+  const std::string compiler = "unknown";
+#endif
+#if defined(__OPTIMIZE__)
+  const char* optimized = "true";
+#else
+  const char* optimized = "false";
+#endif
+#if defined(NDEBUG)
+  const char* assertions = "false";
+#else
+  const char* assertions = "true";
+#endif
+  const unsigned hw = std::thread::hardware_concurrency();
+  char buffer[512];
+  std::snprintf(buffer, sizeof(buffer),
+                "{\"hardware_threads\": %u, \"compiler\": \"%s\", "
+                "\"optimized\": %s, \"assertions\": %s, "
+                "\"cxx_standard\": %ld}",
+                hw == 0 ? 1u : hw, compiler.c_str(), optimized, assertions,
+                static_cast<long>(__cplusplus));
   return buffer;
 }
 

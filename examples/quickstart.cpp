@@ -6,8 +6,11 @@
 ///  4. Use the improved operators (sync-max / desync saturating add).
 ///  5. Price the hardware with the cost model.
 ///  6. Let the planner do all of it: registry programs + backends.
+///  7. (opt-in) Watch it run: SC_TRACE / SC_METRICS telemetry.
 ///
 /// Build & run:  ./examples/quickstart
+/// With a trace: SC_TRACE=trace.json ./examples/quickstart
+///               (open trace.json in https://ui.perfetto.dev)
 
 #include <cstdio>
 #include <memory>
@@ -24,6 +27,7 @@
 #include "graph/program.hpp"
 #include "hw/cost.hpp"
 #include "hw/designs.hpp"
+#include "obs/telemetry.hpp"
 #include "rng/halton.hpp"
 #include "rng/lfsr.hpp"
 #include "rng/van_der_corput.hpp"
@@ -107,5 +111,21 @@ int main() {
       plan.inserted_units,
       plan.inserted_units == 1 ? "decorrelator" : "fixes", run.values[0],
       run.exact[0]);
+
+  // --- 7. observability (opt-in) -------------------------------------------
+  // With SC_TRACE and/or SC_METRICS set, every run above was recorded into
+  // the process-wide telemetry context: spans for the planner and backends,
+  // counters for bits processed and RNG draws.  Without the env vars this
+  // block (and all instrumentation) is inert.
+  if (obs::Telemetry* telemetry = obs::Telemetry::from_env()) {
+    telemetry->flush();
+    std::printf("\ntelemetry: %zu metrics recorded",
+                telemetry->snapshot().counters.size());
+    if (!telemetry->config().trace_path.empty()) {
+      std::printf("; trace at %s (open in https://ui.perfetto.dev)",
+                  telemetry->config().trace_path.c_str());
+    }
+    std::printf("\n%s", telemetry->snapshot().to_table().c_str());
+  }
   return 0;
 }

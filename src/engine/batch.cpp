@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "obs/telemetry.hpp"
+
 namespace sc::engine {
 
 std::uint64_t job_seed(std::uint64_t base_seed, std::size_t job_index) {
@@ -39,6 +41,16 @@ void BatchRunner::run_indexed(std::size_t count,
   stats.jobs = count;
   stats.threads = pool_->size();
   stats.seconds = std::chrono::duration<double>(stop - start).count();
+
+  if (obs::Telemetry* telemetry = pool_->telemetry()) {
+    obs::MetricsRegistry& metrics = telemetry->metrics();
+    metrics.counter("engine.batches").inc();
+    metrics.counter("engine.jobs").add(count);
+    metrics.gauge("engine.batch.jobs_per_second").set(stats.jobs_per_second());
+    metrics.histogram("engine.batch.duration_us")
+        .observe(static_cast<std::uint64_t>(stats.seconds * 1e6));
+  }
+
   std::lock_guard<std::mutex> lock(stats_mutex_);
   last_stats_ = stats;
 }

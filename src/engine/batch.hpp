@@ -47,13 +47,24 @@ std::uint32_t job_seed32(std::uint64_t base_seed, std::size_t job_index);
 /// sub-generator per window this way, never a whole job.
 std::uint32_t strided_seed32(std::uint64_t base_seed, std::size_t job_index);
 
-/// Wall-clock accounting of one batch.
+/// Wall-clock accounting of one batch.  When the pool carries a telemetry
+/// context (ThreadPool::attach_telemetry) the same numbers are also folded
+/// into the metrics registry — "engine.batches" / "engine.jobs" counters,
+/// the "engine.batch.jobs_per_second" gauge, and the
+/// "engine.batch.duration_us" histogram — so rates show up in snapshots
+/// next to the pool's queue metrics instead of living in a side struct.
 struct BatchStats {
   std::size_t jobs = 0;
   unsigned threads = 0;
   double seconds = 0.0;
+  /// Stream bits the batch's jobs pushed through chunked runs (filled by
+  /// Session::note_batch from its chunked accounting; 0 when untracked).
+  std::uint64_t stream_bits = 0;
   double jobs_per_second() const {
     return seconds > 0.0 ? static_cast<double>(jobs) / seconds : 0.0;
+  }
+  double bits_per_second() const {
+    return seconds > 0.0 ? static_cast<double>(stream_bits) / seconds : 0.0;
   }
 };
 

@@ -1,27 +1,59 @@
 #include "engine/session.hpp"
 
+#include "obs/telemetry.hpp"
+
 namespace sc::engine {
 
 Session::Session(SessionConfig config)
     : config_(config), pool_(config.threads), runner_(pool_) {
   if (config_.chunk_bits == 0) config_.chunk_bits = kDefaultChunkBits;
+  telemetry_ = obs::fallback(config_.telemetry);
+  pool_.attach_telemetry(telemetry_);
 }
 
 void Session::note_chunked(const ChunkedRunStats& stats) {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  ++stats_.chunked_runs;
-  stats_.stream_bits += stats.bits;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.chunked_runs;
+    stats_.stream_bits += stats.bits;
+  }
+  if (telemetry_ != nullptr) {
+    obs::MetricsRegistry& metrics = telemetry_->metrics();
+    metrics.counter("engine.chunked_runs").inc();
+    metrics.counter("engine.chunks").add(stats.chunks);
+    metrics.counter("engine.stream_bits").add(stats.bits);
+    metrics.gauge("engine.buffer.peak_bits")
+        .set(static_cast<double>(stats.peak_buffer_bits));
+  }
 }
 
 void Session::note_batch(std::size_t jobs) {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  ++stats_.batches;
-  stats_.jobs += jobs;
+  BatchStats batch = runner_.last_stats();
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.batches;
+    stats_.jobs += jobs;
+    // The chunked bits accumulated since the previous batch are the bits
+    // this batch's jobs pushed (jobs run synchronously inside map()).
+    batch.stream_bits = stats_.stream_bits - batch_bits_mark_;
+    batch_bits_mark_ = stats_.stream_bits;
+    last_batch_ = batch;
+  }
+  if (telemetry_ != nullptr && batch.stream_bits != 0) {
+    telemetry_->metrics()
+        .gauge("engine.batch.bits_per_second")
+        .set(batch.bits_per_second());
+  }
 }
 
 SessionStats Session::stats() const {
   std::lock_guard<std::mutex> lock(stats_mutex_);
   return stats_;
+}
+
+BatchStats Session::last_batch() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return last_batch_;
 }
 
 }  // namespace sc::engine

@@ -28,6 +28,12 @@ struct SessionConfig {
   std::size_t chunk_bits = kDefaultChunkBits;
   /// Base seed of the deterministic per-job seeding scheme.
   std::uint64_t base_seed = 0x5eedULL;
+  /// Telemetry context (src/obs/): the session attaches it to its pool
+  /// (queue depth / task wait / backpressure metrics) and folds batch and
+  /// chunked-run accounting into it as engine.* metrics.  Non-owning;
+  /// nullptr = env fallback (SC_TRACE/SC_METRICS), exactly as
+  /// graph::ExecConfig::telemetry.  Observation never changes results.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 /// Lifetime totals across everything a session ran.
@@ -46,6 +52,8 @@ class Session {
   ThreadPool& pool() noexcept { return pool_; }
   BatchRunner& runner() noexcept { return runner_; }
   unsigned threads() const noexcept { return pool_.size(); }
+  /// The resolved telemetry context (config's, else env; may be nullptr).
+  obs::Telemetry* telemetry() const noexcept { return telemetry_; }
 
   /// Full-width seed for job `index` under this session's base seed
   /// (hashed; for consumers that use all 64 bits).
@@ -74,10 +82,18 @@ class Session {
   }
 
   /// Folds a chunked run's accounting into the session totals
-  /// (thread-safe; chunked runs may execute on workers).
+  /// (thread-safe; chunked runs may execute on workers).  With telemetry
+  /// bound, also maintains the engine.chunked_runs / engine.chunks /
+  /// engine.stream_bits counters and the engine.buffer.peak_bits gauge —
+  /// the same names session-less chunked runs record directly.
   void note_chunked(const ChunkedRunStats& stats);
 
   SessionStats stats() const;
+
+  /// Stats of the most recent map()/for_each(), including the stream-bits
+  /// delta its jobs pushed through chunked runs (so bits_per_second() is
+  /// meaningful for graph batches).
+  BatchStats last_batch() const;
 
  private:
   void note_batch(std::size_t jobs);
@@ -85,8 +101,11 @@ class Session {
   SessionConfig config_;
   ThreadPool pool_;
   BatchRunner runner_;
+  obs::Telemetry* telemetry_ = nullptr;
   mutable std::mutex stats_mutex_;
   SessionStats stats_;
+  BatchStats last_batch_;
+  std::uint64_t batch_bits_mark_ = 0;  ///< stream_bits at last note_batch
 };
 
 }  // namespace sc::engine

@@ -1,8 +1,21 @@
 #include "engine/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
+
+#include "obs/telemetry.hpp"
 
 namespace sc::engine {
+namespace {
+
+std::uint64_t steady_now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
 
 unsigned ThreadPool::resolve_threads(unsigned requested) {
   if (requested != 0) return requested;
@@ -31,17 +44,39 @@ std::size_t ThreadPool::tasks_executed() const noexcept {
   return executed_.load(std::memory_order_relaxed);
 }
 
+void ThreadPool::attach_telemetry(obs::Telemetry* telemetry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  telemetry_ = telemetry;
+  if (telemetry == nullptr) {
+    queue_depth_ = nullptr;
+    task_wait_ = nullptr;
+    stalls_ = nullptr;
+    return;
+  }
+  obs::MetricsRegistry& metrics = telemetry->metrics();
+  queue_depth_ = &metrics.gauge("engine.pool.queue_depth");
+  task_wait_ = &metrics.histogram("engine.pool.task_wait_us");
+  stalls_ = &metrics.counter("engine.pool.backpressure_stalls");
+}
+
 void ThreadPool::enqueue(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push(std::move(task));
+    Task entry;
+    entry.fn = std::move(task);
+    if (task_wait_ != nullptr) entry.enqueued_us = steady_now_us();
+    if (stalls_ != nullptr && !queue_.empty()) stalls_->inc();
+    queue_.push(std::move(entry));
+    if (queue_depth_ != nullptr) {
+      queue_depth_->set(static_cast<double>(queue_.size()));
+    }
   }
   cv_.notify_one();
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -50,8 +85,16 @@ void ThreadPool::worker_loop() {
       if (queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop();
+      if (queue_depth_ != nullptr) {
+        queue_depth_->set(static_cast<double>(queue_.size()));
+      }
+      if (task_wait_ != nullptr && task.enqueued_us != 0) {
+        const std::uint64_t now = steady_now_us();
+        task_wait_->observe(now > task.enqueued_us ? now - task.enqueued_us
+                                                   : 0);
+      }
     }
-    task();
+    task.fn();
     executed_.fetch_add(1, std::memory_order_relaxed);
   }
 }

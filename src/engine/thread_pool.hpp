@@ -18,6 +18,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
@@ -26,6 +27,13 @@
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+namespace sc::obs {
+class Counter;
+class Gauge;
+class Histogram;
+class Telemetry;
+}  // namespace sc::obs
 
 namespace sc::engine {
 
@@ -60,16 +68,41 @@ class ThreadPool {
   /// Resolved worker count for a requested thread count (0 = hardware).
   static unsigned resolve_threads(unsigned requested);
 
+  /// Binds (or, with nullptr, unbinds) a telemetry context.  While bound,
+  /// the pool maintains the "engine.pool.queue_depth" gauge (value + max),
+  /// the "engine.pool.task_wait_us" histogram (enqueue -> dequeue latency),
+  /// and the "engine.pool.backpressure_stalls" counter (submissions that
+  /// found work already queued, i.e. every worker busy).  Unbound — the
+  /// default — the queue carries no timestamps and no clock is read.
+  /// Call before submitting work; instrument pointers are swapped under
+  /// the queue lock.
+  void attach_telemetry(obs::Telemetry* telemetry);
+
+  /// The bound telemetry context (nullptr when unbound).
+  obs::Telemetry* telemetry() const noexcept { return telemetry_; }
+
  private:
+  /// Queue entry: the callable plus its enqueue timestamp (0 when the pool
+  /// had no telemetry at submission — no clock read on the untracked path).
+  struct Task {
+    std::function<void()> fn;
+    std::uint64_t enqueued_us = 0;
+  };
+
   void enqueue(std::function<void()> task);
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<Task> queue_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;
   std::atomic<std::size_t> executed_{0};
+
+  obs::Telemetry* telemetry_ = nullptr;  // guarded by mutex_ for writes
+  obs::Gauge* queue_depth_ = nullptr;
+  obs::Histogram* task_wait_ = nullptr;
+  obs::Counter* stalls_ = nullptr;
 };
 
 /// Runs body(i) for every i in [begin, end) across the pool and waits for

@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/telemetry.hpp"
+
 namespace sc::fault {
 namespace {
 
@@ -58,30 +60,43 @@ class FsmCorruptingTransform final : public core::PairTransform {
   std::size_t cycle_ = 0;
 };
 
-void apply_one(const EdgeFault& fault, std::uint64_t key, Bitstream& bits,
-               std::size_t offset) {
+/// Applies one edge fault to the span and returns how many bits it
+/// actually changed.  `count` gates the extra bookkeeping (stuck-at word
+/// paths need a popcount scan to know what they changed): telemetry-free
+/// plans pass false and pay nothing beyond the corruption itself.  The
+/// corruption applied is identical either way.
+std::uint64_t apply_one(const EdgeFault& fault, std::uint64_t key,
+                        Bitstream& bits, std::size_t offset, bool count) {
   const std::size_t n = bits.size();
-  if (n == 0) return;
+  if (n == 0) return 0;
   // Intersect the fault's active window [begin, end) with this span's
   // global range [offset, offset + n), in local bit indices.
   const std::size_t global_lo = std::max(fault.begin, offset);
   const std::size_t global_hi = std::min(fault.end, offset + n);
-  if (global_lo >= global_hi) return;
+  if (global_lo >= global_hi) return 0;
   const std::size_t lo = global_lo - offset;
   const std::size_t hi = global_hi - offset;
+  std::uint64_t corrupted = 0;
   switch (fault.kind) {
     case ErrorKind::kStuckAt0: {
       if (lo == 0 && hi == n) {
+        if (count) corrupted = bits.count_ones();
         Bitstream::Word* words = bits.word_data();
         const std::size_t word_count = (n + 63) / 64;
         for (std::size_t w = 0; w < word_count; ++w) words[w] = 0;
       } else {
-        for (std::size_t i = lo; i < hi; ++i) bits.set(i, false);
+        for (std::size_t i = lo; i < hi; ++i) {
+          if (bits.get(i)) {
+            ++corrupted;
+            bits.set(i, false);
+          }
+        }
       }
-      return;
+      return corrupted;
     }
     case ErrorKind::kStuckAt1: {
       if (lo == 0 && hi == n) {
+        if (count) corrupted = n - bits.count_ones();
         Bitstream::Word* words = bits.word_data();
         const std::size_t word_count = (n + 63) / 64;
         for (std::size_t w = 0; w < word_count; ++w) {
@@ -94,15 +109,23 @@ void apply_one(const EdgeFault& fault, std::uint64_t key, Bitstream& bits,
           words[word_count - 1] &= (Bitstream::Word{1} << tail) - 1;
         }
       } else {
-        for (std::size_t i = lo; i < hi; ++i) bits.set(i, true);
+        for (std::size_t i = lo; i < hi; ++i) {
+          if (!bits.get(i)) {
+            ++corrupted;
+            bits.set(i, true);
+          }
+        }
       }
-      return;
+      return corrupted;
     }
     case ErrorKind::kBitFlip: {
       for (std::size_t i = lo; i < hi; ++i) {
-        if (draw_at(key, offset + i, fault.rate)) bits.set(i, !bits.get(i));
+        if (draw_at(key, offset + i, fault.rate)) {
+          bits.set(i, !bits.get(i));
+          ++corrupted;
+        }
       }
-      return;
+      return corrupted;
     }
     case ErrorKind::kBurst: {
       const std::size_t window = fault.burst_length == 0 ? 1
@@ -115,27 +138,43 @@ void apply_one(const EdgeFault& fault, std::uint64_t key, Bitstream& bits,
           current = w;
           corrupt = draw_at(key, w, fault.rate);
         }
-        if (corrupt) bits.set(i, !bits.get(i));
+        if (corrupt) {
+          bits.set(i, !bits.get(i));
+          ++corrupted;
+        }
       }
-      return;
+      return corrupted;
     }
   }
+  return corrupted;
 }
 
 }  // namespace
 
 ResolvedFaultPlan resolve(const FaultPlan* plan, const graph::Program& program,
-                          const graph::ProgramPlan* exec_plan) {
+                          const graph::ProgramPlan* exec_plan,
+                          obs::Telemetry* telemetry) {
+  telemetry = obs::fallback(telemetry);
   ResolvedFaultPlan resolved;
   if (plan == nullptr || plan->empty()) return resolved;
   resolved.seed = plan->seed;
   resolved.edges.resize(program.node_count());
   resolved.fsms.resize(program.node_count());
+  if (telemetry != nullptr) {
+    resolved.corrupted_total =
+        &telemetry->metrics().counter("fault.corrupted_bits");
+  }
   for (const EdgeFault& fault : plan->edges) {
     const graph::NodeId id = program.find(fault.edge);
     if (id == graph::kInvalidNode) continue;  // wire absent: nothing to hit
-    resolved.edges[id].push_back(
-        {&fault, fault_key(plan->seed, fault.edge, fault.kind, fault.salt)});
+    ResolvedFaultPlan::EdgeSite site;
+    site.fault = &fault;
+    site.key = fault_key(plan->seed, fault.edge, fault.kind, fault.salt);
+    if (telemetry != nullptr) {
+      site.corrupted = &telemetry->metrics().counter(
+          "fault.edge." + fault.edge + ".corrupted_bits");
+    }
+    resolved.edges[id].push_back(site);
     resolved.any_edges = true;
   }
 
@@ -218,7 +257,16 @@ void apply_edge_faults(const ResolvedFaultPlan& resolved, graph::NodeId id,
                        Bitstream& bits, std::size_t offset) {
   if (!resolved.any_edges || id >= resolved.edges.size()) return;
   for (const ResolvedFaultPlan::EdgeSite& site : resolved.edges[id]) {
-    apply_one(*site.fault, site.key, bits, offset);
+    const bool count =
+        site.corrupted != nullptr || resolved.corrupted_total != nullptr;
+    const std::uint64_t corrupted =
+        apply_one(*site.fault, site.key, bits, offset, count);
+    if (corrupted != 0) {
+      if (site.corrupted != nullptr) site.corrupted->add(corrupted);
+      if (resolved.corrupted_total != nullptr) {
+        resolved.corrupted_total->add(corrupted);
+      }
+    }
   }
 }
 

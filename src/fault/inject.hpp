@@ -34,6 +34,11 @@
 #include "graph/planner.hpp"
 #include "graph/program.hpp"
 
+namespace sc::obs {
+class Counter;
+class Telemetry;
+}  // namespace sc::obs
+
 namespace sc::fault {
 
 /// A FaultPlan bound to one Program (see file comment).
@@ -41,6 +46,9 @@ struct ResolvedFaultPlan {
   struct EdgeSite {
     const EdgeFault* fault = nullptr;
     std::uint64_t key = 0;  ///< fault_key of this edge fault
+    /// Telemetry counter "fault.edge.<name>.corrupted_bits" when the plan
+    /// was resolved with telemetry, else nullptr (no counting work at all).
+    obs::Counter* corrupted = nullptr;
   };
   struct FsmSite {
     const FsmFault* fault = nullptr;
@@ -58,6 +66,9 @@ struct ResolvedFaultPlan {
   std::uint64_t seed = 0;
   bool any_edges = false;
   bool any_fsms = false;
+  /// Plan-wide "fault.corrupted_bits" counter (nullptr when resolved
+  /// without telemetry).
+  obs::Counter* corrupted_total = nullptr;
 };
 
 /// Binds `plan` to `program` by value name.  nullptr / empty plans resolve
@@ -73,8 +84,16 @@ struct ResolvedFaultPlan {
 /// consumer at the same cycles — the shared design's true blast radius.
 /// Backends pass their executed plan; plan-less resolution keeps the
 /// direct per-op semantics.
+///
+/// When `telemetry` resolves (explicitly or via the SC_METRICS/SC_TRACE
+/// env fallback), every edge site gets a "fault.edge.<name>.corrupted_bits"
+/// counter and the plan a "fault.corrupted_bits" total; apply_edge_faults
+/// then counts the bits it actually changed.  Without telemetry the sites
+/// carry null counters and application skips all counting.  Counting never
+/// changes the corruption itself.
 ResolvedFaultPlan resolve(const FaultPlan* plan, const graph::Program& program,
-                          const graph::ProgramPlan* exec_plan = nullptr);
+                          const graph::ProgramPlan* exec_plan = nullptr,
+                          obs::Telemetry* telemetry = nullptr);
 
 /// Throws std::invalid_argument when `plan` names an edge or op absent
 /// from `program` (for call sites that want typo safety rather than the

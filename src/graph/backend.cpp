@@ -19,6 +19,8 @@
 #include "fault/inject.hpp"
 #include "graph/seeds.hpp"
 #include "kernel/apply.hpp"
+#include "obs/probe.hpp"
+#include "obs/telemetry.hpp"
 #include "opt/optimize.hpp"
 #include "rng/lfsr.hpp"
 
@@ -136,6 +138,78 @@ void apply_regeneration(FixKind kind, Bitstream& a, Bitstream& b,
   }
 }
 
+// ------------------------------------------------------------ telemetry
+
+/// RNG draws a run makes, modeled exactly from the executed plan: every
+/// group trace, per-cycle fix RNG (decorrelator 2/cycle, chain link
+/// 1/cycle), regeneration re-encode, and operator-private slot draws one
+/// value per cycle from its generator — so the count is a pure function
+/// of (program, plan, n) and costs nothing on the hot path.
+std::uint64_t modeled_rng_draws(const Program& program,
+                                const ProgramPlan& plan, std::size_t n) {
+  std::uint64_t per_cycle = 0;
+  std::map<unsigned, bool> groups;
+  for (NodeId id = 0; id < program.node_count(); ++id) {
+    const ProgramNode& node = program.node(id);
+    if (node.kind != ProgramNode::Kind::kOp) {
+      if (groups.emplace(node.rng_group, true).second) ++per_cycle;
+      continue;
+    }
+    per_cycle += program.def_of(id).rng_slots;
+  }
+  for (const PairFix& fix : plan.fixes) {
+    switch (fix.fix) {
+      case FixKind::kDecorrelator:
+      case FixKind::kRegenerateDistinct:
+        per_cycle += 2;
+        break;
+      case FixKind::kDecorrelatorChain:
+      case FixKind::kRegenerateShared:
+      case FixKind::kRegenerateComplementary:
+        per_cycle += 1;
+        break;
+      default:
+        break;  // synchronizer / desynchronizer draw no RNG
+    }
+  }
+  return per_cycle * static_cast<std::uint64_t>(n);
+}
+
+/// Per-run execution counters shared by the whole-stream and chunked
+/// paths.
+void record_run_metrics(obs::Telemetry* telemetry, const char* backend,
+                        const Program& program, const ProgramPlan& plan,
+                        std::size_t n) {
+  if (telemetry == nullptr) return;
+  obs::MetricsRegistry& metrics = telemetry->metrics();
+  metrics.counter("backend.runs").inc();
+  metrics.counter(std::string("backend.") + backend + ".runs").inc();
+  metrics.counter("backend.bits_processed")
+      .add(static_cast<std::uint64_t>(n) * program.node_count());
+  metrics.counter("backend.rng_draws")
+      .add(modeled_rng_draws(program, plan, n));
+}
+
+/// Resolves the telemetry's probe specs against the *executed* program
+/// (same name contract as fault plans: absent edges are skipped).
+obs::ProbeSet make_probe_set(obs::Telemetry* telemetry,
+                             const Program& program) {
+  obs::ProbeSet set;
+  if (telemetry == nullptr) return set;
+  for (const obs::ProbeSpec& spec : telemetry->probe_specs()) {
+    const NodeId x = program.find(spec.edge_x);
+    if (x == kInvalidNode) continue;
+    const bool pair = !spec.edge_y.empty();
+    NodeId y = kInvalidNode;
+    if (pair) {
+      y = program.find(spec.edge_y);
+      if (y == kInvalidNode) continue;
+    }
+    set.add(spec, pair, x, pair ? y : 0, telemetry->tracer());
+  }
+  return set;
+}
+
 OpContext context_for(const Program& program, NodeId id,
                       const ExecConfig& config) {
   OpContext ctx;
@@ -182,23 +256,35 @@ void reduce_outputs(const Program& program, ExecutionResult& result,
 
 ExecutionResult run_whole(const Program& program, const ProgramPlan& plan,
                           const ExecConfig& config, bool kernel_path) {
+  obs::Telemetry* const telemetry = obs::fallback(config.telemetry);
+  obs::Tracer* const tracer = obs::tracer_of(telemetry);
+  const char* const backend_name = kernel_path ? "kernel" : "reference";
+  obs::Span run_span(tracer, std::string("backend.run.") + backend_name,
+                     "backend");
+  run_span.arg("nodes", static_cast<std::uint64_t>(program.node_count()));
+  run_span.arg("stream_bits",
+               static_cast<std::uint64_t>(config.stream_length));
   const fault::ResolvedFaultPlan faults =
-      fault::resolve(config.fault_plan, program, &plan);
+      fault::resolve(config.fault_plan, program, &plan, telemetry);
   const std::size_t n = config.stream_length;
   // 64-bit: `1u << 32` is UB and a uint32 period wraps to 0 at width 32.
   const std::uint64_t natural = std::uint64_t{1} << config.width;
 
   // --- group traces -------------------------------------------------------
   std::map<unsigned, std::vector<std::uint32_t>> traces;
-  for (NodeId id = 0; id < program.node_count(); ++id) {
-    const ProgramNode& node = program.node(id);
-    if (node.kind == ProgramNode::Kind::kOp) continue;
-    if (traces.count(node.rng_group) != 0) continue;
-    rng::Lfsr source(config.width, derive_seed32(config.seed, node.rng_group,
-                                                 Role::kGroupTrace));
-    std::vector<std::uint32_t> trace(n);
-    for (std::size_t i = 0; i < n; ++i) trace[i] = source.next();
-    traces.emplace(node.rng_group, std::move(trace));
+  {
+    obs::Span trace_span(tracer, "backend.group_traces", "backend");
+    for (NodeId id = 0; id < program.node_count(); ++id) {
+      const ProgramNode& node = program.node(id);
+      if (node.kind == ProgramNode::Kind::kOp) continue;
+      if (traces.count(node.rng_group) != 0) continue;
+      rng::Lfsr source(config.width, derive_seed32(config.seed, node.rng_group,
+                                                   Role::kGroupTrace));
+      std::vector<std::uint32_t> trace(n);
+      for (std::size_t i = 0; i < n; ++i) trace[i] = source.next();
+      traces.emplace(node.rng_group, std::move(trace));
+    }
+    trace_span.arg("groups", static_cast<std::uint64_t>(traces.size()));
   }
 
   ExecutionResult result;
@@ -207,6 +293,9 @@ ExecutionResult run_whole(const Program& program, const ProgramPlan& plan,
 
   for (NodeId id = 0; id < program.node_count(); ++id) {
     const ProgramNode& node = program.node(id);
+    obs::Span node_span(
+        tracer, node.name.empty() ? "node#" + std::to_string(id) : node.name,
+        node.kind == ProgramNode::Kind::kOp ? "node.op" : "node.source");
     if (node.kind != ProgramNode::Kind::kOp) {
       const std::uint64_t level = unipolar_level64(node.value, natural);
       const auto& trace = traces.at(node.rng_group);
@@ -280,6 +369,20 @@ ExecutionResult run_whole(const Program& program, const ProgramPlan& plan,
   }
 
   reduce_outputs(program, result, measured);
+  if (telemetry != nullptr) {
+    record_run_metrics(telemetry, backend_name, program, plan, n);
+    // Probes tap the finished (post-fault) streams; feeding them whole
+    // yields the same windows as the chunked engine's live taps.
+    obs::ProbeSet probes = make_probe_set(telemetry, program);
+    if (!probes.empty()) {
+      for (const auto& entry : probes.bound()) {
+        entry->probe.feed(
+            result.streams[entry->node_x],
+            entry->pair ? &result.streams[entry->node_y] : nullptr, 0, n);
+      }
+      probes.publish(*telemetry);
+    }
+  }
   if (!config.keep_streams) result.streams.clear();
   return result;
 }
@@ -323,8 +426,17 @@ ExecutionResult run_chunked(const Program& program, const ProgramPlan& plan,
     return run_whole(program, plan, config, /*kernel_path=*/true);
   }
 
+  obs::Telemetry* const telemetry = obs::fallback(config.telemetry);
+  obs::Tracer* const tracer = obs::tracer_of(telemetry);
+  obs::Span run_span(tracer, "backend.run.engine", "backend");
+  run_span.arg("nodes", static_cast<std::uint64_t>(program.node_count()));
+  run_span.arg("stream_bits",
+               static_cast<std::uint64_t>(config.stream_length));
+  run_span.arg("threads",
+               static_cast<std::uint64_t>(
+                   session != nullptr ? session->threads() : 1));
   const fault::ResolvedFaultPlan faults =
-      fault::resolve(config.fault_plan, program, &plan);
+      fault::resolve(config.fault_plan, program, &plan, telemetry);
   const std::size_t n = config.stream_length;
   const std::uint64_t natural = std::uint64_t{1} << config.width;
   std::size_t chunk_bits =
@@ -394,6 +506,12 @@ ExecutionResult run_chunked(const Program& program, const ProgramPlan& plan,
   const auto advance_node = [&](NodeId id, std::size_t take,
                                 std::size_t offset) {
     const ProgramNode& node = program.node(id);
+    // Recorded from whichever pool worker advances the node, so the trace
+    // timeline shows per-chunk activity fanned across threads.
+    obs::Span node_span(
+        tracer, node.name.empty() ? "node#" + std::to_string(id) : node.name,
+        "chunk");
+    node_span.arg("offset", static_cast<std::uint64_t>(offset));
     ChunkNodeState& state = states[id];
     if (node.kind != ProgramNode::Kind::kOp) {
       state.source->next_chunk(state.chunk, take);
@@ -435,8 +553,12 @@ ExecutionResult run_chunked(const Program& program, const ProgramPlan& plan,
     }
   };
 
+  obs::ProbeSet probes = make_probe_set(telemetry, program);
   for (std::size_t offset = 0; offset < n; offset += chunk_bits) {
     const std::size_t take = std::min(chunk_bits, n - offset);
+    obs::Span chunk_span(tracer, "engine.chunk", "engine");
+    chunk_span.arg("offset", static_cast<std::uint64_t>(offset));
+    chunk_span.arg("bits", static_cast<std::uint64_t>(take));
     for (const std::vector<NodeId>& level : levels) {
       // Nodes of one level only read lower-level chunks, so they advance
       // independently; fan them across the session pool when it helps.
@@ -448,6 +570,13 @@ ExecutionResult run_chunked(const Program& program, const ProgramPlan& plan,
         for (NodeId id : level) advance_node(id, take, offset);
       }
     }
+    // The live tap: every node's chunk of this offset is still resident,
+    // so probes observe internal edges as the stream advances.
+    for (const auto& entry : probes.bound()) {
+      entry->probe.feed(states[entry->node_x].chunk,
+                        entry->pair ? &states[entry->node_y].chunk : nullptr,
+                        offset, take);
+    }
     stats.bits += take;
     ++stats.chunks;
   }
@@ -455,7 +584,25 @@ ExecutionResult run_chunked(const Program& program, const ProgramPlan& plan,
   for (ChunkNodeState& state : states) {
     for (auto& applier : state.fix_appliers) applier->finish();
   }
-  if (session != nullptr) session->note_chunked(stats);
+  if (session != nullptr) {
+    session->note_chunked(stats);
+  }
+  if (telemetry != nullptr &&
+      (session == nullptr || session->telemetry() != telemetry)) {
+    // Runs whose telemetry the session does not carry record the chunked
+    // accounting directly (a bound session's note_chunked uses the same
+    // metric names, into its own registry).
+    obs::MetricsRegistry& metrics = telemetry->metrics();
+    metrics.counter("engine.chunked_runs").inc();
+    metrics.counter("engine.chunks").add(stats.chunks);
+    metrics.counter("engine.stream_bits").add(stats.bits);
+    metrics.gauge("engine.buffer.peak_bits")
+        .set(static_cast<double>(stats.peak_buffer_bits));
+  }
+  if (telemetry != nullptr) {
+    record_run_metrics(telemetry, "engine", program, plan, n);
+    probes.publish(*telemetry);
+  }
 
   std::vector<double> measured(program.node_count(), 0.0);
   for (NodeId id = 0; id < program.node_count(); ++id) {
@@ -484,6 +631,8 @@ ExecutionResult run_with_optimizer(const Program& program,
   opt_config.planner.shuffle_depth = config.shuffle_depth;
   opt_config.planner.width = config.width;
   opt_config.width = config.width;
+  opt_config.telemetry = config.telemetry;
+  opt_config.planner.telemetry = config.telemetry;
   const opt::OptResult optimized = opt::optimize(program, plan, opt_config);
   ExecutionResult result = inner(optimized.program, optimized.plan);
   result.output_nodes.assign(program.outputs().begin(),

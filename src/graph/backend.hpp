@@ -43,6 +43,10 @@ namespace sc::fault {
 struct FaultPlan;
 }
 
+namespace sc::obs {
+class Telemetry;
+}
+
 namespace sc::graph {
 
 /// Execution parameters.
@@ -82,6 +86,16 @@ struct ExecConfig {
   /// not) vanishes with it, and an FSM fault on a correction-shared fix
   /// wipes every sibling consumer of the one physical circuit.
   const fault::FaultPlan* fault_plan = nullptr;
+  /// Telemetry context (src/obs/): metrics counters, RAII tracing spans
+  /// (planner / optimizer passes / per-node and per-chunk execution), and
+  /// stream-health probes are recorded into it during the run — on every
+  /// backend, without changing a single output bit (telemetry neutrality
+  /// is enforced by obs_test and the golden corpus).  Non-owning; must
+  /// outlive the run.  nullptr (the default) falls back to the
+  /// process-wide SC_TRACE / SC_METRICS env context (obs::Telemetry::
+  /// from_env) and, with neither set, records nothing and costs one
+  /// predictable branch per instrumentation site.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 /// Per-output accuracy and the overall summary.

@@ -3,6 +3,7 @@
 #include <set>
 
 #include "hw/designs.hpp"
+#include "obs/telemetry.hpp"
 
 namespace sc::graph {
 namespace {
@@ -202,6 +203,11 @@ bool ProgramPlan::has_regeneration() const {
 
 ProgramPlan plan_program(const Program& program, Strategy strategy,
                          const PlannerConfig& config) {
+  obs::Telemetry* const telemetry = obs::fallback(config.telemetry);
+  obs::Span span(obs::tracer_of(telemetry), "planner.plan_program",
+                 "planner");
+  span.arg_str("strategy", to_string(strategy));
+  span.arg("nodes", static_cast<std::uint64_t>(program.node_count()));
   ProgramPlan plan;
   plan.strategy = strategy;
   plan.overhead.set_label("insertion-overhead(" + to_string(strategy) + ")");
@@ -235,6 +241,16 @@ ProgramPlan plan_program(const Program& program, Strategy strategy,
       }
     }
     if (violated) plan.violations.push_back(op_node);
+  }
+  span.arg("fixes", static_cast<std::uint64_t>(plan.fixes.size()));
+  span.arg("inserted_units", static_cast<std::uint64_t>(plan.inserted_units));
+  span.arg("violations", static_cast<std::uint64_t>(plan.violations.size()));
+  if (telemetry != nullptr) {
+    obs::MetricsRegistry& metrics = telemetry->metrics();
+    metrics.counter("planner.plans").inc();
+    metrics.counter("planner.pairs_examined").add(plan.fixes.size());
+    metrics.counter("planner.fixes_inserted").add(plan.inserted_units);
+    metrics.counter("planner.violations").add(plan.violations.size());
   }
   return plan;
 }

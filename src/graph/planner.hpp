@@ -41,6 +41,10 @@
 #include "graph/program.hpp"
 #include "hw/netlist.hpp"
 
+namespace sc::obs {
+class Telemetry;
+}
+
 namespace sc::graph {
 
 /// Provable correlation relation between two streams.
@@ -119,6 +123,11 @@ struct PlannerConfig {
   unsigned sync_depth = 2;
   std::size_t shuffle_depth = 8;
   unsigned width = 8;
+  /// Telemetry context (src/obs/): plan_program records a
+  /// "planner.plan_program" span (strategy, fixes, violations) and
+  /// planner.* counters into it.  Non-owning, nullptr = env fallback,
+  /// exactly as ExecConfig::telemetry.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 /// Full insertion plan for a Program under one strategy: one PairFix per

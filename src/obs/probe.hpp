@@ -1,0 +1,157 @@
+/// \file probe.hpp
+/// Stream-health probes: windowed taps on named program edges.
+///
+/// fault::sweep (PR 5) showed that resilience analysis hinges on internal
+/// stream state — SCC drift between an engineered pair, FSM recovery
+/// depth — but could only recover it by rerunning whole streams offline.
+/// A probe makes the same signals observable *during* execution: it taps
+/// one or two named edges, accumulates exact 2x2 overlap counts per
+/// fixed-size window, and reports per-window value estimates and pairwise
+/// SCC (computed with the library's own scc(OverlapCounts), including its
+/// zero-variance contract).  On the chunked engine backend the tap runs
+/// as the stream advances, so a live run exposes e.g. a synchronizer's
+/// +1 pair decaying under injected faults window by window — the
+/// fault::sweep recovery-depth story, live instead of post-hoc.
+///
+/// Probes are observers: they read finished (post-fault) chunks and never
+/// touch execution state, so telemetry neutrality holds by construction
+/// (enforced by obs_test / golden_test).  Taps are driven by the
+/// backends from whichever thread advanced the edge's chunk; ProbeSet
+/// serializes internally.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "bitstream/bitstream.hpp"
+#include "bitstream/correlation.hpp"
+
+namespace sc::obs {
+
+class Telemetry;
+class Tracer;
+
+/// A requested tap.  `edge_y` empty = single-edge probe (value estimate
+/// only); otherwise the pair probe also reports windowed SCC.  Edges are
+/// program value names; a spec naming values absent from the executed
+/// program is skipped (same contract as fault plans — the wire does not
+/// exist, so there is nothing to observe).
+struct ProbeSpec {
+  std::string edge_x;
+  std::string edge_y;                ///< optional second edge (SCC pair)
+  std::size_t window_bits = 1024;    ///< clamped to >= 64
+};
+
+/// One completed window of one probe.
+struct ProbeWindow {
+  std::size_t begin = 0;  ///< absolute bit offset of the window start
+  std::size_t bits = 0;   ///< window size (last window may be short)
+  double value_x = 0.0;   ///< windowed value estimate of edge_x
+  double value_y = 0.0;   ///< edge_y (pair probes only)
+  double scc = 0.0;       ///< windowed SCC (pair probes only)
+  bool scc_defined = false;
+};
+
+/// Everything one probe saw over one run.
+struct ProbeReport {
+  std::string edge_x;
+  std::string edge_y;
+  std::size_t window_bits = 0;
+  std::vector<ProbeWindow> windows;
+  /// Running whole-stream estimate (all bits seen, not just full windows).
+  double running_value_x = 0.0;
+  double running_value_y = 0.0;
+  double running_scc = 0.0;
+  bool running_scc_defined = false;
+};
+
+/// One live probe accumulating windows.  feed() takes equal-length chunk
+/// spans of both edges at the same absolute offset; the backends
+/// guarantee offsets arrive in order (the chunk loop / whole-stream walk
+/// is sequential per run).
+class StreamProbe {
+ public:
+  /// `tracer` (nullable) receives live per-window counter events
+  /// ("probe.<name>.scc" / ".value"), timestamped when the window closes
+  /// — i.e. while the run is still executing.
+  StreamProbe(const ProbeSpec& spec, bool pair, Tracer* tracer);
+
+  /// Consumes [offset, offset + bits) of edge_x (and edge_y when the
+  /// probe is a pair probe; `y` is ignored otherwise, may be nullptr).
+  /// `x`/`y` hold the chunk's bits at local positions [0, bits).
+  void feed(const Bitstream& x, const Bitstream* y, std::size_t offset,
+            std::size_t bits);
+
+  /// Flushes the final partial window and returns the report.
+  ProbeReport finish();
+
+ private:
+  /// Joint occupancy accumulator; the full 2x2 OverlapCounts is derived
+  /// as {a, ones_x - a, ones_y - a, bits - ones_x - ones_y + a}.
+  struct Acc {
+    std::uint64_t a = 0;       ///< X=1 and Y=1
+    std::uint64_t ones_x = 0;
+    std::uint64_t ones_y = 0;
+    std::uint64_t bits = 0;
+    OverlapCounts counts() const;
+    void reset() { *this = Acc{}; }
+  };
+
+  void close_window();
+  void accumulate(const Bitstream& x, const Bitstream* y,
+                  std::size_t local_begin, std::size_t count);
+
+  ProbeSpec spec_;
+  bool pair_ = false;
+  Tracer* tracer_ = nullptr;
+  std::string label_;
+  std::mutex mutex_;
+  ProbeReport report_;
+  Acc window_;
+  Acc total_;
+  std::size_t window_begin_ = 0;
+  std::size_t consumed_ = 0;
+};
+
+/// The per-run probe set a backend drives: specs resolved against one
+/// program's value names.  Constructed by the backends when the run's
+/// telemetry has probe specs; results land back in the Telemetry as
+/// ProbeReports plus "probe.<x>[|<y>]..." gauges and trace counter
+/// series (so Perfetto plots SCC drift on the same timeline as the
+/// execution spans).
+class ProbeSet {
+ public:
+  struct Bound {
+    StreamProbe probe;
+    std::uint32_t node_x = 0;
+    std::uint32_t node_y = 0;
+    bool pair = false;
+    Bound(const ProbeSpec& spec, bool is_pair, std::uint32_t nx,
+          std::uint32_t ny, Tracer* tracer)
+        : probe(spec, is_pair, tracer), node_x(nx), node_y(ny),
+          pair(is_pair) {}
+  };
+
+  void add(const ProbeSpec& spec, bool pair, std::uint32_t node_x,
+           std::uint32_t node_y, Tracer* tracer) {
+    bound_.push_back(
+        std::make_unique<Bound>(spec, pair, node_x, node_y, tracer));
+  }
+
+  bool empty() const { return bound_.empty(); }
+  std::vector<std::unique_ptr<Bound>>& bound() { return bound_; }
+
+  /// Publishes every probe's report into `telemetry` (appends to
+  /// probe_reports, sets gauges, emits trace counters).
+  void publish(Telemetry& telemetry);
+
+ private:
+  std::vector<std::unique_ptr<Bound>> bound_;  ///< probes own a mutex
+};
+
+}  // namespace sc::obs

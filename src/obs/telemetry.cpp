@@ -1,0 +1,69 @@
+#include "obs/telemetry.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+namespace sc::obs {
+
+Telemetry::Telemetry(TelemetryConfig config) : config_(std::move(config)) {
+  if (config_.tracing) tracer_ = std::make_unique<Tracer>();
+}
+
+void Telemetry::add_probe(ProbeSpec spec) {
+  std::lock_guard<std::mutex> lock(probe_mutex_);
+  probe_specs_.push_back(std::move(spec));
+}
+
+std::vector<ProbeSpec> Telemetry::probe_specs() const {
+  std::lock_guard<std::mutex> lock(probe_mutex_);
+  return probe_specs_;
+}
+
+void Telemetry::add_probe_report(ProbeReport report) {
+  std::lock_guard<std::mutex> lock(probe_mutex_);
+  probe_reports_.push_back(std::move(report));
+}
+
+std::vector<ProbeReport> Telemetry::probe_reports() const {
+  std::lock_guard<std::mutex> lock(probe_mutex_);
+  return probe_reports_;
+}
+
+void Telemetry::flush() {
+  if (!config_.trace_path.empty() && tracer_ != nullptr) {
+    tracer_->write_chrome_trace(config_.trace_path);
+  }
+  if (!config_.metrics_path.empty()) {
+    const MetricsSnapshot snap = snapshot();
+    if (config_.metrics_path == "-") {
+      std::fputs(snap.to_table().c_str(), stderr);
+    } else {
+      std::ofstream out(config_.metrics_path, std::ios::trunc);
+      out << snap.to_json();
+    }
+  }
+}
+
+Telemetry* Telemetry::from_env() {
+  // Constructed exactly once; the function-local static keeps the "both
+  // env vars unset -> nullptr, no allocation, ever" contract and makes
+  // concurrent first calls safe.
+  static Telemetry* instance = []() -> Telemetry* {
+    const char* trace = std::getenv("SC_TRACE");
+    const char* metrics = std::getenv("SC_METRICS");
+    if (trace == nullptr && metrics == nullptr) return nullptr;
+    TelemetryConfig config;
+    config.tracing = trace != nullptr;
+    if (trace != nullptr) config.trace_path = trace;
+    if (metrics != nullptr) config.metrics_path = metrics;
+    // Leaked deliberately: instrumented code may run inside static
+    // destructors of user code; the atexit flush below writes the files.
+    auto* telemetry = new Telemetry(std::move(config));
+    std::atexit([] { from_env()->flush(); });
+    return telemetry;
+  }();
+  return instance;
+}
+
+}  // namespace sc::obs

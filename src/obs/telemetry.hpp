@@ -1,0 +1,104 @@
+/// \file telemetry.hpp
+/// The execution telemetry context: one object bundling the metrics
+/// registry (metrics.hpp), the Chrome-trace tracer (trace.hpp), and the
+/// stream-health probe configuration (probe.hpp).
+///
+/// Threading model — zero cost when disabled:
+///
+///  * Telemetry is OPT-IN and carried by pointer: ExecConfig::telemetry,
+///    SessionConfig::telemetry, PlannerConfig::telemetry, and
+///    OptConfig::telemetry all default to nullptr.  A null pointer is the
+///    disabled state; instrumented code guards each site with one pointer
+///    test and otherwise touches nothing — no globals mutate, no atomics
+///    bump, no clock reads happen (verified by obs_test's neutrality
+///    suite and the bench_obs_overhead gate).
+///  * One Telemetry may be shared by any number of concurrent runs,
+///    sessions, and pools: every instrument update is atomic, every
+///    buffer mutex-guarded.
+///
+/// Env hook — observability without code changes: env_telemetry() builds
+/// a process-lifetime Telemetry from the environment on first call and
+/// the backends/sessions fall back to it when their config pointer is
+/// null.  `SC_TRACE=<path>` enables tracing and writes the Chrome trace
+/// there; `SC_METRICS=<path>` writes the metrics snapshot JSON (use "-"
+/// to print the human table to stderr instead).  Both files are
+/// (re)written by every flush() and once more at process exit, so
+/// `SC_TRACE=trace.json ./examples/quickstart` then opening trace.json in
+/// Perfetto is the whole quickstart.  With neither variable set,
+/// env_telemetry() returns nullptr forever and never allocates — the
+/// disabled path stays state-free.
+
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/probe.hpp"
+#include "obs/trace.hpp"
+
+namespace sc::obs {
+
+struct TelemetryConfig {
+  /// Record spans/counters into a Tracer (metrics are always on — the
+  /// registry is only touched by instrumented sites anyway).
+  bool tracing = true;
+  /// flush() targets; empty = in-memory only (export via snapshot() /
+  /// tracer()->chrome_trace_json()).  metrics_path "-" = human table to
+  /// stderr.
+  std::string trace_path;
+  std::string metrics_path;
+};
+
+class Telemetry {
+ public:
+  explicit Telemetry(TelemetryConfig config = {});
+
+  MetricsRegistry& metrics() { return metrics_; }
+  /// nullptr when tracing is disabled — Span/counter sites pass it
+  /// straight through.
+  Tracer* tracer() { return tracer_.get(); }
+
+  MetricsSnapshot snapshot() const { return metrics_.snapshot(); }
+
+  // ---------------------------------------------------------- probes
+  void add_probe(ProbeSpec spec);
+  std::vector<ProbeSpec> probe_specs() const;
+  void add_probe_report(ProbeReport report);
+  /// Reports of every probed run so far, in completion order.
+  std::vector<ProbeReport> probe_reports() const;
+
+  /// Writes the configured trace/metrics files (whole-file rewrite, so
+  /// it is safe to call after every run).  No-op for empty paths.
+  void flush();
+
+  const TelemetryConfig& config() const { return config_; }
+
+  /// Process-wide context from SC_TRACE / SC_METRICS (see file comment);
+  /// nullptr when neither is set.  First call wins; the instance lives
+  /// until process exit and flushes in an atexit handler.
+  static Telemetry* from_env();
+
+ private:
+  TelemetryConfig config_;
+  MetricsRegistry metrics_;
+  std::unique_ptr<Tracer> tracer_;
+  mutable std::mutex probe_mutex_;
+  std::vector<ProbeSpec> probe_specs_;
+  std::vector<ProbeReport> probe_reports_;
+};
+
+/// Shorthand the instrumentation sites use: the run's own telemetry when
+/// set, else the env-configured process context, else nullptr.
+inline Telemetry* fallback(Telemetry* telemetry) {
+  return telemetry != nullptr ? telemetry : Telemetry::from_env();
+}
+
+/// Tracer of a nullable telemetry (nullptr-safe).
+inline Tracer* tracer_of(Telemetry* telemetry) {
+  return telemetry == nullptr ? nullptr : telemetry->tracer();
+}
+
+}  // namespace sc::obs

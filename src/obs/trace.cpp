@@ -1,0 +1,118 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace sc::obs {
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string us(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+void Span::arg(const std::string& key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  arg(key, std::string(buf));
+}
+
+std::uint32_t Tracer::tid() {
+  const std::thread::id self = std::this_thread::get_id();
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = tids_.find(self);
+  if (it != tids_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(tids_.size());
+  tids_.emplace(self, id);
+  return id;
+}
+
+void Tracer::record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+void Tracer::counter(const std::string& name, double value) {
+  TraceEvent event;
+  event.name = name;
+  event.category = "counter";
+  event.phase = 'C';
+  event.ts_us = now_us();
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  event.args.emplace_back("value", buf);
+  event.tid = tid();
+  record(std::move(event));
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::string Tracer::chrome_trace_json() const {
+  std::vector<TraceEvent> sorted = events();
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const TraceEvent& e = sorted[i];
+    out << "  {\"name\": \"" << escape(e.name) << "\", \"cat\": \""
+        << escape(e.category) << "\", \"ph\": \"" << e.phase
+        << "\", \"pid\": 1, \"tid\": " << e.tid << ", \"ts\": "
+        << us(e.ts_us);
+    if (e.phase == 'X') out << ", \"dur\": " << us(e.dur_us);
+    if (!e.args.empty()) {
+      out << ", \"args\": {";
+      for (std::size_t k = 0; k < e.args.size(); ++k) {
+        out << (k == 0 ? "" : ", ") << "\"" << escape(e.args[k].first)
+            << "\": " << e.args[k].second;
+      }
+      out << "}";
+    }
+    out << "}" << (i + 1 < sorted.size() ? "," : "") << "\n";
+  }
+  out << "]}\n";
+  return out.str();
+}
+
+void Tracer::write_chrome_trace(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  out << chrome_trace_json();
+}
+
+}  // namespace sc::obs

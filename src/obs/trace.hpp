@@ -1,0 +1,128 @@
+/// \file trace.hpp
+/// The tracing half of the telemetry subsystem: RAII spans recorded as
+/// Chrome trace-event JSON, loadable in Perfetto / chrome://tracing.
+///
+/// A Tracer collects *complete* events ("ph":"X": name, category, start
+/// timestamp, duration, thread id) plus *counter* events ("ph":"C", used
+/// by the stream-health probes) into an in-memory buffer and serializes
+/// them with write_chrome_trace().  Threads are mapped to small dense
+/// tids in first-seen order, so a Perfetto timeline shows one track per
+/// worker — the visual proof of the engine's fan-out.
+///
+/// Span is the only way user code should record durations: construct it
+/// over a Tracer* (nullptr = fully disabled, the constructor is then two
+/// pointer stores) and the destructor stamps the event.  Nesting falls
+/// out of the trace format itself — Perfetto nests same-tid events by
+/// time containment, so a Span inside a Span renders as a child slice.
+///
+/// Timestamps are steady_clock microseconds relative to the tracer's
+/// construction: monotonic per thread by construction, which the CI trace
+/// validator checks.
+///
+/// Thread safety: record/counter may be called from any thread (one
+/// mutex-guarded vector push; spans are per-pass / per-node / per-chunk
+/// scale, orders of magnitude off the per-bit hot path).
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace sc::obs {
+
+/// One recorded trace event (complete span or counter sample).
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  char phase = 'X';          ///< 'X' complete, 'C' counter
+  double ts_us = 0.0;        ///< start, microseconds since tracer epoch
+  double dur_us = 0.0;       ///< complete events only
+  std::uint32_t tid = 0;
+  /// Small argument map; values are emitted verbatim, so pass numbers as
+  /// numbers ("13") and strings pre-quoted ("\"engine\"").
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+class Tracer {
+ public:
+  Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+  /// Microseconds since tracer construction.
+  double now_us() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  /// Dense id of the calling thread (assigned in first-seen order).
+  std::uint32_t tid();
+
+  void record(TraceEvent event);
+
+  /// Counter event: a named numeric series Perfetto plots over time.
+  void counter(const std::string& name, double value);
+
+  std::size_t event_count() const;
+  std::vector<TraceEvent> events() const;  ///< snapshot copy
+
+  /// Serializes everything recorded so far as a Chrome trace JSON object
+  /// ({"traceEvents": [...], "displayTimeUnit": "ms"}), sorted by
+  /// timestamp.  May be called repeatedly (e.g. flush after every run) —
+  /// the file is rewritten whole each time.
+  void write_chrome_trace(const std::string& path) const;
+  std::string chrome_trace_json() const;
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::unordered_map<std::thread::id, std::uint32_t> tids_;
+};
+
+/// RAII span: records one complete event over its lifetime.  A nullptr
+/// tracer makes every operation a no-op, so call sites need no branches.
+class Span {
+ public:
+  Span(Tracer* tracer, std::string name, std::string category)
+      : tracer_(tracer) {
+    if (tracer_ == nullptr) return;
+    event_.name = std::move(name);
+    event_.category = std::move(category);
+    event_.ts_us = tracer_->now_us();
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches an argument (shown in the Perfetto slice pane).  `value` is
+  /// emitted verbatim — numbers unquoted, strings via arg_str.
+  void arg(const std::string& key, const std::string& value) {
+    if (tracer_ != nullptr) event_.args.emplace_back(key, value);
+  }
+  void arg(const std::string& key, std::uint64_t value) {
+    arg(key, std::to_string(value));
+  }
+  void arg(const std::string& key, double value);
+  void arg_str(const std::string& key, const std::string& value) {
+    arg(key, "\"" + value + "\"");
+  }
+
+  ~Span() {
+    if (tracer_ == nullptr) return;
+    event_.dur_us = tracer_->now_us() - event_.ts_us;
+    event_.tid = tracer_->tid();
+    tracer_->record(std::move(event_));
+  }
+
+ private:
+  Tracer* tracer_;
+  TraceEvent event_;
+};
+
+}  // namespace sc::obs

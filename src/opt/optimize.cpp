@@ -3,6 +3,8 @@
 #include <numeric>
 #include <sstream>
 
+#include "obs/telemetry.hpp"
+
 namespace sc::opt {
 
 std::size_t OptResult::nodes_removed() const {
@@ -34,6 +36,8 @@ std::string OptResult::summary() const {
 
 OptResult optimize(const graph::Program& program,
                    const graph::ProgramPlan& plan, const OptConfig& config) {
+  obs::Span span(obs::tracer_of(obs::fallback(config.telemetry)),
+                 "opt.optimize", "opt");
   OptResult result;
   result.program = program;
   result.plan = plan;
@@ -44,6 +48,8 @@ OptResult optimize(const graph::Program& program,
   result.reports =
       pipeline.run(result.program, result.plan, result.node_map, config);
   result.area_after_um2 = modeled_area(result.program, result.plan, config);
+  span.arg("area_before_um2", result.area_before_um2);
+  span.arg("area_after_um2", result.area_after_um2);
   result.cost_delta = hw::evaluate_delta(
       program.base_netlist(config.width) + plan.overhead,
       result.program.base_netlist(config.width) + result.plan.overhead,

@@ -6,6 +6,8 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/telemetry.hpp"
+
 namespace sc::opt {
 
 using graph::FixKind;
@@ -96,9 +98,12 @@ std::vector<PassReport> PassManager::run(graph::Program& program,
                                          ProgramPlan& plan,
                                          std::vector<NodeId>& node_map,
                                          const OptConfig& config) const {
+  obs::Telemetry* const telemetry = obs::fallback(config.telemetry);
+  obs::Tracer* const tracer = obs::tracer_of(telemetry);
   std::vector<PassReport> reports;
   reports.reserve(passes_.size());
   for (const std::unique_ptr<Pass>& pass : passes_) {
+    obs::Span span(tracer, "opt." + pass->name(), "opt");
     const graph::Program before_program = program;
     const ProgramPlan before_plan = plan;
     const double area_before = modeled_area(program, plan, config);
@@ -106,7 +111,9 @@ std::vector<PassReport> PassManager::run(graph::Program& program,
     PassReport report;
     report.pass = pass->name();
     std::vector<NodeId> remap = pass->run(program, plan, config, report);
+    if (telemetry != nullptr) telemetry->metrics().counter("opt.passes").inc();
     if (!report.changed) {
+      span.arg_str("result", "no-rewrite");
       reports.push_back(std::move(report));
       continue;
     }
@@ -132,12 +139,27 @@ std::vector<PassReport> PassManager::run(graph::Program& program,
       report.nodes_removed = 0;
       report.nodes_folded = 0;
       report.corrections_saved = 0;
+      span.arg_str("result", "rejected");
+      if (telemetry != nullptr) {
+        telemetry->metrics().counter("opt.rewrites_rejected").inc();
+      }
       reports.push_back(std::move(report));
       continue;
     }
 
     report.accepted = true;
     report.area_delta_um2 = area_after - area_before;
+    span.arg_str("result", "accepted");
+    span.arg("nodes_removed", static_cast<std::uint64_t>(report.nodes_removed));
+    span.arg("corrections_saved",
+             static_cast<std::uint64_t>(report.corrections_saved));
+    span.arg("area_delta_um2", report.area_delta_um2);
+    if (telemetry != nullptr) {
+      obs::MetricsRegistry& metrics = telemetry->metrics();
+      metrics.counter("opt.rewrites_accepted").inc();
+      metrics.counter("opt.nodes_removed").add(report.nodes_removed);
+      metrics.counter("opt.corrections_saved").add(report.corrections_saved);
+    }
     if (!remap.empty()) {
       for (NodeId& mapped : node_map) {
         if (mapped != graph::kInvalidNode) mapped = remap[mapped];

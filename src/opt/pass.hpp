@@ -55,6 +55,12 @@ struct OptConfig {
   graph::PlannerConfig planner;
   hw::CostConfig cost;
   unsigned width = 8;
+  /// Telemetry context (src/obs/): the PassManager records one span per
+  /// pass ("opt.<pass>": accepted, rewrite counts, area delta) and opt.*
+  /// counters into it.  Non-owning, nullptr = env fallback, exactly as
+  /// ExecConfig::telemetry.  Replans triggered by program rewrites also
+  /// carry it (config.planner is forwarded with the same pointer).
+  obs::Telemetry* telemetry = nullptr;
 
   // Per-pass toggles (all on by default).
   bool constant_folding = true;

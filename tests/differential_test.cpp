@@ -23,6 +23,7 @@
 #include "graph/planner.hpp"
 #include "graph/program.hpp"
 #include "graph_fixtures.hpp"
+#include "obs/telemetry.hpp"
 
 namespace sc::graph {
 namespace {
@@ -71,6 +72,14 @@ TEST(DifferentialFuzz, BackendsBitIdenticalUnderRandomFaultPlans) {
     };
     const ExecutionResult want =
         make_backend(BackendKind::kReference)->run(program, plan, config);
+    // A fifth of the campaign runs the candidates under full telemetry
+    // (tracing + metrics + a probe) against the *unobserved* reference:
+    // observation must be invisible at bit level, fault plans included.
+    obs::Telemetry telemetry;
+    if (index % 5 == 0) {
+      telemetry.add_probe({"x", "", 96});
+      config.telemetry = &telemetry;
+    }
     for (const auto& candidate : candidates) {
       ASSERT_TRUE(
           fault::fixtures::conforms(*candidate, program, plan, config, want))

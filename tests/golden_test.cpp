@@ -24,6 +24,7 @@
 #include "graph/planner.hpp"
 #include "graph/program.hpp"
 #include "graph_fixtures.hpp"
+#include "obs/telemetry.hpp"
 
 namespace sc::golden {
 namespace {
@@ -187,6 +188,46 @@ TEST(GoldenCorpus, BitLevelResultsMatchTheCommittedChecksums) {
     std::printf("};\n");
     GTEST_SKIP() << "SC_GOLDEN_PRINT set: printed the corpus instead of "
                     "checking it";
+  }
+}
+
+// Telemetry neutrality at golden granularity: the full corpus — faults,
+// regeneration, the optimizer rewrite — re-run with tracing, metrics, and
+// a stream-health probe attached must reproduce the exact checksums of
+// the bare runs on every backend.  Observation may never move a bit.
+TEST(GoldenCorpus, TelemetryEnabledRunsKeepIdenticalChecksums) {
+  for (const Case& c : corpus_cases()) {
+    obs::Telemetry telemetry;  // tracing on, in-memory
+    telemetry.add_probe({"x", "out", 128});
+
+    engine::Session bare_session({1, /*chunk_bits=*/128, 0x5eed});
+    engine::Session traced_session(
+        {1, /*chunk_bits=*/128, 0x5eed, &telemetry});
+    const struct {
+      const char* label;
+      std::unique_ptr<graph::ExecutorBackend> bare;
+      std::unique_ptr<graph::ExecutorBackend> traced;
+    } backends[] = {
+        {"reference", graph::make_backend(BackendKind::kReference),
+         graph::make_backend(BackendKind::kReference)},
+        {"kernel", graph::make_backend(BackendKind::kKernel),
+         graph::make_backend(BackendKind::kKernel)},
+        {"engine-chunked", graph::make_engine_backend(bare_session),
+         graph::make_engine_backend(traced_session)},
+    };
+    for (const auto& entry : backends) {
+      ExecConfig with = c.config;
+      with.telemetry = &telemetry;
+      const std::uint64_t bare =
+          checksum(entry.bare->run(c.program, c.plan, c.config));
+      const std::uint64_t traced =
+          checksum(entry.traced->run(c.program, c.plan, with));
+      EXPECT_EQ(bare, traced)
+          << c.name << " on " << entry.label
+          << ": attaching telemetry changed bit-level results";
+    }
+    // The observed runs actually observed something.
+    EXPECT_NE(telemetry.snapshot().counters.count("backend.runs"), 0u);
   }
 }
 

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""CI validator for the telemetry subsystem's on-disk artifacts.
+
+Usage:
+    validate_trace.py --trace trace.json [--metrics metrics.json]
+
+Checks, in order:
+  1. the trace file is well-formed JSON with the Chrome trace-event shape
+     (an object with a "traceEvents" array),
+  2. every event carries the required fields (name, ph, ts, pid, tid),
+     complete events ("ph": "X") additionally a non-negative dur, counter
+     events ("ph": "C") a numeric args payload,
+  3. timestamps are monotonically non-decreasing in file order (the tracer
+     serializes sorted by ts, so an out-of-order event means the writer
+     broke), and no timestamp is negative,
+  4. if --metrics is given, the metrics snapshot has the registry schema:
+     top-level counters/gauges/histograms objects, integer counter values,
+     gauges with value/max, histograms with count/sum/buckets.
+
+Exits nonzero with a message on the first violation; prints a one-line
+summary on success.  Stdlib only — safe for any CI image with python3.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(message):
+    print("validate_trace: FAIL: " + message, file=sys.stderr)
+    sys.exit(1)
+
+
+def validate_trace(path):
+    try:
+        with open(path) as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        fail("%s: not readable as JSON: %s" % (path, err))
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("%s: missing top-level 'traceEvents' array" % path)
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail("%s: 'traceEvents' must be a non-empty array" % path)
+
+    required = ("name", "ph", "ts", "pid", "tid")
+    last_ts = -1.0
+    phases = {}
+    for index, event in enumerate(events):
+        where = "%s: event %d" % (path, index)
+        if not isinstance(event, dict):
+            fail(where + ": not an object")
+        for field in required:
+            if field not in event:
+                fail(where + ": missing required field '%s'" % field)
+        ts = event["ts"]
+        if not isinstance(ts, (int, float)) or ts < 0:
+            fail(where + ": 'ts' must be a non-negative number, got %r" % ts)
+        if ts < last_ts:
+            fail(where + ": timestamps not monotonic (%s after %s)"
+                 % (ts, last_ts))
+        last_ts = ts
+        ph = event["ph"]
+        phases[ph] = phases.get(ph, 0) + 1
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(where + ": complete event needs non-negative 'dur'")
+        elif ph == "C":
+            args = event.get("args")
+            if not isinstance(args, dict) or not all(
+                    isinstance(v, (int, float)) for v in args.values()):
+                fail(where + ": counter event needs numeric 'args'")
+    return len(events), phases
+
+
+def validate_metrics(path):
+    try:
+        with open(path) as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        fail("%s: not readable as JSON: %s" % (path, err))
+
+    for section in ("counters", "gauges", "histograms"):
+        if section not in doc or not isinstance(doc[section], dict):
+            fail("%s: missing top-level '%s' object" % (path, section))
+    for name, value in doc["counters"].items():
+        if not isinstance(value, int) or value < 0:
+            fail("%s: counter %s must be a non-negative integer, got %r"
+                 % (path, name, value))
+    for name, gauge in doc["gauges"].items():
+        if not isinstance(gauge, dict) or "value" not in gauge \
+                or "max" not in gauge:
+            fail("%s: gauge %s must carry 'value' and 'max'" % (path, name))
+    for name, hist in doc["histograms"].items():
+        for field in ("count", "sum", "buckets"):
+            if field not in hist:
+                fail("%s: histogram %s missing '%s'" % (path, name, field))
+        if not isinstance(hist["buckets"], dict):
+            fail("%s: histogram %s 'buckets' must be an object" % (path, name))
+    return (len(doc["counters"]), len(doc["gauges"]), len(doc["histograms"]))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace", required=True,
+                        help="Chrome trace-event JSON written via SC_TRACE")
+    parser.add_argument("--metrics",
+                        help="metrics snapshot JSON written via SC_METRICS")
+    options = parser.parse_args()
+
+    count, phases = validate_trace(options.trace)
+    summary = "validate_trace: OK: %s: %d events (%s)" % (
+        options.trace, count,
+        ", ".join("%s=%d" % kv for kv in sorted(phases.items())))
+    if options.metrics:
+        counters, gauges, histograms = validate_metrics(options.metrics)
+        summary += "; %s: %d counters, %d gauges, %d histograms" % (
+            options.metrics, counters, gauges, histograms)
+    print(summary)
+
+
+if __name__ == "__main__":
+    main()
