@@ -1,0 +1,151 @@
+#include "analysis/provenance.hpp"
+
+#include <map>
+#include <string>
+
+namespace sc::analysis {
+
+using graph::NodeId;
+using graph::OperatorDef;
+using graph::PairFix;
+using graph::FixKind;
+using graph::ProgramNode;
+using graph::seeds::Role;
+using graph::seeds::derive_seed32;
+
+namespace {
+
+/// Stable per-fix seed lane — must match backend.cpp's fix_lane (the
+/// operand-slot pair, invariant under plan rewrites).
+std::uint32_t fix_lane(const PairFix& fix) {
+  return fix.operand_a * graph::kMaxArity + fix.operand_b;
+}
+
+SeedRecord make_record(std::uint32_t seed32, unsigned width,
+                       unsigned rotation, Role role, std::uint32_t key,
+                       std::uint32_t lane, NodeId node, std::string label) {
+  SeedRecord record;
+  record.seed32 = seed32;
+  record.generator = effective_generator(seed32, width, rotation);
+  record.role = role;
+  record.key = key;
+  record.lane = lane;
+  record.node = node;
+  record.label = std::move(label);
+  return record;
+}
+
+}  // namespace
+
+GeneratorId effective_generator(std::uint32_t seed32, unsigned width,
+                                unsigned rotation) {
+  const std::uint32_t mask =
+      width >= 32 ? 0xFFFFFFFFu : ((std::uint32_t{1} << width) - 1u);
+  std::uint32_t state = seed32 & mask;
+  if (state == 0) state = 1;
+  return GeneratorId{state, rotation};
+}
+
+std::vector<const SeedRecord*> SeedReport::sharing(
+    const GeneratorId& id) const {
+  std::vector<const SeedRecord*> out;
+  for (const SeedRecord& record : records) {
+    if (record.generator == id) out.push_back(&record);
+  }
+  return out;
+}
+
+std::vector<SeedCollision> find_collisions(
+    const std::vector<SeedRecord>& records) {
+  // Group by effective generator: exact collisions are a subset of masked
+  // ones (equal folds imply equal masked states at equal rotation), and
+  // rotation differences keep schedules distinct, so grouping by
+  // GeneratorId finds every aliasing pair in O(n log n).
+  std::vector<SeedCollision> out;
+  std::map<GeneratorId, std::vector<std::size_t>> by_generator;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    by_generator[records[i].generator].push_back(i);
+  }
+  for (const auto& [generator, members] : by_generator) {
+    (void)generator;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      for (std::size_t j = i + 1; j < members.size(); ++j) {
+        SeedCollision collision;
+        collision.first = members[i];
+        collision.second = members[j];
+        collision.exact =
+            records[members[i]].seed32 == records[members[j]].seed32;
+        out.push_back(collision);
+      }
+    }
+  }
+  return out;
+}
+
+SeedReport seed_provenance(const graph::Program& program,
+                           const graph::ProgramPlan& plan,
+                           const graph::ExecConfig& config) {
+  SeedReport report;
+  std::map<unsigned, bool> groups;
+  for (NodeId id = 0; id < program.node_count(); ++id) {
+    const ProgramNode& node = program.node(id);
+    if (node.kind != ProgramNode::Kind::kOp) {
+      if (!groups.emplace(node.rng_group, true).second) continue;
+      const std::uint32_t seed =
+          derive_seed32(config.seed, node.rng_group, Role::kGroupTrace);
+      report.records.push_back(make_record(
+          seed, config.width, /*rotation=*/0, Role::kGroupTrace,
+          node.rng_group, 0, id,
+          "trace of RNG group " + std::to_string(node.rng_group)));
+      continue;
+    }
+    const OperatorDef& def = program.def_of(id);
+    const std::uint32_t tag = node.seed_tag;
+    for (unsigned slot = 0; slot < def.rng_slots; ++slot) {
+      const std::uint32_t seed =
+          derive_seed32(config.seed, tag, Role::kOpPrivate, slot);
+      report.records.push_back(make_record(
+          seed, config.width, /*rotation=*/0, Role::kOpPrivate, tag, slot, id,
+          def.name + " '" + node.name + "' private slot " +
+              std::to_string(slot)));
+    }
+    for (const PairFix* fix : plan.fixes_for(id)) {
+      const std::uint32_t lane = fix_lane(*fix);
+      const std::string pair_label =
+          " '" + node.name + "' pair (" + std::to_string(fix->operand_a) +
+          ", " + std::to_string(fix->operand_b) + ")";
+      switch (fix->fix) {
+        case FixKind::kDecorrelator:
+        case FixKind::kRegenerateDistinct:
+          report.records.push_back(make_record(
+              derive_seed32(config.seed, tag, Role::kFixAuxA, lane),
+              config.width, /*rotation=*/0, Role::kFixAuxA, tag, lane, id,
+              to_string(fix->fix) + pair_label + " aux A"));
+          // The decorrelator's second buffer keeps its output rotation (3)
+          // precisely so a masked collision with aux A still yields a
+          // distinct address schedule — model the rotation, or the pair
+          // would self-report as colliding.
+          report.records.push_back(make_record(
+              derive_seed32(config.seed, tag, Role::kFixAuxB, lane),
+              config.width,
+              fix->fix == FixKind::kDecorrelator ? 3u : 0u, Role::kFixAuxB,
+              tag, lane, id, to_string(fix->fix) + pair_label + " aux B"));
+          break;
+        case FixKind::kDecorrelatorChain:
+        case FixKind::kRegenerateShared:
+        case FixKind::kRegenerateComplementary:
+          report.records.push_back(make_record(
+              derive_seed32(config.seed, tag, Role::kFixAuxA, lane),
+              config.width, /*rotation=*/0, Role::kFixAuxA, tag, lane, id,
+              to_string(fix->fix) + pair_label + " aux"));
+          break;
+        default:
+          break;  // synchronizer / desynchronizer draw no RNG
+      }
+    }
+  }
+  report.collisions = find_collisions(report.records);
+  return report;
+}
+
+}  // namespace sc::analysis

@@ -1,0 +1,41 @@
+/// \file text_format.hpp
+/// A small textual program format (.sct) for sc_lint and test corpora.
+///
+/// One statement per line; '#' starts a comment; blank lines ignored:
+///
+///   input <name> <value> [group=<n>]   generated input (default group 0)
+///   const <name> <value>               constant (private RNG group)
+///   op <name> <operator> <operand>...  registry operator over named values
+///   output <name>                      mark a named value as an output
+///
+/// Example — Fig. 2 multiply needing uncorrelated operands:
+///
+///   # multiply two same-group inputs (requires a decorrelator)
+///   input x 0.8 group=0
+///   input y 0.6 group=0
+///   op prod multiply x y
+///   output prod
+///
+/// parse_program throws std::invalid_argument with the offending line
+/// number on any malformed statement, unknown operator, arity mismatch,
+/// or undefined operand name.  serialize_program writes a program back
+/// out (round-trips through parse_program up to comments/ordering).
+
+#pragma once
+
+#include <string>
+
+#include "graph/program.hpp"
+
+namespace sc::analysis {
+
+/// Parses the textual format into a Program built against `registry`.
+graph::Program parse_program(
+    const std::string& text,
+    const graph::OperatorRegistry& registry = graph::registry());
+
+/// Serializes a program into the textual format.  Constants keep their
+/// auto-assigned private groups implicit (the `const` statement).
+std::string serialize_program(const graph::Program& program);
+
+}  // namespace sc::analysis

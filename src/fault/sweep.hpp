@@ -22,6 +22,13 @@
 ///    a few disagreement cycles; shuffle-buffer circuits replay a shifted
 ///    address schedule and can stay divergent to the end of the stream —
 ///    the depth column quantifies exactly that asymmetry.
+///
+/// The static analyzer (analysis/analyzer.hpp) prices the same asymmetry
+/// at compile time: FixFragility weighs each planned circuit's saved
+/// state by a persistence factor calibrated against the recovery-depth
+/// split measured here (FSM fixes re-converge in a few cycles; shuffle
+/// buffers replay a shifted schedule and may never).  plan_fragility()
+/// is the zero-execution estimate; this sweep is its ground truth.
 
 #pragma once
 

@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "analysis/analyzer.hpp"
 #include "bitstream/encoding.hpp"
 #include "convert/regenerator.hpp"
 #include "core/decorrelator.hpp"
@@ -621,10 +622,30 @@ ExecutionResult run_chunked(const Program& program, const ProgramPlan& plan,
 /// per-node data back onto the caller's node ids — removed nodes get
 /// empty streams, CSE-merged duplicates share the survivor's stream, and
 /// output_nodes keep the original ids and order.
+/// ExecConfig::analyze gate: run the static analyzer over the caller's
+/// (program, plan) and refuse to execute on error-class findings.  Runs
+/// before opt::optimize so diagnostics name the caller's node ids.
+void analyze_or_throw(const Program& program, const ProgramPlan& plan,
+                      const ExecConfig& config) {
+  const analysis::AnalysisReport report = analysis::analyze(
+      program, plan, analysis::AnalyzerConfig::from(config));
+  if (!report.has_errors()) return;
+  std::string what =
+      "static analysis rejected the program (" +
+      std::to_string(report.count(analysis::Severity::kError)) +
+      " error(s)):";
+  for (const analysis::Diagnostic& diagnostic : report.diagnostics) {
+    if (diagnostic.severity != analysis::Severity::kError) continue;
+    what += "\n  [" + diagnostic.id + "] " + diagnostic.message;
+  }
+  throw std::runtime_error(what);
+}
+
 template <typename Inner>
 ExecutionResult run_with_optimizer(const Program& program,
                                    const ProgramPlan& plan,
                                    const ExecConfig& config, Inner inner) {
+  if (config.analyze) analyze_or_throw(program, plan, config);
   if (!config.optimize) return inner(program, plan);
   opt::OptConfig opt_config;
   opt_config.planner.sync_depth = config.sync_depth;

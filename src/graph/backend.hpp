@@ -73,6 +73,14 @@ struct ExecConfig {
   /// duplicates share the survivor's stream).  Off by default so existing
   /// plans execute exactly as handed in.
   bool optimize = false;
+  /// Run the static analyzer (src/analysis/) over the *incoming*
+  /// (program, plan) before anything executes — before opt::optimize, so
+  /// findings name the caller's nodes.  Error-class diagnostics
+  /// (requirement-violation, exact seed-collision) abort the run with
+  /// std::runtime_error carrying the findings; warnings and notes only
+  /// count into telemetry (analysis.* counters).  Off by default: the
+  /// analyzer is a verification gate, not an execution dependency.
+  bool analyze = false;
   /// Fault-injection campaign (src/fault/): error models applied to named
   /// stream edges and planned fix FSMs during execution, identically on
   /// every backend — edge corruption is a pure function of (fault seed,

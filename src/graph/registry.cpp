@@ -15,6 +15,18 @@
 
 namespace sc::graph {
 
+std::string to_string(CorrelationEffect effect) {
+  switch (effect) {
+    case CorrelationEffect::kDestroying:
+      return "destroying";
+    case CorrelationEffect::kPreserving:
+      return "preserving";
+    case CorrelationEffect::kInverting:
+      return "inverting";
+  }
+  return "?";
+}
+
 std::string to_string(Requirement requirement) {
   switch (requirement) {
     case Requirement::kUncorrelated:
@@ -279,6 +291,13 @@ OperatorDef binary_op(std::string name, Requirement requirement, Fn exact,
   def.make_evaluator = [gate](const OpContext&) {
     return std::make_unique<GateEvaluator>(gate);
   };
+  // AND/OR are monotone: thresholds in, threshold out (min/max of the
+  // comparison levels), so the analyzer may propagate same-trace claims
+  // through them.  XOR/XNOR are not monotone — destroying.
+  def.correlation_effect = (gate == GateEvaluator::Gate::kAnd ||
+                            gate == GateEvaluator::Gate::kOr)
+                               ? CorrelationEffect::kPreserving
+                               : CorrelationEffect::kDestroying;
   def.netlist = std::move(netlist);
   return def;
 }
@@ -370,6 +389,7 @@ void register_builtins(OperatorRegistry& reg) {
     OperatorDef def;
     def.name = "negate-bipolar";
     def.arity = 1;
+    def.correlation_effect = CorrelationEffect::kInverting;
     def.exact = [](sc::span<const double> v) { return 1.0 - v[0]; };
     def.make_evaluator = [](const OpContext&) {
       return std::make_unique<NotEvaluator>();

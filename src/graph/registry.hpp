@@ -55,6 +55,35 @@ enum class Requirement {
 
 std::string to_string(Requirement requirement);
 
+/// How an operator's output stream relates, correlation-wise, to its
+/// operand streams — the per-operator transfer function of the static
+/// correlation dataflow analysis (src/analysis/).  The classification is
+/// about *provability*, not hardware cost:
+///
+///  * kPreserving — a monotone combinational gate (AND/OR trees).  Fed
+///    threshold encodings of one RNG trace (uniform comparison direction),
+///    the output is again a threshold encoding of that trace, so SCC = +1
+///    against every same-trace peer is preserved exactly.
+///  * kInverting — complements its operand (NOT): a threshold encoding
+///    comes out as the complementary encoding, flipping the SCC sign
+///    against same-trace peers.
+///  * kDestroying — everything else (XOR/XNOR non-monotone gates, FSMs,
+///    MUX trees and any evaluator drawing private RNG): the output's
+///    correlation against other streams is not statically provable and
+///    the analysis must widen to "unknown".
+///
+/// Declaring kPreserving/kInverting for an operator whose gate is not
+/// actually monotone/complementing makes the analyzer unsound — the
+/// property test (analysis_property_test) checks declared effects against
+/// measured SCC on random programs.
+enum class CorrelationEffect {
+  kDestroying,
+  kPreserving,
+  kInverting,
+};
+
+std::string to_string(CorrelationEffect effect);
+
 /// Largest operator arity a registry accepts (the serial evaluator path
 /// gathers one bit per operand into a fixed stack buffer).
 inline constexpr unsigned kMaxArity = 16;
@@ -120,6 +149,13 @@ struct OperatorDef {
   /// Factory for the per-run evaluator (bit-serial, optionally with a
   /// word-parallel process() override).
   std::function<std::unique_ptr<OpEvaluator>(const OpContext&)> make_evaluator;
+
+  /// Transfer function of the static correlation analysis (see
+  /// CorrelationEffect).  The conservative default — kDestroying — is
+  /// always sound; only declare kPreserving/kInverting for operators whose
+  /// bit-level implementation provably warrants it.  Ignored by the
+  /// analyzer (treated as kDestroying) whenever rng_slots > 0.
+  CorrelationEffect correlation_effect = CorrelationEffect::kDestroying;
 
   /// Number of operator-private RNG slots the evaluator draws via
   /// OpContext::make_rng (0 for pure gates).  Lets seed audits enumerate

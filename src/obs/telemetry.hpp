@@ -27,6 +27,14 @@
 /// Perfetto is the whole quickstart.  With neither variable set,
 /// env_telemetry() returns nullptr forever and never allocates — the
 /// disabled path stays state-free.
+///
+/// Instrument families by prefix: backend.* / session.* (execution),
+/// plan.* (planner), opt.* (optimizer passes), fault.* (injection), and
+/// analysis.* — the static analyzer (analysis/analyzer.hpp) records an
+/// "analysis.analyze" span plus analysis.runs / analysis.pairs_checked /
+/// analysis.diagnostics (and errors / warnings / seed_collisions /
+/// redundant_fixes) counters, so a traced run shows how much wall time
+/// the ExecConfig::analyze gate spends before execution starts.
 
 #pragma once
 

@@ -3,6 +3,7 @@
 #include <numeric>
 #include <sstream>
 
+#include "analysis/analyzer.hpp"
 #include "obs/telemetry.hpp"
 
 namespace sc::opt {
@@ -30,7 +31,9 @@ std::string OptResult::summary() const {
   }
   out << "  modeled area " << area_before_um2 << " -> " << area_after_um2
       << " um2 (" << (cost_delta.power_uw <= 0 ? "" : "+")
-      << cost_delta.power_uw << " uW)";
+      << cost_delta.power_uw << " uW)\n";
+  out << "  static fragility " << fragility_before << " -> "
+      << fragility_after;
   return out.str();
 }
 
@@ -48,8 +51,19 @@ OptResult optimize(const graph::Program& program,
   result.reports =
       pipeline.run(result.program, result.plan, result.node_map, config);
   result.area_after_um2 = modeled_area(result.program, result.plan, config);
+  analysis::AnalyzerConfig fragility_config;
+  fragility_config.width = config.width;
+  fragility_config.sync_depth = config.planner.sync_depth;
+  fragility_config.shuffle_depth = config.planner.shuffle_depth;
+  fragility_config.telemetry = config.telemetry;
+  result.fragility_before =
+      analysis::plan_fragility(program, plan, fragility_config);
+  result.fragility_after = analysis::plan_fragility(
+      result.program, result.plan, fragility_config);
   span.arg("area_before_um2", result.area_before_um2);
   span.arg("area_after_um2", result.area_after_um2);
+  span.arg("fragility_before", result.fragility_before);
+  span.arg("fragility_after", result.fragility_after);
   result.cost_delta = hw::evaluate_delta(
       program.base_netlist(config.width) + plan.overhead,
       result.program.base_netlist(config.width) + result.plan.overhead,

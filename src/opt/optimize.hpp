@@ -26,6 +26,14 @@ struct OptResult {
   std::vector<PassReport> reports;
   double area_before_um2 = 0.0;
   double area_after_um2 = 0.0;
+  /// Static fragility (analysis::plan_fragility: per-fix state_bits x
+  /// blast x persistence, summed) of the incoming and optimized plans —
+  /// the reliability axis the area numbers above cannot see.  The chain
+  /// pass trades area *for* fragility (one chain link's upset poisons
+  /// every downstream copy), so a future cost gate budgets against this
+  /// pair; today they are reported in summary() and telemetry.
+  double fragility_before = 0.0;
+  double fragility_after = 0.0;
   /// Full-design cost change (after minus before: area, leakage, dynamic
   /// power, energy) at the config's operating point — negative is saved.
   hw::CostReport cost_delta;

@@ -11,8 +11,8 @@
 /// rolled back wholesale, so a buggy or unprofitable pass can never
 /// corrupt a program.
 ///
-/// Five passes ship (factories below, canonical order in
-/// opt::default_pipeline):
+/// Six passes ship (factories below, canonical order in
+/// opt::default_pipeline; the sixth is opt-in):
 ///   1. constant folding        — ops whose inputs are all constants
 ///                                become constants (reseeded),
 ///   2. common-subexpression    — duplicate registry ops merge when their
@@ -28,7 +28,10 @@
 ///   5. correction sharing      — duplicate RNG-free synchronizer /
 ///                                desynchronizer insertions feeding
 ///                                sibling ops are merged into one charged
-///                                circuit (bit-identical).
+///                                circuit (bit-identical),
+///   6. dead-fix elimination    — fixes the static analyzer proves
+///      (opt-in)                  redundant are dropped (reseeded; see
+///                                OptConfig::dead_fix_elimination).
 /// "Bit-identical" passes preserve every surviving node's streams exactly
 /// (ProgramNode::seed_tag keeps RNG identity stable across rewrites);
 /// "reseeded" passes preserve exact semantics and are statistically
@@ -68,6 +71,17 @@ struct OptConfig {
   bool dead_value_elimination = true;
   bool chain_decorrelators = true;
   bool correction_sharing = true;
+  /// Drop inserted fixes the static analyzer (src/analysis/) proves
+  /// redundant — the pair stays in its required regime without the
+  /// circuit, either because a remaining decorrelator of the same op
+  /// already shuffles one of its slots or because the analyzer proved the
+  /// raw operand pair's SCC class outright (the relation is then refined
+  /// to record the proof).  kNegative pairs are never dropped (Relation
+  /// cannot express a proven anticorrelation, so plan_covers could not
+  /// re-check the drop); those stay analyzer warnings.  Off by default:
+  /// dropping a fix changes the fixed operands' streams (exact semantics
+  /// and pair regimes are preserved, bits are not).
+  bool dead_fix_elimination = false;
 
   /// Only the passes that never reseed (CSE, DVE, correction sharing):
   /// optimized programs stay bit-identical to unoptimized ones.
@@ -140,6 +154,7 @@ std::unique_ptr<Pass> make_cse_pass();
 std::unique_ptr<Pass> make_dead_value_elimination_pass();
 std::unique_ptr<Pass> make_chain_decorrelator_pass();
 std::unique_ptr<Pass> make_correction_sharing_pass();
+std::unique_ptr<Pass> make_dead_fix_elimination_pass();
 
 /// The five passes in canonical order (program rewrites first, then plan
 /// rewrites), honoring the config's toggles.

@@ -8,6 +8,7 @@
 #include <tuple>
 #include <utility>
 
+#include "analysis/analyzer.hpp"
 #include "opt/pass.hpp"
 
 namespace sc::opt {
@@ -406,6 +407,103 @@ class CorrectionSharingPass final : public Pass {
   }
 };
 
+// ----------------------------------------------------- dead-fix elimination
+
+/// Drops inserted fixes the static analyzer proves redundant.  The
+/// analyzer's redundancy verdicts are counterfactual against the *full*
+/// incoming plan, so drops are applied greedily and each one is re-checked
+/// against the fixes still active: a kUncorrelated pair may lose its fix
+/// only while another decorrelator of the op keeps shuffling one of its
+/// slots (exactly plan_covers's chain rule) or the raw pair is provably
+/// independent; a kPositive pair only when the raw pair is provably
+/// SCC = +1 (threshold-generator proof) — the relation is then refined to
+/// record the proof.  Sharing representatives and their mirrors are left
+/// alone (the mirrored FSM is the representative's circuit), and
+/// kNegative pairs are never touched.  Dropped entries stay in
+/// plan.fixes with FixKind::kNone, like the planner's satisfied pairs,
+/// so fix indices (shared_with) stay stable.
+class DeadFixEliminationPass final : public Pass {
+ public:
+  std::string name() const override { return "drop-dead-fixes"; }
+
+  std::vector<NodeId> run(Program& program, ProgramPlan& plan,
+                          const OptConfig& config,
+                          PassReport& report) override {
+    analysis::AnalyzerConfig analyzer_config;
+    analyzer_config.width = config.width;
+    analyzer_config.sync_depth = config.planner.sync_depth;
+    analyzer_config.shuffle_depth = config.planner.shuffle_depth;
+    analyzer_config.telemetry = config.telemetry;
+    const analysis::AnalysisReport verdicts =
+        analysis::analyze(program, plan, analyzer_config);
+
+    std::set<std::size_t> representatives;
+    for (const PairFix& fix : plan.fixes) {
+      if (fix.shared_with >= 0) {
+        representatives.insert(static_cast<std::size_t>(fix.shared_with));
+      }
+    }
+    const auto shuffled_elsewhere = [&plan](std::size_t self, NodeId op,
+                                            unsigned a, unsigned b) {
+      for (std::size_t j = 0; j < plan.fixes.size(); ++j) {
+        if (j == self) continue;
+        const PairFix& other = plan.fixes[j];
+        if (other.op_node != op) continue;
+        if (other.fix == FixKind::kDecorrelator &&
+            (other.operand_a == a || other.operand_b == a ||
+             other.operand_a == b || other.operand_b == b)) {
+          return true;
+        }
+        if (other.fix == FixKind::kDecorrelatorChain &&
+            (other.operand_b == a || other.operand_b == b)) {
+          return true;
+        }
+      }
+      return false;
+    };
+
+    std::size_t dropped = 0;
+    for (const analysis::RedundantFix& redundant : verdicts.redundant_fixes) {
+      PairFix& fix = plan.fixes[redundant.fix_index];
+      if (fix.fix == FixKind::kNone || fix.shared_with >= 0 ||
+          representatives.count(redundant.fix_index) != 0) {
+        continue;
+      }
+      const ProgramNode& node = program.node(fix.op_node);
+      const analysis::SccClass raw = verdicts.node_class(
+          node.operands[fix.operand_a], node.operands[fix.operand_b]);
+      if (fix.requirement == Requirement::kUncorrelated &&
+          redundant.without_fix == analysis::SccClass::kIndependent) {
+        if (raw == analysis::SccClass::kIndependent) {
+          fix.fix = FixKind::kNone;
+          fix.relation = graph::Relation::kIndependent;
+          ++dropped;
+        } else if (shuffled_elsewhere(redundant.fix_index, fix.op_node,
+                                      fix.operand_a, fix.operand_b)) {
+          fix.fix = FixKind::kNone;  // chain-covered; relation stays honest
+          ++dropped;
+        }
+      } else if (fix.requirement == Requirement::kPositive &&
+                 redundant.without_fix == analysis::SccClass::kCorrelated &&
+                 raw == analysis::SccClass::kCorrelated &&
+                 !shuffled_elsewhere(redundant.fix_index, fix.op_node,
+                                     fix.operand_a, fix.operand_b)) {
+        fix.fix = FixKind::kNone;
+        fix.relation = graph::Relation::kPositive;
+        ++dropped;
+      }
+    }
+    if (dropped == 0) return {};
+    report.changed = true;
+    report.corrections_saved = dropped;
+    std::ostringstream detail;
+    detail << dropped << " provably redundant fix" << (dropped == 1 ? "" : "es")
+           << " dropped";
+    report.detail = detail.str();
+    return {};
+  }
+};
+
 }  // namespace
 
 std::unique_ptr<Pass> make_constant_folding_pass() {
@@ -421,6 +519,9 @@ std::unique_ptr<Pass> make_chain_decorrelator_pass() {
 std::unique_ptr<Pass> make_correction_sharing_pass() {
   return std::make_unique<CorrectionSharingPass>();
 }
+std::unique_ptr<Pass> make_dead_fix_elimination_pass() {
+  return std::make_unique<DeadFixEliminationPass>();
+}
 
 PassManager default_pipeline(const OptConfig& config) {
   PassManager pipeline;
@@ -431,6 +532,9 @@ PassManager default_pipeline(const OptConfig& config) {
   }
   if (config.chain_decorrelators) pipeline.add(make_chain_decorrelator_pass());
   if (config.correction_sharing) pipeline.add(make_correction_sharing_pass());
+  if (config.dead_fix_elimination) {
+    pipeline.add(make_dead_fix_elimination_pass());
+  }
   return pipeline;
 }
 

@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""CI validator for sc_lint's --json output.
+
+Usage:
+    sc_lint --json program.sct | validate_lint.py
+    validate_lint.py --file lint.json
+
+Checks, in order:
+  1. the input is well-formed JSON: one report object or an array of them,
+  2. every report carries source (string), summary (errors/warnings/notes
+     as non-negative integers), fragility (non-negative number),
+     diagnostics (array), pairs (array),
+  3. every diagnostic has a known stable id, a severity in
+     {error, warning, note}, an integer node (or -1), and a non-empty
+     message; severities are consistent with the id's documented class,
+  4. every pair prediction names its op_node / operand slots, a known
+     requirement and fix kind, SCC classes from the lattice, and a boolean
+     satisfied,
+  5. the summary counts equal the diagnostics actually listed.
+
+Exits nonzero with a message on the first violation; prints a one-line
+summary on success.  Stdlib only — safe for any CI image with python3.
+"""
+
+import argparse
+import json
+import sys
+
+# Stable diagnostic ids (analyzer.hpp) -> allowed severities.  Ids are
+# append-only; seed-collision is an error for exact/bit-identical aliases
+# and a warning for structurally related masked ones.
+DIAGNOSTIC_IDS = {
+    "requirement-violation": {"error"},
+    "seed-collision": {"error", "warning"},
+    "redundant-fix": {"warning"},
+    "chain-reconvergence": {"warning"},
+    "dead-rng": {"warning"},
+    "dead-value": {"note"},
+    "constant-foldable": {"note"},
+}
+
+REQUIREMENTS = {"agnostic", "uncorrelated", "positive", "negative"}
+FIX_KINDS = {
+    "none",
+    "synchronizer",
+    "desynchronizer",
+    "decorrelator",
+    "decorrelator-chain",
+    "regen-distinct",
+    "regen-shared",
+    "regen-complementary",
+}
+SCC_CLASSES = {"correlated", "independent", "anticorrelated", "unknown"}
+
+
+def fail(message):
+    print("validate_lint: FAIL: " + message, file=sys.stderr)
+    sys.exit(1)
+
+
+def expect(condition, message):
+    if not condition:
+        fail(message)
+
+
+def validate_diagnostic(where, diag):
+    expect(isinstance(diag, dict), where + ": diagnostic is not an object")
+    for key in ("id", "severity", "node", "message"):
+        expect(key in diag, where + ": diagnostic missing '%s'" % key)
+    expect(diag["id"] in DIAGNOSTIC_IDS,
+           where + ": unknown diagnostic id '%s'" % diag["id"])
+    expect(diag["severity"] in DIAGNOSTIC_IDS[diag["id"]],
+           where + ": id '%s' must not be severity '%s'"
+           % (diag["id"], diag["severity"]))
+    expect(isinstance(diag["node"], int) and diag["node"] >= -1,
+           where + ": node must be an integer >= -1")
+    expect(isinstance(diag["message"], str) and diag["message"],
+           where + ": empty diagnostic message")
+
+
+def validate_pair(where, pair):
+    expect(isinstance(pair, dict), where + ": pair is not an object")
+    for key in ("op_node", "operand_a", "operand_b", "requirement", "fix",
+                "operands", "at_gate", "satisfied"):
+        expect(key in pair, where + ": pair missing '%s'" % key)
+    for key in ("op_node", "operand_a", "operand_b"):
+        expect(isinstance(pair[key], int) and pair[key] >= 0,
+               where + ": %s must be a non-negative integer" % key)
+    expect(pair["requirement"] in REQUIREMENTS,
+           where + ": unknown requirement '%s'" % pair["requirement"])
+    expect(pair["fix"] in FIX_KINDS,
+           where + ": unknown fix kind '%s'" % pair["fix"])
+    for key in ("operands", "at_gate"):
+        expect(pair[key] in SCC_CLASSES,
+               where + ": unknown SCC class '%s'" % pair[key])
+    expect(isinstance(pair["satisfied"], bool),
+           where + ": satisfied must be a boolean")
+
+
+def validate_report(index, report):
+    where = "report[%d]" % index
+    expect(isinstance(report, dict), where + ": not an object")
+    for key in ("source", "summary", "fragility", "diagnostics", "pairs"):
+        expect(key in report, where + ": missing '%s'" % key)
+    expect(isinstance(report["source"], str), where + ": source not a string")
+    where = "report[%d] (%s)" % (index, report["source"] or "unnamed")
+
+    summary = report["summary"]
+    expect(isinstance(summary, dict), where + ": summary not an object")
+    for key in ("errors", "warnings", "notes"):
+        expect(isinstance(summary.get(key), int) and summary[key] >= 0,
+               where + ": summary.%s must be a non-negative integer" % key)
+    expect(isinstance(report["fragility"], (int, float))
+           and report["fragility"] >= 0,
+           where + ": fragility must be a non-negative number")
+
+    expect(isinstance(report["diagnostics"], list),
+           where + ": diagnostics not an array")
+    counted = {"error": 0, "warning": 0, "note": 0}
+    for diag in report["diagnostics"]:
+        validate_diagnostic(where, diag)
+        counted[diag["severity"]] += 1
+    expect(counted == {"error": summary["errors"],
+                       "warning": summary["warnings"],
+                       "note": summary["notes"]},
+           where + ": summary counts disagree with listed diagnostics")
+
+    expect(isinstance(report["pairs"], list), where + ": pairs not an array")
+    for pair in report["pairs"]:
+        validate_pair(where, pair)
+    return len(report["diagnostics"]), len(report["pairs"])
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--file", help="read JSON from a file, not stdin")
+    options = parser.parse_args()
+    try:
+        if options.file:
+            with open(options.file) as handle:
+                doc = json.load(handle)
+        else:
+            doc = json.load(sys.stdin)
+    except (OSError, json.JSONDecodeError) as err:
+        fail("input is not readable as JSON: %s" % err)
+
+    reports = doc if isinstance(doc, list) else [doc]
+    expect(len(reports) > 0, "no reports in input")
+    diagnostics = pairs = 0
+    for index, report in enumerate(reports):
+        d, p = validate_report(index, report)
+        diagnostics += d
+        pairs += p
+    print("validate_lint: OK: %d report(s), %d diagnostic(s), %d pair(s)"
+          % (len(reports), diagnostics, pairs))
+
+
+if __name__ == "__main__":
+    main()
