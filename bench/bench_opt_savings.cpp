@@ -85,6 +85,11 @@ struct WorkloadResult {
   double area_before_um2 = 0.0;
   double area_after_um2 = 0.0;
   double optimize_us_per_node = 0.0;
+  /// Predicted per-output |error| bounds (analysis::plan_error) of the
+  /// incoming and optimized plans — the static counterpart of the
+  /// measured err_* columns below.
+  double error_before = 0.0;
+  double error_after = 0.0;
   double err_unoptimized = 0.0;
   double err_optimized = 0.0;
   bool backends_identical = true;
@@ -100,11 +105,13 @@ WorkloadResult run_workload(const std::string& name, const Program& program,
                             std::size_t stream_length, unsigned reps) {
   const ProgramPlan plan = plan_program(program, Strategy::kManipulation);
 
+  sc::opt::OptConfig opt_config;
+  opt_config.error_stream_length = stream_length;
   double best = 1e300;
   sc::opt::OptResult optimized;
   for (unsigned rep = 0; rep < reps; ++rep) {
     const auto start = Clock::now();
-    optimized = sc::opt::optimize(program, plan);
+    optimized = sc::opt::optimize(program, plan, opt_config);
     best = std::min(best, seconds_since(start));
   }
 
@@ -115,6 +122,8 @@ WorkloadResult run_workload(const std::string& name, const Program& program,
   result.corrections_after = optimized.plan.inserted_units;
   result.area_before_um2 = optimized.area_before_um2;
   result.area_after_um2 = optimized.area_after_um2;
+  result.error_before = optimized.error_before;
+  result.error_after = optimized.error_after;
   result.optimize_us_per_node =
       best * 1e6 / static_cast<double>(program.node_count());
 
@@ -141,6 +150,46 @@ WorkloadResult run_workload(const std::string& name, const Program& program,
     }
   }
   return result;
+}
+
+/// One point of the Pareto sweep: the fan-out workload optimized under a
+/// caller-declared error budget.  The tight budget must roll the chain
+/// rewrite back (area stays, accuracy stays), the loose one must keep it
+/// (area drops, predicted + measured error rise), and the unbudgeted run
+/// reproduces the legacy area-only gate.
+struct ParetoPoint {
+  double error_budget = 0.0;  // 0 = unbudgeted (infinity)
+  std::size_t corrections = 0;
+  double area_um2 = 0.0;
+  double predicted_error = 0.0;
+  double measured_error = 0.0;
+};
+
+std::vector<ParetoPoint> pareto_sweep(const Program& program,
+                                      std::size_t stream_length) {
+  const ProgramPlan plan = plan_program(program, Strategy::kManipulation);
+  const double budgets[] = {0.03, 0.10, 0.0};
+  std::vector<ParetoPoint> points;
+  for (const double budget : budgets) {
+    sc::opt::OptConfig config;
+    config.error_stream_length = stream_length;
+    if (budget > 0.0) config.error_budget = budget;
+    const sc::opt::OptResult optimized =
+        sc::opt::optimize(program, plan, config);
+    ExecConfig exec;
+    exec.stream_length = stream_length;
+    ParetoPoint point;
+    point.error_budget = budget;
+    point.corrections = optimized.plan.inserted_units;
+    point.area_um2 = optimized.area_after_um2;
+    point.predicted_error = optimized.error_after;
+    point.measured_error =
+        make_backend(BackendKind::kKernel)
+            ->run(optimized.program, optimized.plan, exec)
+            .mean_abs_error;
+    points.push_back(point);
+  }
+  return points;
 }
 
 }  // namespace
@@ -178,10 +227,12 @@ int main(int argc, char** argv) {
   for (const WorkloadResult& r : results) {
     std::printf(
         "  %-10s %3zu nodes  corrections %3zu -> %3zu  area %9.1f -> %9.1f "
-        "um2 (%+6.1f%%)  opt %6.2f us/node  |err| %.4f -> %.4f  identical=%s\n",
+        "um2 (%+6.1f%%)  opt %6.2f us/node  bound %.4f -> %.4f  |err| %.4f "
+        "-> %.4f  identical=%s\n",
         r.name.c_str(), r.nodes, r.corrections_before, r.corrections_after,
         r.area_before_um2, r.area_after_um2, r.area_delta_pct(),
-        r.optimize_us_per_node, r.err_unoptimized, r.err_optimized,
+        r.optimize_us_per_node, r.error_before, r.error_after,
+        r.err_unoptimized, r.err_optimized,
         r.backends_identical ? "yes" : "NO");
     ok &= r.backends_identical;
   }
@@ -190,6 +241,32 @@ int main(int argc, char** argv) {
   ok &= results[0].area_after_um2 < results[0].area_before_um2;
   ok &= results[0].corrections_after == 15 &&
         results[0].corrections_before == 120;
+
+  // Pareto sweep over error budgets on the fan-out workload: area vs
+  // predicted vs measured accuracy of the multi-objective gate.
+  const std::vector<ParetoPoint> pareto =
+      pareto_sweep(fanout16_program(), stream_length);
+  std::printf("\n  pareto (fanout-16):\n");
+  for (const ParetoPoint& p : pareto) {
+    std::printf(
+        "    error budget %-5s  corrections %3zu  area %9.1f um2  "
+        "predicted |error| %.4f  measured %.4f\n",
+        p.error_budget > 0.0 ? std::to_string(p.error_budget).substr(0, 4).c_str()
+                             : "none",
+        p.corrections, p.area_um2, p.predicted_error, p.measured_error);
+    // Soundness at every point: the static bound covers the measurement.
+    ok &= p.measured_error <= p.predicted_error;
+  }
+  if (stream_length == 4096) {
+    // At the calibrated operating point the 0.03 budget must reject the
+    // chain rewrite (pairwise plan survives: 120 corrections, larger
+    // area, lower error) and the 0.10 budget must accept it.
+    ok &= pareto[0].corrections == 120 && pareto[1].corrections == 15;
+    ok &= pareto[0].area_um2 > pareto[1].area_um2;
+    ok &= pareto[0].measured_error < pareto[1].measured_error;
+    // Unbudgeted behaves like the legacy area-only gate.
+    ok &= pareto[2].corrections == pareto[1].corrections;
+  }
 
   if (!json_path.empty()) {
     std::ofstream out(json_path);
@@ -204,11 +281,23 @@ int main(int argc, char** argv) {
           << ", \"area_before_um2\": " << r.area_before_um2
           << ", \"area_after_um2\": " << r.area_after_um2
           << ", \"optimize_us_per_node\": " << r.optimize_us_per_node
+          << ", \"error_before\": " << r.error_before
+          << ", \"error_after\": " << r.error_after
           << ", \"err_unoptimized\": " << r.err_unoptimized
           << ", \"err_optimized\": " << r.err_optimized
           << ", \"backends_identical\": "
           << (r.backends_identical ? "true" : "false") << "}"
           << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"pareto_fanout16\": [\n";
+    for (std::size_t i = 0; i < pareto.size(); ++i) {
+      const ParetoPoint& p = pareto[i];
+      out << "    {\"error_budget\": " << p.error_budget
+          << ", \"corrections\": " << p.corrections
+          << ", \"area_um2\": " << p.area_um2
+          << ", \"predicted_error\": " << p.predicted_error
+          << ", \"measured_error\": " << p.measured_error << "}"
+          << (i + 1 < pareto.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
     std::printf("\nwrote %s\n", json_path.c_str());

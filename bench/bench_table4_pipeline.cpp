@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "bench_util.hpp"
 #include "img/image.hpp"
@@ -16,6 +17,17 @@
 using namespace sc;
 using namespace sc::img;
 using bench::cell;
+
+namespace {
+
+// Image dumps are qualitative aids; a failed write should warn, not abort.
+void save_or_warn(const sc::img::Image& image, const std::string& path) {
+  if (!image.save_pgm(path)) {
+    std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+  }
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const std::size_t side =
@@ -69,11 +81,11 @@ int main(int argc, char** argv) {
 
   // Dump the images so the qualitative "Image Result" row of Table IV can
   // be inspected visually.
-  scene.save_pgm("/tmp/scorr_input.pgm");
-  none.reference.save_pgm("/tmp/scorr_float.pgm");
-  none.output.save_pgm("/tmp/scorr_none.pgm");
-  regen.output.save_pgm("/tmp/scorr_regen.pgm");
-  sync.output.save_pgm("/tmp/scorr_sync.pgm");
+  save_or_warn(scene, "/tmp/scorr_input.pgm");
+  save_or_warn(none.reference, "/tmp/scorr_float.pgm");
+  save_or_warn(none.output, "/tmp/scorr_none.pgm");
+  save_or_warn(regen.output, "/tmp/scorr_regen.pgm");
+  save_or_warn(sync.output, "/tmp/scorr_sync.pgm");
   std::printf(
       "\nImage results written to /tmp/scorr_{input,float,none,regen,sync}"
       ".pgm\n");

@@ -16,6 +16,17 @@
 
 using namespace sc::img;
 
+namespace {
+
+// Image dumps are qualitative aids; a failed write should warn, not abort.
+void save_or_warn(const sc::img::Image& image, const std::string& path) {
+  if (!image.save_pgm(path)) {
+    std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+  }
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   Image input;
   if (argc > 1) {
@@ -40,7 +51,7 @@ int main(int argc, char** argv) {
   std::printf("%-22s %12s %14s %10s\n", "floating point", "-", "-", "0.000");
 
   const Image reference = reference_pipeline(input);
-  reference.save_pgm(out_dir + "/pipeline_float.pgm");
+  save_or_warn(reference, out_dir + "/pipeline_float.pgm");
 
   for (Variant variant : {Variant::kNoManipulation, Variant::kRegeneration,
                           Variant::kSynchronizer}) {
@@ -60,10 +71,10 @@ int main(int argc, char** argv) {
         name += "sync.pgm";
         break;
     }
-    result.output.save_pgm(name);
+    save_or_warn(result.output, name);
   }
 
-  input.save_pgm(out_dir + "/pipeline_input.pgm");
+  save_or_warn(input, out_dir + "/pipeline_input.pgm");
   std::printf(
       "\nwrote pipeline_{input,float,none,regen,sync}.pgm to %s\n"
       "look at pipeline_none.pgm: without correlation manipulation the\n"

@@ -18,6 +18,17 @@
 
 using namespace sc::img;
 
+namespace {
+
+// Image dumps are qualitative aids; a failed write should warn, not abort.
+void save_or_warn(const sc::img::Image& image, const std::string& path) {
+  if (!image.save_pgm(path)) {
+    std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+  }
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   Image clean;
   if (argc > 1) {
@@ -62,9 +73,9 @@ int main(int argc, char** argv) {
   std::printf("  SC median vs clean:    mean |err| = %.4f\n",
               mean_abs_error(sc_filtered, clean));
 
-  noisy.save_pgm("/tmp/median_noisy.pgm");
-  reference.save_pgm("/tmp/median_float.pgm");
-  sc_filtered.save_pgm("/tmp/median_sc.pgm");
+  save_or_warn(noisy, "/tmp/median_noisy.pgm");
+  save_or_warn(reference, "/tmp/median_float.pgm");
+  save_or_warn(sc_filtered, "/tmp/median_sc.pgm");
   std::printf(
       "\nwrote /tmp/median_{noisy,float,sc}.pgm\n"
       "25 compare-exchanges x (1 synchronizer + AND + OR) per pixel: the\n"

@@ -1,5 +1,7 @@
 #include "analysis/analyzer.hpp"
 
+#include "analysis/error_model.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -252,7 +254,8 @@ std::string AnalysisReport::to_text() const {
   }
   out << count(Severity::kError) << " error(s), " << count(Severity::kWarning)
       << " warning(s), " << count(Severity::kNote) << " note(s); "
-      << pairs.size() << " pair(s) checked; fragility " << fragility << "\n";
+      << pairs.size() << " pair(s) checked; fragility " << fragility
+      << "; error bound " << worst_error_bound << "\n";
   return out.str();
 }
 
@@ -263,7 +266,8 @@ std::string AnalysisReport::to_json(const std::string& source) const {
   out << "\",\n  \"summary\": {\"errors\": " << count(Severity::kError)
       << ", \"warnings\": " << count(Severity::kWarning)
       << ", \"notes\": " << count(Severity::kNote) << "},\n"
-      << "  \"fragility\": " << fragility << ",\n  \"diagnostics\": [";
+      << "  \"fragility\": " << fragility << ",\n  \"error_bound\": "
+      << worst_error_bound << ",\n  \"diagnostics\": [";
   for (std::size_t i = 0; i < diagnostics.size(); ++i) {
     const Diagnostic& d = diagnostics[i];
     out << (i == 0 ? "" : ",") << "\n    {\"id\": \"";
@@ -320,7 +324,7 @@ class Analyzer {
   }
 
  private:
-  graph::ExecConfig exec_config() const {
+  [[nodiscard]] graph::ExecConfig exec_config() const {
     graph::ExecConfig exec;
     exec.stream_length = config_.stream_length;
     exec.width = config_.width;
@@ -330,7 +334,7 @@ class Analyzer {
     return exec;
   }
 
-  GeneratorId group_generator(unsigned group) const {
+  [[nodiscard]] GeneratorId group_generator(unsigned group) const {
     return effective_generator(
         derive_seed32(config_.seed, group, Role::kGroupTrace), config_.width);
   }
@@ -508,7 +512,7 @@ class Analyzer {
     return slots;
   }
 
-  SccClass pair_class(const ProgramNode& node,
+  [[nodiscard]] SccClass pair_class(const ProgramNode& node,
                       const std::vector<SlotAbs>& slots, unsigned a,
                       unsigned b) const {
     return slot_pair_class(
@@ -855,6 +859,7 @@ AnalysisReport analyze(const graph::Program& program,
   obs::Telemetry* const telemetry = obs::fallback(config.telemetry);
   obs::Span span(obs::tracer_of(telemetry), "analysis.analyze", "analysis");
   AnalysisReport report = Analyzer(program, plan, config).run(true);
+  append_accuracy_diagnostics(report, program, plan, config);
   span.arg("nodes", static_cast<std::uint64_t>(program.node_count()));
   span.arg("pairs", static_cast<std::uint64_t>(report.pairs.size()));
   span.arg("diagnostics",
@@ -881,6 +886,12 @@ double plan_fragility(const graph::Program& program,
                       const graph::ProgramPlan& plan,
                       const AnalyzerConfig& config) {
   return Analyzer(program, plan, config).run(false).fragility;
+}
+
+AnalysisReport analyze_facts(const graph::Program& program,
+                             const graph::ProgramPlan& plan,
+                             const AnalyzerConfig& config) {
+  return Analyzer(program, plan, config).run(false);
 }
 
 }  // namespace sc::analysis

@@ -99,6 +99,10 @@ std::string to_string(Severity severity);
 ///   dead-rng               (warning)  generator drawn only by dead values
 ///   dead-value             (note)     node unreachable from any output
 ///   constant-foldable      (note)     all-constant subgraph not yet folded
+/// plus the accuracy family appended by the error model
+/// (error_model.hpp's append_accuracy_diagnostics): precision-loss,
+/// saturation-risk, correlation-bias, insufficient-stream-length,
+/// chain-unrecoverable — all warnings.
 struct Diagnostic {
   std::string id;
   Severity severity = Severity::kNote;
@@ -158,6 +162,9 @@ struct AnalyzerConfig {
   std::uint32_t seed = 3;
   unsigned sync_depth = 2;
   std::size_t shuffle_depth = 8;
+  /// Requested output RMSE for the insufficient-stream-length check
+  /// (error_model.hpp); 0 disables it.  sc_lint's --target-rmse.
+  double target_rmse = 0.0;
   /// Telemetry context (src/obs/): analyze() records an
   /// "analysis.analyze" span and analysis.* counters.  Non-owning,
   /// nullptr = env fallback, exactly as ExecConfig::telemetry.
@@ -174,22 +181,25 @@ struct AnalysisReport {
   std::vector<FixFragility> fix_fragility;
   /// Sum of fix fragility scores (the optimizer's static fragility input).
   double fragility = 0.0;
+  /// Worst predicted per-output |error| bound at config.stream_length
+  /// (error_model.hpp; filled by analyze(), 0 on facts-only runs).
+  double worst_error_bound = 0.0;
   SeedReport seeds;
 
-  std::size_t count(Severity severity) const;
-  bool has_errors() const { return count(Severity::kError) > 0; }
+  [[nodiscard]] std::size_t count(Severity severity) const;
+  [[nodiscard]] bool has_errors() const { return count(Severity::kError) > 0; }
 
   /// Predicted SCC class between the *raw* streams of two program nodes
   /// (before any fix of a consuming op) — the quantity measured by
   /// bitstream::scc over ExecutionResult::streams.
-  SccClass node_class(graph::NodeId a, graph::NodeId b) const;
+  [[nodiscard]] SccClass node_class(graph::NodeId a, graph::NodeId b) const;
 
   /// Human-readable listing (one line per diagnostic plus a summary).
-  std::string to_text() const;
+  [[nodiscard]] std::string to_text() const;
   /// Machine-readable JSON (the sc_lint --json schema; see
   /// tools/validate_lint.py): source, summary counts, diagnostics, pair
   /// predictions, fragility.
-  std::string to_json(const std::string& source = "") const;
+  [[nodiscard]] std::string to_json(const std::string& source = "") const;
 
   // ------------------------------------------------------------ internals
   /// Per-node abstract state of the dataflow analysis, exposed so tests
@@ -221,5 +231,13 @@ AnalysisReport analyze(const graph::Program& program,
 double plan_fragility(const graph::Program& program,
                       const graph::ProgramPlan& plan,
                       const AnalyzerConfig& config = {});
+
+/// Facts-only analysis: node facts, pair predictions, and fragility, no
+/// diagnostics or seed report.  The error model's substrate
+/// (error_model.hpp) — lets plan_accuracy run the dataflow analysis
+/// without rendering, and analyze() reuse one report for both.
+AnalysisReport analyze_facts(const graph::Program& program,
+                             const graph::ProgramPlan& plan,
+                             const AnalyzerConfig& config = {});
 
 }  // namespace sc::analysis

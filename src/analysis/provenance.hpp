@@ -96,7 +96,7 @@ struct SeedReport {
   std::vector<SeedCollision> collisions;
 
   /// Records whose effective generator equals `id`.
-  std::vector<const SeedRecord*> sharing(const GeneratorId& id) const;
+  [[nodiscard]] std::vector<const SeedRecord*> sharing(const GeneratorId& id) const;
 };
 
 /// Enumerates the derived seeds of a run exactly as the backends would

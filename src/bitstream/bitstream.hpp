@@ -47,11 +47,11 @@ class Bitstream {
   static Bitstream from_bits(std::initializer_list<int> bits);
 
   /// Number of bits in the stream.
-  std::size_t size() const noexcept { return size_; }
-  bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
 
   /// Reads the bit at position `i` (0-based).  Precondition: i < size().
-  bool get(std::size_t i) const noexcept {
+  [[nodiscard]] bool get(std::size_t i) const noexcept {
     return (words_[i / kWordBits] >> (i % kWordBits)) & 1u;
   }
   bool operator[](std::size_t i) const noexcept { return get(i); }
@@ -81,17 +81,17 @@ class Bitstream {
   void clear() noexcept;
 
   /// Number of 1 bits.
-  std::size_t count_ones() const noexcept;
+  [[nodiscard]] std::size_t count_ones() const noexcept;
   /// Number of 0 bits.
-  std::size_t count_zeros() const noexcept { return size_ - count_ones(); }
+  [[nodiscard]] std::size_t count_zeros() const noexcept { return size_ - count_ones(); }
 
   /// Unipolar value: count_ones() / size().  Returns 0 for an empty stream.
-  double value() const noexcept;
+  [[nodiscard]] double value() const noexcept;
   /// Bipolar value: 2 * value() - 1.  Returns 0 for an empty stream.
-  double bipolar_value() const noexcept;
+  [[nodiscard]] double bipolar_value() const noexcept;
 
   /// Renders the stream as a '0'/'1' string, earliest bit first.
-  std::string to_string() const;
+  [[nodiscard]] std::string to_string() const;
 
   /// Direct read access to the packed words (tail bits are guaranteed clear).
   const std::vector<Word>& words() const noexcept { return words_; }
@@ -100,7 +100,7 @@ class Bitstream {
   /// >= size() in the last word stay zero.
   Word* word_data() noexcept { return words_.data(); }
   /// Number of storage words.
-  std::size_t word_count() const noexcept { return words_.size(); }
+  [[nodiscard]] std::size_t word_count() const noexcept { return words_.size(); }
 
   bool operator==(const Bitstream& other) const noexcept {
     return size_ == other.size_ && words_ == other.words_;
@@ -128,13 +128,13 @@ class Bitstream {
 
   /// Returns the stream cyclically rotated left by `k` positions
   /// (bit i of the result is bit (i+k) mod size of the input).
-  Bitstream rotated(std::size_t k) const;
+  [[nodiscard]] Bitstream rotated(std::size_t k) const;
 
   /// Returns a copy delayed by `k` cycles: the first `k` output bits are
   /// `pad`, bit i (i >= k) of the result is input bit i - k.  Length is
   /// preserved (the last `k` input bits fall off).  This models a chain of k
   /// isolator D flip-flops initialized to `pad`.
-  Bitstream delayed(std::size_t k, bool pad = false) const;
+  [[nodiscard]] Bitstream delayed(std::size_t k, bool pad = false) const;
 
  private:
   static std::size_t words_for(std::size_t bits) {

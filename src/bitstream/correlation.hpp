@@ -33,7 +33,7 @@ struct OverlapCounts {
   std::uint64_t c = 0;  ///< positions where X=0 and Y=1
   std::uint64_t d = 0;  ///< positions where X=0 and Y=0
 
-  std::uint64_t n() const noexcept { return a + b + c + d; }
+  [[nodiscard]] std::uint64_t n() const noexcept { return a + b + c + d; }
 };
 
 /// Computes the joint occupancy counts of X and Y (word-parallel).

@@ -25,15 +25,15 @@ class ErrorStats {
  public:
   void add(double sample);
 
-  std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
   /// Mean of the signed samples (average bias when samples are deviations).
-  double mean() const noexcept;
+  [[nodiscard]] double mean() const noexcept;
   /// Mean of |sample|.
-  double mean_abs() const noexcept;
+  [[nodiscard]] double mean_abs() const noexcept;
   /// sqrt(mean(sample^2)).
-  double rms() const noexcept;
-  double min() const noexcept { return min_; }
-  double max() const noexcept { return max_; }
+  [[nodiscard]] double rms() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
 
  private:
   std::size_t count_ = 0;

@@ -39,21 +39,21 @@ class span {
             typename = decltype(std::declval<Container&>().size())>
   constexpr span(Container&& c) noexcept : data_(c.data()), size_(c.size()) {}
 
-  constexpr T* data() const noexcept { return data_; }
-  constexpr std::size_t size() const noexcept { return size_; }
-  constexpr bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] constexpr T* data() const noexcept { return data_; }
+  [[nodiscard]] constexpr std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] constexpr bool empty() const noexcept { return size_ == 0; }
 
   constexpr T& operator[](std::size_t i) const noexcept { return data_[i]; }
-  constexpr T& front() const noexcept { return data_[0]; }
-  constexpr T& back() const noexcept { return data_[size_ - 1]; }
+  [[nodiscard]] constexpr T& front() const noexcept { return data_[0]; }
+  [[nodiscard]] constexpr T& back() const noexcept { return data_[size_ - 1]; }
 
-  constexpr T* begin() const noexcept { return data_; }
-  constexpr T* end() const noexcept { return data_ + size_; }
+  [[nodiscard]] constexpr T* begin() const noexcept { return data_; }
+  [[nodiscard]] constexpr T* end() const noexcept { return data_ + size_; }
 
-  constexpr span subspan(std::size_t offset, std::size_t count) const noexcept {
+  [[nodiscard]] constexpr span subspan(std::size_t offset, std::size_t count) const noexcept {
     return span(data_ + offset, count);
   }
-  constexpr span first(std::size_t count) const noexcept {
+  [[nodiscard]] constexpr span first(std::size_t count) const noexcept {
     return span(data_, count);
   }
 

@@ -24,14 +24,14 @@ class Apc {
   /// Adds one cycle's worth of input bits.  bits.size() must equal inputs().
   void step(sc::span<const bool> bits);
 
-  std::size_t inputs() const { return inputs_; }
-  std::uint64_t sum() const { return sum_; }
-  std::uint64_t cycles() const { return cycles_; }
+  [[nodiscard]] std::size_t inputs() const { return inputs_; }
+  [[nodiscard]] std::uint64_t sum() const { return sum_; }
+  [[nodiscard]] std::uint64_t cycles() const { return cycles_; }
 
   /// Average of the input values: sum / (inputs * cycles), in [0, 1].
-  double mean_value() const;
+  [[nodiscard]] double mean_value() const;
   /// Scaled sum matching the MUX adder's output convention, but exact.
-  double scaled_sum() const { return mean_value(); }
+  [[nodiscard]] double scaled_sum() const { return mean_value(); }
 
   void reset() {
     sum_ = 0;

@@ -24,11 +24,11 @@ class SdConverter {
   }
 
   /// Number of 1s seen so far (the binary result B).
-  std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t count() const { return count_; }
   /// Number of bits consumed.
-  std::uint64_t cycles() const { return cycles_; }
+  [[nodiscard]] std::uint64_t cycles() const { return cycles_; }
   /// Recovered unipolar value B / cycles (0 before any input).
-  double value() const {
+  [[nodiscard]] double value() const {
     return cycles_ == 0
                ? 0.0
                : static_cast<double>(count_) / static_cast<double>(cycles_);

@@ -30,7 +30,7 @@ class Sng {
   /// because a 32-bit-wide source's period, 2^32, does not fit uint32 (a
   /// narrower counter silently wrapped to 0 and generated all-zero
   /// streams).
-  std::uint64_t natural_length() const { return natural_length_; }
+  [[nodiscard]] std::uint64_t natural_length() const { return natural_length_; }
 
   /// Emits one bit for level x in [0, natural_length()].
   bool step(std::uint64_t level) { return source_->next() < level; }

@@ -42,8 +42,8 @@ class WeightedSampler {
 
   void reset() { source_->reset(); }
 
-  sc::span<const std::uint32_t> weights() const { return weights_; }
-  std::uint32_t total_weight() const { return total_; }
+  [[nodiscard]] sc::span<const std::uint32_t> weights() const { return weights_; }
+  [[nodiscard]] std::uint32_t total_weight() const { return total_; }
 
  private:
   std::vector<std::uint32_t> weights_;

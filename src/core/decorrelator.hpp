@@ -31,9 +31,9 @@ class Decorrelator final : public PairTransform {
 
   BitPair step(bool x, bool y) override;
   void reset() override;
-  unsigned saved_ones() const override;
+  [[nodiscard]] unsigned saved_ones() const override;
 
-  std::size_t depth() const { return buffer_x_.depth(); }
+  [[nodiscard]] std::size_t depth() const { return buffer_x_.depth(); }
 
   /// The underlying buffers, exposed for the table-driven kernel layer.
   ShuffleBuffer& buffer_x() { return buffer_x_; }
@@ -61,9 +61,9 @@ class DecorrelatorChainLink final : public PairTransform {
 
   BitPair step(bool x, bool y) override;
   void reset() override;
-  unsigned saved_ones() const override;
+  [[nodiscard]] unsigned saved_ones() const override;
 
-  std::size_t depth() const { return buffer_.depth(); }
+  [[nodiscard]] std::size_t depth() const { return buffer_.depth(); }
 
   /// The underlying buffer, exposed for the table-driven kernel layer.
   ShuffleBuffer& buffer() { return buffer_; }

@@ -73,14 +73,14 @@ class Desynchronizer final : public PairTransform {
 
   BitPair step(bool x, bool y) override;
   void reset() override;
-  unsigned saved_ones() const override { return saved_x_ + saved_y_; }
+  [[nodiscard]] unsigned saved_ones() const override { return saved_x_ + saved_y_; }
   void begin_stream(std::size_t length) override;
 
   const Config& config() const { return config_; }
-  unsigned saved_x() const { return saved_x_; }
-  unsigned saved_y() const { return saved_y_; }
+  [[nodiscard]] unsigned saved_x() const { return saved_x_; }
+  [[nodiscard]] unsigned saved_y() const { return saved_y_; }
 
-  State state() const {
+  [[nodiscard]] State state() const {
     return {saved_x_, saved_y_, save_from_x_, remaining_, length_known_};
   }
   void set_state(const State& state);

@@ -26,9 +26,9 @@ class DelayLine final : public StreamTransform {
 
   bool step(bool in) override;
   void reset() override;
-  unsigned saved_ones() const override;
+  [[nodiscard]] unsigned saved_ones() const override;
 
-  std::size_t delay() const { return fifo_.size(); }
+  [[nodiscard]] std::size_t delay() const { return fifo_.size(); }
 
  private:
   std::vector<char> fifo_;  // fifo_[0] is the next bit to emit
@@ -45,9 +45,9 @@ class IsolatorPair final : public PairTransform {
 
   BitPair step(bool x, bool y) override;
   void reset() override;
-  unsigned saved_ones() const override { return line_.saved_ones(); }
+  [[nodiscard]] unsigned saved_ones() const override { return line_.saved_ones(); }
 
-  std::size_t delay() const { return line_.delay(); }
+  [[nodiscard]] std::size_t delay() const { return line_.delay(); }
 
  private:
   DelayLine line_;

@@ -43,7 +43,7 @@ class PairTransform {
   /// Number of 1-bits currently held inside the transform (bits consumed
   /// but not yet re-emitted).  Used to reason about end-of-stream bias:
   /// value deviation of each output stream is bounded by saved_ones()/N.
-  virtual unsigned saved_ones() const { return 0; }
+  [[nodiscard]] virtual unsigned saved_ones() const { return 0; }
 
   /// Informs the transform of the total stream length before a run.
   /// Transforms with end-of-stream flush behaviour (synchronizer /
@@ -57,7 +57,7 @@ class StreamTransform {
   virtual ~StreamTransform() = default;
   virtual bool step(bool in) = 0;
   virtual void reset() = 0;
-  virtual unsigned saved_ones() const { return 0; }
+  [[nodiscard]] virtual unsigned saved_ones() const { return 0; }
   virtual void begin_stream(std::size_t /*length*/) {}
 };
 

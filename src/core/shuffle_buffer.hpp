@@ -37,9 +37,9 @@ class ShuffleBuffer final : public StreamTransform {
   bool step(bool in) override;
   void reset() override;
   /// 1s currently resident in the buffer.
-  unsigned saved_ones() const override;
+  [[nodiscard]] unsigned saved_ones() const override;
 
-  std::size_t depth() const { return slots_.size(); }
+  [[nodiscard]] std::size_t depth() const { return slots_.size(); }
 
   /// Result of one pure transition for a given address draw.
   struct Transition {
@@ -55,7 +55,7 @@ class ShuffleBuffer final : public StreamTransform {
                                std::size_t r, bool in);
 
   /// Slot contents packed as a bitmask (depth <= 64 only).
-  std::uint64_t slots_mask() const;
+  [[nodiscard]] std::uint64_t slots_mask() const;
   void set_slots_mask(std::uint64_t mask);
 
   /// The auxiliary address source (kernels draw from it directly so its

@@ -72,14 +72,14 @@ class Synchronizer final : public PairTransform {
 
   BitPair step(bool x, bool y) override;
   void reset() override;
-  unsigned saved_ones() const override;
+  [[nodiscard]] unsigned saved_ones() const override;
   void begin_stream(std::size_t length) override;
 
   const Config& config() const { return config_; }
   /// Signed saved-bit credit: > 0 means saved X 1s, < 0 means saved Y 1s.
-  int credit() const { return credit_; }
+  [[nodiscard]] int credit() const { return credit_; }
 
-  State state() const { return {credit_, remaining_, length_known_}; }
+  [[nodiscard]] State state() const { return {credit_, remaining_, length_known_}; }
   /// Overwrites the FSM state (credit is clamped to [-depth, depth]).
   void set_state(const State& state);
 

@@ -47,7 +47,7 @@ class TrackingForecastMemory final : public StreamTransform {
   void reset() override;
 
   /// Current probability estimate in [0, 1].
-  double estimate() const;
+  [[nodiscard]] double estimate() const;
 
   /// Pure EMA update, exposed for the table-driven kernels (src/kernel/):
   /// the estimate after consuming `in`, before output regeneration.
@@ -61,9 +61,9 @@ class TrackingForecastMemory final : public StreamTransform {
 
   const Config& config() const { return config_; }
   /// Fixed-point estimate in [0, 2^precision] (exact kernel state).
-  std::int32_t estimate_fixed() const { return estimate_; }
+  [[nodiscard]] std::int32_t estimate_fixed() const { return estimate_; }
   void set_estimate_fixed(std::int32_t estimate) { estimate_ = estimate; }
-  std::int32_t scale() const { return scale_; }
+  [[nodiscard]] std::int32_t scale() const { return scale_; }
   /// The regeneration RNG (kernels draw from it directly).
   rng::RandomSource& aux_source() { return *source_; }
 

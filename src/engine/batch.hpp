@@ -60,10 +60,10 @@ struct BatchStats {
   /// Stream bits the batch's jobs pushed through chunked runs (filled by
   /// Session::note_batch from its chunked accounting; 0 when untracked).
   std::uint64_t stream_bits = 0;
-  double jobs_per_second() const {
+  [[nodiscard]] double jobs_per_second() const {
     return seconds > 0.0 ? static_cast<double>(jobs) / seconds : 0.0;
   }
-  double bits_per_second() const {
+  [[nodiscard]] double bits_per_second() const {
     return seconds > 0.0 ? static_cast<double>(stream_bits) / seconds : 0.0;
   }
 };
@@ -96,7 +96,7 @@ class BatchRunner {
   ThreadPool& pool() noexcept { return *pool_; }
 
   /// Stats of the most recent map()/for_each() call (thread-safe snapshot).
-  BatchStats last_stats() const {
+  [[nodiscard]] BatchStats last_stats() const {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     return last_stats_;
   }

@@ -45,7 +45,7 @@ class ChunkSource {
   virtual ~ChunkSource() = default;
 
   /// Total bits this source will produce.
-  virtual std::size_t length() const = 0;
+  [[nodiscard]] virtual std::size_t length() const = 0;
 
   /// Overwrites `chunk` with the next bits of the stream.  Contract: must
   /// produce *exactly* min(max_bits, bits remaining) bits — short reads
@@ -72,7 +72,7 @@ class SngChunkSource final : public ChunkSource {
   SngChunkSource(rng::RandomSourcePtr source, std::uint64_t level,
                  std::size_t length);
 
-  std::size_t length() const override { return length_; }
+  [[nodiscard]] std::size_t length() const override { return length_; }
   std::size_t next_chunk(Bitstream& chunk, std::size_t max_bits) override;
   void reset() override;
 
@@ -90,7 +90,7 @@ class BitstreamChunkSource final : public ChunkSource {
  public:
   explicit BitstreamChunkSource(const Bitstream& stream) : stream_(&stream) {}
 
-  std::size_t length() const override { return stream_->size(); }
+  [[nodiscard]] std::size_t length() const override { return stream_->size(); }
   std::size_t next_chunk(Bitstream& chunk, std::size_t max_bits) override;
   void reset() override { position_ = 0; }
 
@@ -113,10 +113,10 @@ class ValueSink final : public ChunkSink {
  public:
   void consume(const Bitstream& chunk) override;
 
-  std::uint64_t ones() const noexcept { return ones_; }
-  std::uint64_t bits() const noexcept { return bits_; }
+  [[nodiscard]] std::uint64_t ones() const noexcept { return ones_; }
+  [[nodiscard]] std::uint64_t bits() const noexcept { return bits_; }
   /// Unipolar value of the reduced stream (0 for an empty stream).
-  double value() const noexcept;
+  [[nodiscard]] double value() const noexcept;
 
  private:
   std::uint64_t ones_ = 0;
@@ -148,10 +148,10 @@ class PairStatsSink final : public PairChunkSink {
   void consume(const Bitstream& chunk_x, const Bitstream& chunk_y) override;
 
   const OverlapCounts& counts() const noexcept { return counts_; }
-  double value_x() const noexcept;
-  double value_y() const noexcept;
+  [[nodiscard]] double value_x() const noexcept;
+  [[nodiscard]] double value_y() const noexcept;
   /// SCC of the streams seen so far (0 while degenerate).
-  double scc() const;
+  [[nodiscard]] double scc() const;
 
  private:
   OverlapCounts counts_;

@@ -51,18 +51,18 @@ class Session {
   const SessionConfig& config() const noexcept { return config_; }
   ThreadPool& pool() noexcept { return pool_; }
   BatchRunner& runner() noexcept { return runner_; }
-  unsigned threads() const noexcept { return pool_.size(); }
+  [[nodiscard]] unsigned threads() const noexcept { return pool_.size(); }
   /// The resolved telemetry context (config's, else env; may be nullptr).
-  obs::Telemetry* telemetry() const noexcept { return telemetry_; }
+  [[nodiscard]] obs::Telemetry* telemetry() const noexcept { return telemetry_; }
 
   /// Full-width seed for job `index` under this session's base seed
   /// (hashed; for consumers that use all 64 bits).
-  std::uint64_t seed_for(std::size_t index) const {
+  [[nodiscard]] std::uint64_t seed_for(std::size_t index) const {
     return job_seed(config_.base_seed, index);
   }
   /// Width-safe per-job seed for LFSR-style consumers that mask seeds to
   /// their register width — see strided_seed32.
-  std::uint32_t strided_seed_for(std::size_t index) const {
+  [[nodiscard]] std::uint32_t strided_seed_for(std::size_t index) const {
     return strided_seed32(config_.base_seed, index);
   }
 
@@ -88,12 +88,12 @@ class Session {
   /// the same names session-less chunked runs record directly.
   void note_chunked(const ChunkedRunStats& stats);
 
-  SessionStats stats() const;
+  [[nodiscard]] SessionStats stats() const;
 
   /// Stats of the most recent map()/for_each(), including the stream-bits
   /// delta its jobs pushed through chunked runs (so bits_per_second() is
   /// meaningful for graph batches).
-  BatchStats last_batch() const;
+  [[nodiscard]] BatchStats last_batch() const;
 
  private:
   void note_batch(std::size_t jobs);

@@ -49,10 +49,10 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Number of worker threads.
-  unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
+  [[nodiscard]] unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
 
   /// Total tasks completed since construction.
-  std::size_t tasks_executed() const noexcept;
+  [[nodiscard]] std::size_t tasks_executed() const noexcept;
 
   /// Enqueues a callable; the returned future delivers its result (or
   /// rethrows its exception).
@@ -79,7 +79,7 @@ class ThreadPool {
   void attach_telemetry(obs::Telemetry* telemetry);
 
   /// The bound telemetry context (nullptr when unbound).
-  obs::Telemetry* telemetry() const noexcept { return telemetry_; }
+  [[nodiscard]] obs::Telemetry* telemetry() const noexcept { return telemetry_; }
 
  private:
   /// Queue entry: the callable plus its enqueue timestamp (0 when the pool

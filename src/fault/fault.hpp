@@ -107,7 +107,7 @@ struct FaultPlan {
   std::vector<EdgeFault> edges;
   std::vector<FsmFault> fsms;
 
-  bool empty() const { return edges.empty() && fsms.empty(); }
+  [[nodiscard]] bool empty() const { return edges.empty() && fsms.empty(); }
 };
 
 // ------------------------------------------------------------ fault hashes

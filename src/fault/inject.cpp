@@ -41,7 +41,7 @@ class FsmCorruptingTransform final : public core::PairTransform {
     inner_->reset();
   }
 
-  unsigned saved_ones() const override { return inner_->saved_ones(); }
+  [[nodiscard]] unsigned saved_ones() const override { return inner_->saved_ones(); }
 
   void begin_stream(std::size_t length) override {
     cycle_ = 0;

@@ -77,9 +77,9 @@ struct SweepRow {
   double func_err_clean = 0.0;
   double func_err_faulty = 0.0;
 
-  double scc_drift() const { return std::abs(scc_faulty - scc_clean); }
-  double err_inflation() const { return err_faulty - err_clean; }
-  double func_err_inflation() const {
+  [[nodiscard]] double scc_drift() const { return std::abs(scc_faulty - scc_clean); }
+  [[nodiscard]] double err_inflation() const { return err_faulty - err_clean; }
+  [[nodiscard]] double func_err_inflation() const {
     return func_err_faulty - func_err_clean;
   }
 };
@@ -103,14 +103,15 @@ struct SweepReport {
 
   /// Mean func_err_inflation of one (circuit, regime) over rates >=
   /// `min_rate` (tiny rates are sampling noise at these stream lengths).
-  double mean_inflation(const std::string& circuit, const std::string& regime,
+  [[nodiscard]] double mean_inflation(const std::string& circuit,
+                                      const std::string& regime,
                         double min_rate = 0.01) const;
 
   /// The acceptance bar, after ReCo1: the decorrelated multiply pipeline
   /// degrades more gracefully under i.i.d. flips than the
   /// correlation-dependent max and min — strictly smaller mean
   /// function-error inflation (see SweepRow::func_err_clean).
-  bool reco1_ordering_holds() const;
+  [[nodiscard]] bool reco1_ordering_holds() const;
 };
 
 /// Runs both experiment families on config.backend.  Circuits x regimes:

@@ -30,8 +30,8 @@ class SaturatingCounter {
   /// Consumes one input bit, returns the new state.
   unsigned step(bool up);
 
-  unsigned state() const { return state_; }
-  unsigned states() const { return states_; }
+  [[nodiscard]] unsigned state() const { return state_; }
+  [[nodiscard]] unsigned states() const { return states_; }
   void reset();
 
  private:

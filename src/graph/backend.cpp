@@ -682,7 +682,7 @@ ExecutionResult run_with_optimizer(const Program& program,
 
 class ReferenceBackend final : public ExecutorBackend {
  public:
-  std::string name() const override { return "reference"; }
+  [[nodiscard]] std::string name() const override { return "reference"; }
   ExecutionResult run(const Program& program, const ProgramPlan& plan,
                       const ExecConfig& config) override {
     return run_with_optimizer(
@@ -694,7 +694,7 @@ class ReferenceBackend final : public ExecutorBackend {
 
 class KernelBackend final : public ExecutorBackend {
  public:
-  std::string name() const override { return "kernel"; }
+  [[nodiscard]] std::string name() const override { return "kernel"; }
   ExecutionResult run(const Program& program, const ProgramPlan& plan,
                       const ExecConfig& config) override {
     return run_with_optimizer(
@@ -707,7 +707,7 @@ class KernelBackend final : public ExecutorBackend {
 class EngineBackend final : public ExecutorBackend {
  public:
   explicit EngineBackend(engine::Session* session) : session_(session) {}
-  std::string name() const override { return "engine"; }
+  [[nodiscard]] std::string name() const override { return "engine"; }
   ExecutionResult run(const Program& program, const ProgramPlan& plan,
                       const ExecConfig& config) override {
     return run_with_optimizer(

@@ -123,7 +123,7 @@ struct ExecutionResult {
 class ExecutorBackend {
  public:
   virtual ~ExecutorBackend() = default;
-  virtual std::string name() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
   virtual ExecutionResult run(const Program& program, const ProgramPlan& plan,
                               const ExecConfig& config) = 0;
 };

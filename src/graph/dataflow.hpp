@@ -74,15 +74,15 @@ class DataflowGraph {
   void mark_output(NodeId node);
 
   const Node& node(NodeId id) const { return nodes_[id]; }
-  std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
   const std::vector<NodeId>& outputs() const { return outputs_; }
 
   /// Ids of all op nodes, in creation (topological) order.
-  std::vector<NodeId> op_nodes() const;
+  [[nodiscard]] std::vector<NodeId> op_nodes() const;
 
   /// Exact floating-point value of a node via the registry semantics
   /// (scaled add = 0.5(a+b), saturating add = min(1, a+b), etc.).
-  double exact_value(NodeId id) const;
+  [[nodiscard]] double exact_value(NodeId id) const;
 
  private:
   std::vector<Node> nodes_;

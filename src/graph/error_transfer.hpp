@@ -1,0 +1,125 @@
+/// \file error_transfer.hpp
+/// Per-operator transfer functions of the static *accuracy* analysis
+/// (src/analysis/error_model.hpp): the abstract domain one value carries
+/// and the OperatorDef hook that propagates it through a gate.
+///
+/// The domain models what an SC value measured over an N-bit run can do:
+///   * [lo, hi]   — interval guaranteed to contain E[measured]
+///                  (unipolar probability space, always within [0, 1]),
+///   * bias       — deterministic bound on |E[measured] - exact|:
+///                  SNG quantization, partial-period sampling, residual
+///                  operand correlation (the paper's §II-B bias of
+///                  AND/MUX arithmetic), FSM warm-up transients,
+///   * var        — variance bound of the N-bit mean estimate,
+///   * tau        — autocorrelation scale of the stream in cycles (FSM
+///                  outputs hold state, inflating estimator variance),
+///   * corr       — the part of `bias` this operator itself added from
+///                  residual correlation between its operands (what the
+///                  `correlation-bias` lint diagnostic reports),
+///   * saturated  — the operator clipped (saturating-add with operand
+///                  sum beyond 1): `saturation-risk` diagnostic.
+///
+/// A transfer is sound when, for every execution the backends can
+/// produce, the measured output value lies within exact +- the final
+/// bound assembled by the error model (bias + n_sigma * sqrt(var),
+/// capped at the trivial max(exact, 1 - exact)).  Transfers for the
+/// correlation-sensitive gates take the *residual* SCC of each operand
+/// pair after planned fixes — a pair left at an unknown regime widens to
+/// its Frechet envelope, a decorrelator-chain link keeps a small
+/// single-shuffle residual, a proven same-trace pair keeps only
+/// quantization slack.
+///
+/// Operators without a transfer stay sound: the error model falls back
+/// to the trivial bound (measured and exact both live in [0, 1]).
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/span.hpp"
+
+namespace sc::graph {
+
+/// Abstract accuracy state of one stream value (see file comment).
+struct ErrorAbs {
+  double lo = 0.0;    ///< E[measured] >= lo (unipolar space)
+  double hi = 1.0;    ///< E[measured] <= hi
+  double bias = 1.0;  ///< |E[measured] - exact| bound, deterministic
+  double var = 0.0;   ///< variance bound of the N-bit mean estimate
+  double tau = 2.0;   ///< autocorrelation scale (cycles) of the stream
+  double corr = 0.0;  ///< bias share from residual operand correlation
+  bool saturated = false;  ///< operator clipped at a range boundary
+};
+
+/// Everything a transfer may consult.  `residual(i, j)` (i < j, operand
+/// indices) bounds how far the pair's SCC may sit from the regime the
+/// operator's exact semantics assume, as a fraction of the full Frechet
+/// width: 0 = exactly in regime, 1 = completely unknown.  The error
+/// model derives it from the planner's fixes and the correlation
+/// dataflow analysis; transfers must treat it as a bound, not a value.
+struct ErrorTransferInput {
+  sc::span<const ErrorAbs> operands;
+  sc::span<const double> exact_operands;
+  double exact = 0.0;  ///< exact output (registry semantics)
+  std::function<double(unsigned i, unsigned j)> residual;
+  std::size_t stream_length = 256;
+  unsigned width = 8;  ///< SNG comparator width
+};
+
+/// Per-op transfer of the accuracy abstract interpreter (OperatorDef::
+/// error_transfer).  Must be sound (see file comment); returning a wide
+/// bound is always legal, returning a narrow one is a claim the
+/// soundness property test (analysis_accuracy_property_test) measures.
+using ErrorTransfer = std::function<ErrorAbs(const ErrorTransferInput&)>;
+
+/// Ready-made sound transfers for the builtin operator families.  Custom
+/// registries reuse them (tests/graph_fixtures.hpp wires `nary_and` onto
+/// its 16-ary product, which is how the chain-rewrite calibration test
+/// gets a non-trivial bound).
+namespace error_transfers {
+
+/// n-ary AND computing the product of mutually-uncorrelated operands
+/// (multiply, product-k fan-out trees).  Residual correlation of the
+/// strongest neighbour widens each accumulation step by the Frechet
+/// width of the pair (E[XY] = pq + scc * (min(p,q) - pq)).
+ErrorTransfer nary_and();
+
+/// 2-ary AND as min (SCC = +1 assumed).
+ErrorTransfer and_min();
+/// 2-ary OR as max (SCC = +1 assumed).
+ErrorTransfer or_max();
+/// 2-ary OR as saturating add (SCC = -1 assumed; clipping interval and
+/// the saturation flag).
+ErrorTransfer or_saturating_add();
+/// 2-ary XOR as |a - b| (SCC = +1 assumed).
+ErrorTransfer xor_subtract();
+/// MUX scaled add/sub: out = (a + b') / 2 with a private half-weight
+/// select stream (b' = 1 - b when invert_y — the bipolar subtractor).
+ErrorTransfer mux_scaled_add(bool invert_y);
+/// XNOR bipolar multiply (uncorrelated operands assumed).
+ErrorTransfer xnor_multiply_bipolar();
+/// Deterministic CA toggle adder: (a + b) / 2 with O(1/N) settle.
+ErrorTransfer toggle_add();
+/// CORDIV divider: conservative — the quotient's convergence is not
+/// usefully bounded statically, so the transfer returns the trivial
+/// envelope (sound, never tight).
+ErrorTransfer cordiv_divide();
+/// Unary NOT (bipolar negate): exact complement.
+ErrorTransfer not_negate();
+/// Saturating-counter FSM functions (stanh / sexp): Lipschitz bound L
+/// on the asymptotic curve, `states`-deep warm-up transient, inflated
+/// model error when the input stream is itself autocorrelated.
+ErrorTransfer fsm_lipschitz(double lipschitz, unsigned states);
+/// Bernstein/ReSC unit of the given degree (degree mutually
+/// uncorrelated copies of x + degree+1 private coefficient SNGs).
+ErrorTransfer bernstein(unsigned degree);
+/// Weighted MUX tree (gaussian-blur-3x3): out = sum w_i p_i / sum w.
+ErrorTransfer weighted_mux(std::vector<double> weights);
+/// Roberts cross: (|p0 - p3| + |p1 - p2|) / 2, diagonals at SCC = +1.
+ErrorTransfer roberts_cross();
+
+}  // namespace error_transfers
+
+}  // namespace sc::graph

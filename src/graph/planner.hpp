@@ -140,9 +140,9 @@ struct ProgramPlan {
   std::size_t inserted_units = 0;  ///< manipulators or regenerators
 
   /// Fixes planned for one op node, in operand-pair order.
-  std::vector<const PairFix*> fixes_for(NodeId op_node) const;
+  [[nodiscard]] std::vector<const PairFix*> fixes_for(NodeId op_node) const;
   /// True when any planned fix regenerates (see is_regenerating).
-  bool has_regeneration() const;
+  [[nodiscard]] bool has_regeneration() const;
 };
 
 /// Computes the insertion plan for a registry program.
@@ -178,7 +178,7 @@ struct Plan {
   std::size_t inserted_units = 0;     ///< manipulators or regenerators
 
   /// Fix planned for a given op node (kNone if none).
-  FixKind fix_for(NodeId op_node) const;
+  [[nodiscard]] FixKind fix_for(NodeId op_node) const;
 };
 
 /// Legacy shim: plans a DataflowGraph by converting it to a Program,

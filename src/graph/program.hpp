@@ -63,19 +63,19 @@ struct ProgramNode {
 class Program {
  public:
   const ProgramNode& node(NodeId id) const { return nodes_[id]; }
-  std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
   const std::vector<NodeId>& outputs() const { return outputs_; }
 
   /// Ids of all op nodes in creation (topological) order.
-  std::vector<NodeId> op_nodes() const;
+  [[nodiscard]] std::vector<NodeId> op_nodes() const;
 
   /// Node id of a named value, kInvalidNode when absent.
-  NodeId find(const std::string& name) const;
+  [[nodiscard]] NodeId find(const std::string& name) const;
 
   /// Exact floating-point value of a node via the registry's semantics.
-  double exact_value(NodeId id) const;
+  [[nodiscard]] double exact_value(NodeId id) const;
   /// Exact values of all nodes in one topological pass.
-  std::vector<double> exact_values() const;
+  [[nodiscard]] std::vector<double> exact_values() const;
 
   /// The registry this program's OpIds index into.
   const OperatorRegistry& reg() const { return *registry_; }
@@ -88,7 +88,7 @@ class Program {
   /// input/constant).  Correlation-fix overhead is accounted separately by
   /// the planner (ProgramPlan::overhead); base + overhead prices the full
   /// design.
-  hw::Netlist base_netlist(unsigned width) const;
+  [[nodiscard]] hw::Netlist base_netlist(unsigned width) const;
 
  private:
   friend class GraphBuilder;
@@ -148,10 +148,10 @@ class GraphBuilder {
   std::vector<Value> append(const Program& sub,
                             const std::vector<Value>& arguments);
 
-  std::size_t node_count() const { return program_.nodes_.size(); }
+  [[nodiscard]] std::size_t node_count() const { return program_.nodes_.size(); }
 
   /// True when a value name is already in use (input() would throw).
-  bool find_name_taken(const std::string& name) const {
+  [[nodiscard]] bool find_name_taken(const std::string& name) const {
     return names_.count(name) != 0;
   }
 

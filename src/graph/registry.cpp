@@ -282,7 +282,8 @@ double clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
 template <typename Fn>
 OperatorDef binary_op(std::string name, Requirement requirement, Fn exact,
                       GateEvaluator::Gate gate,
-                      std::function<hw::Netlist(unsigned)> netlist) {
+                      std::function<hw::Netlist(unsigned)> netlist,
+                      ErrorTransfer error_transfer) {
   OperatorDef def;
   def.name = std::move(name);
   def.arity = 2;
@@ -291,6 +292,7 @@ OperatorDef binary_op(std::string name, Requirement requirement, Fn exact,
   def.make_evaluator = [gate](const OpContext&) {
     return std::make_unique<GateEvaluator>(gate);
   };
+  def.error_transfer = std::move(error_transfer);
   // AND/OR are monotone: thresholds in, threshold out (min/max of the
   // comparison levels), so the analyzer may propagate same-trace claims
   // through them.  XOR/XNOR are not monotone — destroying.
@@ -309,7 +311,8 @@ void register_builtins(OperatorRegistry& reg) {
   reg.add(binary_op(
       "multiply", Requirement::kUncorrelated,
       [](double a, double b) { return a * b; }, Gate::kAnd,
-      [](unsigned) { return hw::and_gate_netlist(); }));
+      [](unsigned) { return hw::and_gate_netlist(); },
+      error_transfers::nary_and()));
 
   {
     OperatorDef def;
@@ -324,28 +327,33 @@ void register_builtins(OperatorRegistry& reg) {
     def.netlist = [](unsigned width) {
       return hw::mux_adder_netlist() + hw::lfsr_netlist(width);
     };
+    def.error_transfer = error_transfers::mux_scaled_add(/*invert_y=*/false);
     reg.add(std::move(def));
   }
 
   reg.add(binary_op(
       "saturating-add", Requirement::kNegative,
       [](double a, double b) { return std::min(1.0, a + b); }, Gate::kOr,
-      [](unsigned) { return hw::or_gate_netlist(); }));
+      [](unsigned) { return hw::or_gate_netlist(); },
+      error_transfers::or_saturating_add()));
 
   reg.add(binary_op(
       "subtract", Requirement::kPositive,
       [](double a, double b) { return std::abs(a - b); }, Gate::kXor,
-      [](unsigned) { return hw::xor_gate_netlist(); }));
+      [](unsigned) { return hw::xor_gate_netlist(); },
+      error_transfers::xor_subtract()));
 
   reg.add(binary_op(
       "max", Requirement::kPositive,
       [](double a, double b) { return std::max(a, b); }, Gate::kOr,
-      [](unsigned) { return hw::or_gate_netlist(); }));
+      [](unsigned) { return hw::or_gate_netlist(); },
+      error_transfers::or_max()));
 
   reg.add(binary_op(
       "min", Requirement::kPositive,
       [](double a, double b) { return std::min(a, b); }, Gate::kAnd,
-      [](unsigned) { return hw::and_gate_netlist(); }));
+      [](unsigned) { return hw::and_gate_netlist(); },
+      error_transfers::and_min()));
 
   {
     // CORDIV divide (Fig. 2e): quotient for positively correlated operands
@@ -361,6 +369,7 @@ void register_builtins(OperatorRegistry& reg) {
       return std::make_unique<CordivEvaluator>();
     };
     def.netlist = [](unsigned) { return hw::cordiv_netlist(); };
+    def.error_transfer = error_transfers::cordiv_divide();
     reg.add(std::move(def));
   }
 
@@ -375,6 +384,7 @@ void register_builtins(OperatorRegistry& reg) {
       return std::make_unique<ToggleAddEvaluator>();
     };
     def.netlist = [](unsigned) { return hw::toggle_adder_netlist(); };
+    def.error_transfer = error_transfers::toggle_add();
     reg.add(std::move(def));
   }
 
@@ -383,7 +393,8 @@ void register_builtins(OperatorRegistry& reg) {
       [](double a, double b) {
         return clamp01(0.5 * ((2 * a - 1) * (2 * b - 1) + 1));
       },
-      Gate::kXnor, [](unsigned) { return hw::xnor_gate_netlist(); }));
+      Gate::kXnor, [](unsigned) { return hw::xnor_gate_netlist(); },
+      error_transfers::xnor_multiply_bipolar()));
 
   {
     OperatorDef def;
@@ -397,6 +408,7 @@ void register_builtins(OperatorRegistry& reg) {
     def.netlist = [](unsigned) {
       return hw::Netlist("negate-bipolar").add(hw::Cell::kInv);
     };
+    def.error_transfer = error_transfers::not_negate();
     reg.add(std::move(def));
   }
 
@@ -417,6 +429,7 @@ void register_builtins(OperatorRegistry& reg) {
       return hw::mux_adder_netlist() + hw::lfsr_netlist(width) +
              hw::Netlist().add(hw::Cell::kInv);
     };
+    def.error_transfer = error_transfers::mux_scaled_add(/*invert_y=*/true);
     reg.add(std::move(def));
   }
 
@@ -433,6 +446,8 @@ void register_builtins(OperatorRegistry& reg) {
       return std::make_unique<StanhEvaluator>(kStates);
     };
     def.netlist = [](unsigned) { return hw::fsm_unit_netlist(kStates); };
+    def.error_transfer =
+        error_transfers::fsm_lipschitz(/*lipschitz=*/kStates / 2.0, kStates);
     reg.add(std::move(def));
   }
 
@@ -449,6 +464,8 @@ void register_builtins(OperatorRegistry& reg) {
       return std::make_unique<SexpEvaluator>(kStates, kG);
     };
     def.netlist = [](unsigned) { return hw::fsm_unit_netlist(kStates); };
+    def.error_transfer =
+        error_transfers::fsm_lipschitz(/*lipschitz=*/kStates / 2.0, kStates);
     reg.add(std::move(def));
   }
 
@@ -478,6 +495,8 @@ void register_builtins(OperatorRegistry& reg) {
     };
     def.rng_slots = 1;
     def.netlist = [](unsigned width) { return hw::mux_tree_netlist(9, width); };
+    def.error_transfer = error_transfers::weighted_mux(
+        {1.0, 2.0, 1.0, 2.0, 4.0, 2.0, 1.0, 2.0, 1.0});
     reg.add(std::move(def));
   }
 
@@ -500,6 +519,7 @@ void register_builtins(OperatorRegistry& reg) {
     def.netlist = [](unsigned width) {
       return hw::roberts_cross_netlist() + hw::lfsr_netlist(width);
     };
+    def.error_transfer = error_transfers::roberts_cross();
     reg.add(std::move(def));
   }
 }
@@ -585,6 +605,8 @@ OpId register_bernstein(OperatorRegistry& target, std::string name,
   def.netlist = [degree](unsigned width) {
     return hw::resc_netlist(degree, width);
   };
+  def.error_transfer =
+      error_transfers::bernstein(static_cast<unsigned>(degree));
   return target.add(std::move(def));
 }
 

@@ -34,6 +34,7 @@
 
 #include "bitstream/bitstream.hpp"
 #include "common/span.hpp"
+#include "graph/error_transfer.hpp"
 #include "graph/seeds.hpp"
 #include "hw/netlist.hpp"
 #include "rng/random_source.hpp"
@@ -98,9 +99,9 @@ struct OpContext {
   std::uint64_t base_seed = 0;
 
   /// Operator-private LFSR for `slot` (distinct slots, distinct seeds).
-  rng::RandomSourcePtr make_rng(unsigned slot) const;
+  [[nodiscard]] rng::RandomSourcePtr make_rng(unsigned slot) const;
   /// Natural comparator range 2^width (64-bit: width 32 must not wrap).
-  std::uint64_t natural() const {
+  [[nodiscard]] std::uint64_t natural() const {
     return std::uint64_t{1} << width;
   }
 };
@@ -162,12 +163,22 @@ struct OperatorDef {
   /// every derived seed of a plan (backend.hpp's derived_seeds).
   unsigned rng_slots = 0;
 
+  /// Transfer function of the static *accuracy* analysis
+  /// (error_transfer.hpp; consumed by analysis::plan_accuracy): how the
+  /// operator propagates value intervals, deterministic bias, and
+  /// stochastic variance bounds, including its sensitivity to residual
+  /// operand correlation.  Optional: operators without one fall back to
+  /// the trivial-but-sound envelope max(exact, 1 - exact), so the
+  /// analysis stays conservative rather than wrong.  Every builtin
+  /// registers one (the error_transfers:: factories).
+  ErrorTransfer error_transfer;
+
   /// Standard-cell contribution of one instance (RNG-fed operators charge
   /// their private generators here).  May be empty (zero cells).
   std::function<hw::Netlist(unsigned width)> netlist;
 
   /// Requirement between operand pair (i, j), i < j.
-  Requirement requirement_between(unsigned i, unsigned j) const {
+  [[nodiscard]] Requirement requirement_between(unsigned i, unsigned j) const {
     return pair_requirement ? pair_requirement(i, j) : requirement;
   }
 };
@@ -185,14 +196,14 @@ class OperatorRegistry {
   OpId add(OperatorDef def);
 
   const OperatorDef& def(OpId id) const { return defs_[id]; }
-  std::size_t size() const { return defs_.size(); }
+  [[nodiscard]] std::size_t size() const { return defs_.size(); }
 
   /// Definition by name, nullptr when absent.
   const OperatorDef* find(const std::string& name) const;
   /// Id by name; throws std::invalid_argument when absent.
-  OpId id_of(const std::string& name) const;
+  [[nodiscard]] OpId id_of(const std::string& name) const;
 
-  std::vector<std::string> names() const;
+  [[nodiscard]] std::vector<std::string> names() const;
 
   /// Fresh registry pre-populated with the built-in operator set.
   static OperatorRegistry with_builtins();

@@ -36,7 +36,7 @@ struct CostReport {
   double energy_pj = 0.0;  ///< power * cycles / clock
 
   /// Energy in nJ (paper Table IV convention).
-  double energy_nj() const { return energy_pj / 1000.0; }
+  [[nodiscard]] double energy_nj() const { return energy_pj / 1000.0; }
 };
 
 /// Evaluates a netlist at the given operating point.

@@ -28,12 +28,12 @@ class Netlist {
     return *this;
   }
 
-  std::uint64_t count(Cell cell) const {
+  [[nodiscard]] std::uint64_t count(Cell cell) const {
     return counts_[static_cast<std::size_t>(cell)];
   }
 
   /// Total number of cell instances.
-  std::uint64_t total_cells() const;
+  [[nodiscard]] std::uint64_t total_cells() const;
 
   const std::string& label() const { return label_; }
   void set_label(std::string label) { label_ = std::move(label); }
@@ -53,10 +53,10 @@ class Netlist {
   }
 
   /// Summed placed area in um^2.
-  double area_um2() const;
+  [[nodiscard]] double area_um2() const;
 
   /// One-line cell inventory, e.g. "sync(D=1): 2xDFF 4xAND2 ...".
-  std::string to_string() const;
+  [[nodiscard]] std::string to_string() const;
 
  private:
   std::array<std::uint64_t, kCellCount> counts_{};

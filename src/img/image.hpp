@@ -24,20 +24,20 @@ class Image {
   Image() = default;
   Image(std::size_t width, std::size_t height, double fill = 0.0);
 
-  std::size_t width() const { return width_; }
-  std::size_t height() const { return height_; }
-  std::size_t pixel_count() const { return width_ * height_; }
-  bool empty() const { return pixel_count() == 0; }
+  [[nodiscard]] std::size_t width() const { return width_; }
+  [[nodiscard]] std::size_t height() const { return height_; }
+  [[nodiscard]] std::size_t pixel_count() const { return width_ * height_; }
+  [[nodiscard]] bool empty() const { return pixel_count() == 0; }
 
   /// Unchecked access; (x, y) must be inside the image.
-  double at(std::size_t x, std::size_t y) const {
+  [[nodiscard]] double at(std::size_t x, std::size_t y) const {
     return pixels_[y * width_ + x];
   }
   double& at(std::size_t x, std::size_t y) { return pixels_[y * width_ + x]; }
 
   /// Border-clamped access: coordinates are clamped into the image, the
   /// convention used by both the float reference kernels and the SC tiles.
-  double at_clamped(std::ptrdiff_t x, std::ptrdiff_t y) const;
+  [[nodiscard]] double at_clamped(std::ptrdiff_t x, std::ptrdiff_t y) const;
 
   const std::vector<double>& pixels() const { return pixels_; }
 
@@ -64,7 +64,7 @@ class Image {
   /// fills `error` (if non-null) on failure.
   static Image load_pgm(const std::string& path, std::string* error = nullptr);
   /// Writes a binary (P5) 8-bit PGM.  Returns false on I/O failure.
-  bool save_pgm(const std::string& path) const;
+  [[nodiscard]] bool save_pgm(const std::string& path) const;
 
  private:
   std::size_t width_ = 0;

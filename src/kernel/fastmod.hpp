@@ -34,7 +34,7 @@ class FastMod {
 #endif
   }
 
-  std::uint32_t divisor() const { return divisor_; }
+  [[nodiscard]] std::uint32_t divisor() const { return divisor_; }
 
  private:
   std::uint32_t divisor_;

@@ -74,16 +74,16 @@ class PairNibbleTable {
   }
 
   /// Advances 4 cycles: inputs are a nibble of each stream.
-  Entry lookup4(unsigned state, unsigned x_nibble, unsigned y_nibble) const {
+  [[nodiscard]] Entry lookup4(unsigned state, unsigned x_nibble, unsigned y_nibble) const {
     return nibble_[(std::size_t{state} << 8) | (x_nibble << 4) | y_nibble];
   }
 
   /// Advances 1 cycle (same entry layout, single-bit nibbles).
-  Entry lookup1(unsigned state, bool x, bool y) const {
+  [[nodiscard]] Entry lookup1(unsigned state, bool x, bool y) const {
     return bit_[(std::size_t{state} << 2) | (x ? 2u : 0u) | (y ? 1u : 0u)];
   }
 
-  unsigned states() const { return states_; }
+  [[nodiscard]] unsigned states() const { return states_; }
 
  private:
   unsigned states_ = 0;

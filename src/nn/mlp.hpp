@@ -43,10 +43,10 @@ struct Dense {
   std::vector<double> bias;                  ///< per output, in [-1,1]
   double alpha = 4.0;                        ///< activation gain
 
-  std::size_t inputs() const {
+  [[nodiscard]] std::size_t inputs() const {
     return weights.empty() ? 0 : weights.front().size();
   }
-  std::size_t outputs() const { return weights.size(); }
+  [[nodiscard]] std::size_t outputs() const { return weights.size(); }
 };
 
 /// Floating-point reference forward pass of one layer.

@@ -44,7 +44,7 @@ class Counter {
     value_.fetch_add(n, std::memory_order_relaxed);
   }
   void inc() noexcept { add(1); }
-  std::uint64_t value() const noexcept {
+  [[nodiscard]] std::uint64_t value() const noexcept {
     return value_.load(std::memory_order_relaxed);
   }
 
@@ -64,10 +64,10 @@ class Gauge {
            !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
     }
   }
-  double value() const noexcept {
+  [[nodiscard]] double value() const noexcept {
     return value_.load(std::memory_order_relaxed);
   }
-  double max() const noexcept { return max_.load(std::memory_order_relaxed); }
+  [[nodiscard]] double max() const noexcept { return max_.load(std::memory_order_relaxed); }
 
  private:
   std::atomic<double> value_{0.0};
@@ -91,13 +91,13 @@ class Histogram {
     sum_.fetch_add(v, std::memory_order_relaxed);
   }
 
-  std::uint64_t count() const noexcept {
+  [[nodiscard]] std::uint64_t count() const noexcept {
     return count_.load(std::memory_order_relaxed);
   }
-  std::uint64_t sum() const noexcept {
+  [[nodiscard]] std::uint64_t sum() const noexcept {
     return sum_.load(std::memory_order_relaxed);
   }
-  std::uint64_t bucket(unsigned k) const noexcept {
+  [[nodiscard]] std::uint64_t bucket(unsigned k) const noexcept {
     return buckets_[k].load(std::memory_order_relaxed);
   }
 
@@ -114,10 +114,10 @@ struct HistogramSnapshot {
   std::uint64_t sum = 0;
   std::vector<std::uint64_t> buckets;  ///< kBuckets entries
 
-  double mean() const;
+  [[nodiscard]] double mean() const;
   /// Value at quantile q in [0, 1]: midpoint of the covering log2 bucket
   /// (0 for an empty histogram).
-  double quantile(double q) const;
+  [[nodiscard]] double quantile(double q) const;
 };
 
 /// Consistent-enough point-in-time copy of a registry (each instrument is
@@ -128,15 +128,15 @@ struct MetricsSnapshot {
   std::map<std::string, std::pair<double, double>> gauges;
   std::map<std::string, HistogramSnapshot> histograms;
 
-  bool empty() const {
+  [[nodiscard]] bool empty() const {
     return counters.empty() && gauges.empty() && histograms.empty();
   }
 
   /// Machine-readable export: {"counters": {...}, "gauges": {...},
   /// "histograms": {name: {count, sum, mean, p50, p99}}}.
-  std::string to_json() const;
+  [[nodiscard]] std::string to_json() const;
   /// Fixed-width human table, one instrument per row.
-  std::string to_table() const;
+  [[nodiscard]] std::string to_table() const;
 };
 
 // ------------------------------------------------------------- registry
@@ -151,7 +151,7 @@ class MetricsRegistry {
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name);
 
-  MetricsSnapshot snapshot() const;
+  [[nodiscard]] MetricsSnapshot snapshot() const;
 
  private:
   enum class Kind { kCounter, kGauge, kHistogram };

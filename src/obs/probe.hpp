@@ -98,7 +98,7 @@ class StreamProbe {
     std::uint64_t ones_x = 0;
     std::uint64_t ones_y = 0;
     std::uint64_t bits = 0;
-    OverlapCounts counts() const;
+    [[nodiscard]] OverlapCounts counts() const;
     void reset() { *this = Acc{}; }
   };
 
@@ -143,7 +143,7 @@ class ProbeSet {
         std::make_unique<Bound>(spec, pair, node_x, node_y, tracer));
   }
 
-  bool empty() const { return bound_.empty(); }
+  [[nodiscard]] bool empty() const { return bound_.empty(); }
   std::vector<std::unique_ptr<Bound>>& bound() { return bound_; }
 
   /// Publishes every probe's report into `telemetry` (appends to

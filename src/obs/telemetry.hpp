@@ -69,14 +69,14 @@ class Telemetry {
   /// straight through.
   Tracer* tracer() { return tracer_.get(); }
 
-  MetricsSnapshot snapshot() const { return metrics_.snapshot(); }
+  [[nodiscard]] MetricsSnapshot snapshot() const { return metrics_.snapshot(); }
 
   // ---------------------------------------------------------- probes
   void add_probe(ProbeSpec spec);
-  std::vector<ProbeSpec> probe_specs() const;
+  [[nodiscard]] std::vector<ProbeSpec> probe_specs() const;
   void add_probe_report(ProbeReport report);
   /// Reports of every probed run so far, in completion order.
-  std::vector<ProbeReport> probe_reports() const;
+  [[nodiscard]] std::vector<ProbeReport> probe_reports() const;
 
   /// Writes the configured trace/metrics files (whole-file rewrite, so
   /// it is safe to call after every run).  No-op for empty paths.

@@ -54,7 +54,7 @@ class Tracer {
   Tracer() : epoch_(std::chrono::steady_clock::now()) {}
 
   /// Microseconds since tracer construction.
-  double now_us() const {
+  [[nodiscard]] double now_us() const {
     return std::chrono::duration<double, std::micro>(
                std::chrono::steady_clock::now() - epoch_)
         .count();
@@ -68,15 +68,15 @@ class Tracer {
   /// Counter event: a named numeric series Perfetto plots over time.
   void counter(const std::string& name, double value);
 
-  std::size_t event_count() const;
-  std::vector<TraceEvent> events() const;  ///< snapshot copy
+  [[nodiscard]] std::size_t event_count() const;
+  [[nodiscard]] std::vector<TraceEvent> events() const;  ///< snapshot copy
 
   /// Serializes everything recorded so far as a Chrome trace JSON object
   /// ({"traceEvents": [...], "displayTimeUnit": "ms"}), sorted by
   /// timestamp.  May be called repeatedly (e.g. flush after every run) —
   /// the file is rewritten whole each time.
   void write_chrome_trace(const std::string& path) const;
-  std::string chrome_trace_json() const;
+  [[nodiscard]] std::string chrome_trace_json() const;
 
  private:
   std::chrono::steady_clock::time_point epoch_;

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "analysis/analyzer.hpp"
+#include "analysis/error_model.hpp"
 #include "obs/telemetry.hpp"
 
 namespace sc::opt {
@@ -33,7 +34,8 @@ std::string OptResult::summary() const {
       << " um2 (" << (cost_delta.power_uw <= 0 ? "" : "+")
       << cost_delta.power_uw << " uW)\n";
   out << "  static fragility " << fragility_before << " -> "
-      << fragility_after;
+      << fragility_after << "\n";
+  out << "  predicted |error| <= " << error_before << " -> " << error_after;
   return out.str();
 }
 
@@ -60,10 +62,17 @@ OptResult optimize(const graph::Program& program,
       analysis::plan_fragility(program, plan, fragility_config);
   result.fragility_after = analysis::plan_fragility(
       result.program, result.plan, fragility_config);
+  analysis::AnalyzerConfig error_config = fragility_config;
+  error_config.stream_length = config.error_stream_length;
+  result.error_before = analysis::plan_error(program, plan, error_config);
+  result.error_after =
+      analysis::plan_error(result.program, result.plan, error_config);
   span.arg("area_before_um2", result.area_before_um2);
   span.arg("area_after_um2", result.area_after_um2);
   span.arg("fragility_before", result.fragility_before);
   span.arg("fragility_after", result.fragility_after);
+  span.arg("error_before", result.error_before);
+  span.arg("error_after", result.error_after);
   result.cost_delta = hw::evaluate_delta(
       program.base_netlist(config.width) + plan.overhead,
       result.program.base_netlist(config.width) + result.plan.overhead,

@@ -34,14 +34,20 @@ struct OptResult {
   /// pair; today they are reported in summary() and telemetry.
   double fragility_before = 0.0;
   double fragility_after = 0.0;
+  /// Predicted worst per-output |error| bound (analysis::plan_error at
+  /// OptConfig::error_stream_length bits) of the incoming and optimized
+  /// plans — the accuracy axis of the Pareto gate, reported beside area
+  /// and fragility whether or not a budget was set.
+  double error_before = 0.0;
+  double error_after = 0.0;
   /// Full-design cost change (after minus before: area, leakage, dynamic
   /// power, energy) at the config's operating point — negative is saved.
   hw::CostReport cost_delta;
 
-  std::size_t nodes_removed() const;
-  std::size_t corrections_saved() const;
+  [[nodiscard]] std::size_t nodes_removed() const;
+  [[nodiscard]] std::size_t corrections_saved() const;
   /// One line per accepted pass plus the area totals.
-  std::string summary() const;
+  [[nodiscard]] std::string summary() const;
 };
 
 /// Runs the default pipeline (fold -> cse -> dve -> chain -> share, per

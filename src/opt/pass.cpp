@@ -6,6 +6,7 @@
 #include <sstream>
 #include <utility>
 
+#include "analysis/error_model.hpp"
 #include "obs/telemetry.hpp"
 
 namespace sc::opt {
@@ -19,6 +20,27 @@ namespace {
 
 /// Area comparisons tolerate float noise from netlist summation order.
 constexpr double kAreaEpsilon = 1e-6;
+/// Same for the predicted-error and fragility axes of the Pareto gate.
+constexpr double kMetricEpsilon = 1e-9;
+
+/// Analyzer operating point of the gate's error/fragility evaluations.
+analysis::AnalyzerConfig gate_analyzer_config(const OptConfig& config) {
+  analysis::AnalyzerConfig out;
+  out.stream_length = config.error_stream_length;
+  out.width = config.width;
+  out.sync_depth = config.planner.sync_depth;
+  out.shuffle_depth = config.planner.shuffle_depth;
+  out.telemetry = config.telemetry;
+  return out;
+}
+
+/// One budgeted axis of the Pareto gate: a rewrite may sit above a
+/// budget it was already above (legacy designs keep optimizing), but
+/// must not *move away* from a budget it violates.
+bool within_budget(double before, double after, double budget,
+                   double epsilon) {
+  return !(after > budget && after > before + epsilon);
+}
 
 }  // namespace
 
@@ -37,6 +59,14 @@ std::string to_string(const PassReport& report) {
   }
   out << ", area " << (report.area_delta_um2 <= 0 ? "" : "+")
       << report.area_delta_um2 << " um2";
+  if (report.error_delta != 0.0) {
+    out << ", error " << (report.error_delta <= 0 ? "" : "+")
+        << report.error_delta;
+  }
+  if (report.fragility_delta != 0.0) {
+    out << ", fragility " << (report.fragility_delta <= 0 ? "" : "+")
+        << report.fragility_delta;
+  }
   if (!report.detail.empty()) out << " (" << report.detail << ")";
   return out.str();
 }
@@ -100,6 +130,17 @@ std::vector<PassReport> PassManager::run(graph::Program& program,
                                          const OptConfig& config) const {
   obs::Telemetry* const telemetry = obs::fallback(config.telemetry);
   obs::Tracer* const tracer = obs::tracer_of(telemetry);
+  const bool budgeted = config.budgeted();
+  const analysis::AnalyzerConfig gate_config = gate_analyzer_config(config);
+  // Carried across passes so each pass pays one error/fragility
+  // evaluation, not two (the accepted state's metrics become the next
+  // pass's "before").
+  double error_before = 0.0;
+  double fragility_before = 0.0;
+  if (budgeted) {
+    error_before = analysis::plan_error(program, plan, gate_config);
+    fragility_before = analysis::plan_fragility(program, plan, gate_config);
+  }
   std::vector<PassReport> reports;
   reports.reserve(passes_.size());
   for (const std::unique_ptr<Pass>& pass : passes_) {
@@ -131,11 +172,37 @@ std::vector<PassReport> PassManager::run(graph::Program& program,
          (report.nodes_removed != 0 || report.corrections_saved != 0));
     const bool safe = plan_covers(plan) &&
                       plan.violations.size() <= before_plan.violations.size();
-    if (!lowers || !safe) {
+
+    // Legacy gate: keep what lowers area and stays safe.  Pareto gate
+    // (any finite budget): keep what is safe, improves at least one
+    // objective, and moves no budgeted objective further past its
+    // budget — the chain rewrite's area saving no longer buys an
+    // arbitrary accuracy/fragility cost.
+    bool keep = lowers && safe;
+    double error_after = error_before;
+    double fragility_after = fragility_before;
+    if (budgeted && safe) {
+      error_after = analysis::plan_error(program, plan, gate_config);
+      fragility_after =
+          analysis::plan_fragility(program, plan, gate_config);
+      const bool improves =
+          lowers || error_after < error_before - kMetricEpsilon ||
+          fragility_after < fragility_before - kMetricEpsilon;
+      keep = improves &&
+             within_budget(area_before, area_after, config.area_budget_um2,
+                           kAreaEpsilon) &&
+             within_budget(error_before, error_after, config.error_budget,
+                           kMetricEpsilon) &&
+             within_budget(fragility_before, fragility_after,
+                           config.fragility_budget, kMetricEpsilon);
+    }
+    if (!keep) {
       program = before_program;
       plan = before_plan;
       report.accepted = false;
       report.area_delta_um2 = 0.0;
+      report.error_delta = 0.0;
+      report.fragility_delta = 0.0;
       report.nodes_removed = 0;
       report.nodes_folded = 0;
       report.corrections_saved = 0;
@@ -149,6 +216,12 @@ std::vector<PassReport> PassManager::run(graph::Program& program,
 
     report.accepted = true;
     report.area_delta_um2 = area_after - area_before;
+    if (budgeted) {
+      report.error_delta = error_after - error_before;
+      report.fragility_delta = fragility_after - fragility_before;
+      error_before = error_after;
+      fragility_before = fragility_after;
+    }
     span.arg_str("result", "accepted");
     span.arg("nodes_removed", static_cast<std::uint64_t>(report.nodes_removed));
     span.arg("corrections_saved",

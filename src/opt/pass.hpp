@@ -40,6 +40,7 @@
 #pragma once
 
 #include <cstddef>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -83,6 +84,36 @@ struct OptConfig {
   /// and pair regimes are preserved, bits are not).
   bool dead_fix_elimination = false;
 
+  // ---- multi-objective Pareto budgets -----------------------------------
+  // All infinite by default, which reproduces the legacy area-only gate
+  // exactly.  Setting *any* budget switches the gate to Pareto mode: a
+  // rewrite is kept when it is safe, improves at least one objective
+  // (area, predicted error, fragility), and worsens no *budgeted*
+  // objective beyond its budget.  The canonical tension is the chain
+  // pass: it lowers area but raises both predicted error
+  // (single-shuffle residual, error_model.hpp) and fragility (shared
+  // upstream shuffle state) — under a tight error_budget it must be
+  // rolled back, under a loose one kept.
+
+  /// Modeled full-design area ceiling in um2.
+  double area_budget_um2 = std::numeric_limits<double>::infinity();
+  /// Ceiling on analysis::plan_error's worst predicted per-output
+  /// |error| bound, evaluated at error_stream_length bits.
+  double error_budget = std::numeric_limits<double>::infinity();
+  /// Ceiling on analysis::plan_fragility's summed per-fix score.
+  double fragility_budget = std::numeric_limits<double>::infinity();
+  /// Stream length the error budget's predicted bound is evaluated at
+  /// (longer streams shrink the stochastic half of the bound).
+  std::size_t error_stream_length = 4096;
+
+  /// True when any budget is finite (the gate runs in Pareto mode and
+  /// pays for the error/fragility analyses per pass).
+  [[nodiscard]] bool budgeted() const {
+    return area_budget_um2 < std::numeric_limits<double>::infinity() ||
+           error_budget < std::numeric_limits<double>::infinity() ||
+           fragility_budget < std::numeric_limits<double>::infinity();
+  }
+
   /// Only the passes that never reseed (CSE, DVE, correction sharing):
   /// optimized programs stay bit-identical to unoptimized ones.
   static OptConfig bit_identical() {
@@ -104,6 +135,10 @@ struct PassReport {
   /// fixes marked shared (PairFix::shared_with).
   std::size_t corrections_saved = 0;
   double area_delta_um2 = 0.0;  ///< modeled-area change (0 when rejected)
+  /// Predicted worst-output-error and fragility changes (0 when rejected
+  /// or when the gate runs un-budgeted and never evaluates them).
+  double error_delta = 0.0;
+  double fragility_delta = 0.0;
   std::string detail;           ///< human-readable specifics
 };
 
@@ -114,7 +149,7 @@ std::string to_string(const PassReport& report);
 class Pass {
  public:
   virtual ~Pass() = default;
-  virtual std::string name() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
 
   /// Rewrites program and/or plan, filling `report` (changed, nodes_*,
   /// corrections_saved, detail).  Returns the node remap for program
@@ -133,7 +168,7 @@ class Pass {
 class PassManager {
  public:
   PassManager& add(std::unique_ptr<Pass> pass);
-  std::size_t size() const { return passes_.size(); }
+  [[nodiscard]] std::size_t size() const { return passes_.size(); }
 
   /// Runs every pass.  `node_map` (original id -> current id,
   /// graph::kInvalidNode for removed) is composed across accepted program

@@ -54,7 +54,7 @@ std::vector<bool> reachable_from_outputs(const Program& program,
 /// saved comparator/LFSR cells are visible to this pass's own cost gate.
 class ConstantFoldingPass final : public Pass {
  public:
-  std::string name() const override { return "constant-fold"; }
+  [[nodiscard]] std::string name() const override { return "constant-fold"; }
 
   std::vector<NodeId> run(Program& program, ProgramPlan& /*plan*/,
                           const OptConfig& /*config*/,
@@ -138,7 +138,7 @@ class ConstantFoldingPass final : public Pass {
 /// bits, so consumers of the dropped duplicate see the same stream.
 class CsePass final : public Pass {
  public:
-  std::string name() const override { return "cse"; }
+  [[nodiscard]] std::string name() const override { return "cse"; }
 
   std::vector<NodeId> run(Program& program, ProgramPlan& plan,
                           const OptConfig& /*config*/,
@@ -187,7 +187,7 @@ class CsePass final : public Pass {
 /// nodes keep their operands, rng groups, and seed tags).
 class DeadValueEliminationPass final : public Pass {
  public:
-  std::string name() const override { return "dve"; }
+  [[nodiscard]] std::string name() const override { return "dve"; }
 
   std::vector<NodeId> run(Program& program, ProgramPlan& /*plan*/,
                           const OptConfig& /*config*/,
@@ -234,7 +234,7 @@ class DeadValueEliminationPass final : public Pass {
 /// draw fresh per-lane aux seeds).
 class ChainDecorrelatorPass final : public Pass {
  public:
-  std::string name() const override { return "chain-decorrelators"; }
+  [[nodiscard]] std::string name() const override { return "chain-decorrelators"; }
 
   std::vector<NodeId> run(Program& program, ProgramPlan& plan,
                           const OptConfig& /*config*/,
@@ -359,7 +359,7 @@ class ChainDecorrelatorPass final : public Pass {
 /// bit-identical without any change.
 class CorrectionSharingPass final : public Pass {
  public:
-  std::string name() const override { return "share-corrections"; }
+  [[nodiscard]] std::string name() const override { return "share-corrections"; }
 
   std::vector<NodeId> run(Program& program, ProgramPlan& plan,
                           const OptConfig& /*config*/,
@@ -424,7 +424,7 @@ class CorrectionSharingPass final : public Pass {
 /// so fix indices (shared_with) stay stable.
 class DeadFixEliminationPass final : public Pass {
  public:
-  std::string name() const override { return "drop-dead-fixes"; }
+  [[nodiscard]] std::string name() const override { return "drop-dead-fixes"; }
 
   std::vector<NodeId> run(Program& program, ProgramPlan& plan,
                           const OptConfig& config,

@@ -32,12 +32,12 @@ class CounterSource final : public RandomSource {
     state_ = (state_ + 1) & mask_;
     return out;
   }
-  unsigned width() const override { return width_; }
+  [[nodiscard]] unsigned width() const override { return width_; }
   void reset() override { state_ = start_; }
-  std::unique_ptr<RandomSource> clone() const override {
+  [[nodiscard]] std::unique_ptr<RandomSource> clone() const override {
     return std::make_unique<CounterSource>(*this);
   }
-  std::string name() const override {
+  [[nodiscard]] std::string name() const override {
     std::ostringstream os;
     os << "counter" << width_;
     if (start_ != 0) os << "(start=" << start_ << ")";

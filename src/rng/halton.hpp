@@ -25,12 +25,12 @@ class Halton final : public RandomSource {
   explicit Halton(unsigned width, unsigned base = 3, std::uint32_t offset = 0);
 
   std::uint32_t next() override;
-  unsigned width() const override { return width_; }
+  [[nodiscard]] unsigned width() const override { return width_; }
   void reset() override { counter_ = offset_; }
-  std::unique_ptr<RandomSource> clone() const override;
-  std::string name() const override;
+  [[nodiscard]] std::unique_ptr<RandomSource> clone() const override;
+  [[nodiscard]] std::string name() const override;
 
-  unsigned base() const { return base_; }
+  [[nodiscard]] unsigned base() const { return base_; }
 
   /// Radical inverse of t in the given base, as a fraction in [0, 1).
   static double radical_inverse(std::uint64_t t, unsigned base);

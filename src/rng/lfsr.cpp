@@ -74,7 +74,7 @@ constexpr unsigned kLeapLanes = 8;
 struct LeapTable {
   std::uint32_t bytes[4][256];
 
-  std::uint32_t advance(std::uint32_t state) const {
+  [[nodiscard]] std::uint32_t advance(std::uint32_t state) const {
     return bytes[0][state & 0xFFu] ^ bytes[1][(state >> 8) & 0xFFu] ^
            bytes[2][(state >> 16) & 0xFFu] ^ bytes[3][state >> 24];
   }

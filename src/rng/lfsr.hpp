@@ -29,15 +29,15 @@ class Lfsr final : public RandomSource {
 
   std::uint32_t next() override;
   void fill(std::uint32_t* out, std::size_t n) override;
-  unsigned width() const override { return width_; }
+  [[nodiscard]] unsigned width() const override { return width_; }
   void reset() override { state_ = seed_; }
-  std::unique_ptr<RandomSource> clone() const override;
-  std::string name() const override;
+  [[nodiscard]] std::unique_ptr<RandomSource> clone() const override;
+  [[nodiscard]] std::string name() const override;
 
   /// Feedback tap mask (XOR of tapped bits feeds bit width-1).
-  std::uint32_t taps() const { return taps_; }
+  [[nodiscard]] std::uint32_t taps() const { return taps_; }
   /// Current register state (for tests).
-  std::uint32_t state() const { return state_; }
+  [[nodiscard]] std::uint32_t state() const { return state_; }
 
   /// Maximal-period tap mask for a given width (3..32).
   static std::uint32_t maximal_taps(unsigned width);

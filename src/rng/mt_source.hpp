@@ -26,12 +26,12 @@ class Mt19937Source final : public RandomSource {
     const std::uint32_t raw = gen_();
     return width_ == 32 ? raw : (raw & ((1u << width_) - 1u));
   }
-  unsigned width() const override { return width_; }
+  [[nodiscard]] unsigned width() const override { return width_; }
   void reset() override { gen_.seed(seed_); }
-  std::unique_ptr<RandomSource> clone() const override {
+  [[nodiscard]] std::unique_ptr<RandomSource> clone() const override {
     return std::make_unique<Mt19937Source>(*this);
   }
-  std::string name() const override {
+  [[nodiscard]] std::string name() const override {
     std::ostringstream os;
     os << "mt19937." << width_ << "(seed=" << seed_ << ")";
     return os.str();

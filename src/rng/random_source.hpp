@@ -37,19 +37,19 @@ class RandomSource {
   }
 
   /// Output width in bits (1..32).  next() < 2^width().
-  virtual unsigned width() const = 0;
+  [[nodiscard]] virtual unsigned width() const = 0;
 
   /// Restarts the sequence from its initial state.
   virtual void reset() = 0;
 
   /// Deep copy preserving current state.
-  virtual std::unique_ptr<RandomSource> clone() const = 0;
+  [[nodiscard]] virtual std::unique_ptr<RandomSource> clone() const = 0;
 
   /// Human-readable identification, e.g. "lfsr8(seed=0x1)".
-  virtual std::string name() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
 
   /// Range of the source: 2^width().
-  std::uint64_t range() const { return std::uint64_t{1} << width(); }
+  [[nodiscard]] std::uint64_t range() const { return std::uint64_t{1} << width(); }
 
   /// Next value scaled to [0, 1).
   double next_unit() {

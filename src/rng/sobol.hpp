@@ -29,12 +29,12 @@ class Sobol final : public RandomSource {
   explicit Sobol(unsigned width, unsigned dimension = 1);
 
   std::uint32_t next() override;
-  unsigned width() const override { return width_; }
+  [[nodiscard]] unsigned width() const override { return width_; }
   void reset() override;
-  std::unique_ptr<RandomSource> clone() const override;
-  std::string name() const override;
+  [[nodiscard]] std::unique_ptr<RandomSource> clone() const override;
+  [[nodiscard]] std::string name() const override;
 
-  unsigned dimension() const { return dimension_; }
+  [[nodiscard]] unsigned dimension() const { return dimension_; }
 
  private:
   unsigned width_;

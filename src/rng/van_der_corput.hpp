@@ -23,10 +23,10 @@ class VanDerCorput final : public RandomSource {
   explicit VanDerCorput(unsigned width, std::uint32_t offset = 0);
 
   std::uint32_t next() override;
-  unsigned width() const override { return width_; }
+  [[nodiscard]] unsigned width() const override { return width_; }
   void reset() override { counter_ = offset_; }
-  std::unique_ptr<RandomSource> clone() const override;
-  std::string name() const override;
+  [[nodiscard]] std::unique_ptr<RandomSource> clone() const override;
+  [[nodiscard]] std::string name() const override;
 
   /// Reverses the low `width` bits of v.
   static std::uint32_t reverse_bits(std::uint32_t v, unsigned width);

@@ -21,10 +21,10 @@ class Circuit {
   WireId make_wire(std::string name = {});
 
   /// Number of wires.
-  std::size_t wire_count() const { return values_.size(); }
+  [[nodiscard]] std::size_t wire_count() const { return values_.size(); }
 
   /// Current value of a wire.
-  bool value(WireId wire) const { return values_[wire] != 0; }
+  [[nodiscard]] bool value(WireId wire) const { return values_[wire] != 0; }
 
   /// Drives a wire (used by elements and by external stimulus).
   void set_value(WireId wire, bool value) { values_[wire] = value ? 1 : 0; }
@@ -52,7 +52,7 @@ class Circuit {
   void reset();
 
   /// Cycles elapsed since construction / reset.
-  std::size_t cycle() const { return cycle_; }
+  [[nodiscard]] std::size_t cycle() const { return cycle_; }
 
  private:
   std::vector<char> values_;

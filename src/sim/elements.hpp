@@ -189,8 +189,8 @@ class CounterElement final : public Element {
     count_ = 0;
     cycles_ = 0;
   }
-  std::uint64_t count() const { return count_; }
-  double value() const {
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double value() const {
     return cycles_ == 0
                ? 0.0
                : static_cast<double>(count_) / static_cast<double>(cycles_);

@@ -48,6 +48,26 @@ inline constexpr GoldenEntry kGoldenCorpus[] = {
     {"optimized-chain", "kernel", 0x66CC33AE53FD4AC0ULL},
     {"optimized-chain", "engine", 0x66CC33AE53FD4AC0ULL},
     {"optimized-chain", "engine-chunked", 0x66CC33AE53FD4AC0ULL},
+    {"precision-stanh", "reference", 0x288E76DE0EA7689AULL},
+    {"precision-stanh", "kernel", 0x288E76DE0EA7689AULL},
+    {"precision-stanh", "engine", 0x288E76DE0EA7689AULL},
+    {"precision-stanh", "engine-chunked", 0x288E76DE0EA7689AULL},
+    {"saturation-or", "reference", 0x408F48D25CEBCBF4ULL},
+    {"saturation-or", "kernel", 0x408F48D25CEBCBF4ULL},
+    {"saturation-or", "engine", 0x408F48D25CEBCBF4ULL},
+    {"saturation-or", "engine-chunked", 0x408F48D25CEBCBF4ULL},
+    {"corrbias-xor", "reference", 0xE6D898ED9D56AAA1ULL},
+    {"corrbias-xor", "kernel", 0xE6D898ED9D56AAA1ULL},
+    {"corrbias-xor", "engine", 0xE6D898ED9D56AAA1ULL},
+    {"corrbias-xor", "engine-chunked", 0xE6D898ED9D56AAA1ULL},
+    {"shortstream-mul", "reference", 0x53A5DF2CE59CF7FFULL},
+    {"shortstream-mul", "kernel", 0x53A5DF2CE59CF7FFULL},
+    {"shortstream-mul", "engine", 0x53A5DF2CE59CF7FFULL},
+    {"shortstream-mul", "engine-chunked", 0x53A5DF2CE59CF7FFULL},
+    {"chain-unrec", "reference", 0xC33DBF229545C306ULL},
+    {"chain-unrec", "kernel", 0xC33DBF229545C306ULL},
+    {"chain-unrec", "engine", 0xC33DBF229545C306ULL},
+    {"chain-unrec", "engine-chunked", 0xC33DBF229545C306ULL},
 };
 
 }  // namespace sc::golden

@@ -1,6 +1,7 @@
-/// Seed-stability regression corpus: eight representative registry
-/// programs — every fix kind, a regeneration plan, a fault campaign, and
-/// an optimizer chain rewrite — executed on all four backend
+/// Seed-stability regression corpus: thirteen representative registry
+/// programs — every fix kind, a regeneration plan, a fault campaign, an
+/// optimizer chain rewrite, and one program per accuracy-analysis
+/// diagnostic id — executed on all four backend
 /// configurations and checksummed bit-for-bit against tests/golden/
 /// corpus.hpp.  A mismatch here with the differential suites green means
 /// every backend shifted *together*: exactly the failure mode of the PR 3
@@ -10,12 +11,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "analysis/analyzer.hpp"
 #include "engine/session.hpp"
 #include "fault/fault.hpp"
 #include "fault_fixtures.hpp"
@@ -25,6 +28,7 @@
 #include "graph/program.hpp"
 #include "graph_fixtures.hpp"
 #include "obs/telemetry.hpp"
+#include "opt/optimize.hpp"
 
 namespace sc::golden {
 namespace {
@@ -141,6 +145,47 @@ std::vector<Case> corpus_cases() {
     c.config.optimize = true;
     cases.push_back(std::move(c));
   }
+  // One program per accuracy-analysis diagnostic id (mirrors the
+  // examples/programs/ lint corpus): their bit-level streams are pinned
+  // here, their diagnostic JSON by AccuracyDiagnosticJsonIsByteStable.
+  {
+    GraphBuilder b;
+    b.output(b.op("stanh-8", {b.input("x", 0.3, 0)}), "t");
+    add("precision-stanh", b.build(), Strategy::kManipulation);
+  }
+  {
+    GraphBuilder b;
+    const Value a = b.input("a", 0.95, 0);
+    const Value y = b.input("b", 0.9, 1);
+    b.output(b.op("saturating-add", {a, y}), "s");
+    add("saturation-or", b.build(), Strategy::kManipulation);
+  }
+  {
+    GraphBuilder b;
+    const Value a = b.input("a", 0.5, 0);
+    const Value y = b.input("b", 0.5, 0);
+    b.output(b.op("subtract", {a, y}), "d");
+    add("corrbias-xor", b.build(), Strategy::kManipulation);
+  }
+  {
+    GraphBuilder b;
+    const Value x = b.input("x", 0.8, 0);
+    const Value y = b.input("y", 0.6, 0);
+    b.output(b.op("multiply", {x, y}), "p");
+    add("shortstream-mul", b.build(), Strategy::kManipulation);
+  }
+  {
+    Case c;
+    c.name = "chain-unrec";
+    GraphBuilder b;
+    const Value x = b.input("x", 0.7, 0);
+    b.output(b.op("bernstein-x2-3", {x, x, x}), "poly");
+    c.program = b.build();
+    c.plan = plan_program(c.program, Strategy::kManipulation);
+    c.config = base;
+    c.config.optimize = true;
+    cases.push_back(std::move(c));
+  }
   return cases;
 }
 
@@ -228,6 +273,58 @@ TEST(GoldenCorpus, TelemetryEnabledRunsKeepIdenticalChecksums) {
     }
     // The observed runs actually observed something.
     EXPECT_NE(telemetry.snapshot().counters.count("backend.runs"), 0u);
+  }
+}
+
+// Machine-output stability: sc_lint's --json is a CI contract
+// (validate_lint.py --expect pins per-file diagnostic-id sets), so the
+// JSON an analysis produces must be byte-identical across runs — no
+// map-iteration, float-formatting, or diagnostic-ordering drift.  One
+// program per accuracy diagnostic id, each analyzed twice from scratch
+// exactly the way tools/sc_lint.cpp does.
+TEST(GoldenCorpus, AccuracyDiagnosticJsonIsByteStable) {
+  struct LintCase {
+    const char* name;
+    bool optimize;
+    double target_rmse;
+    const char* expect_id;
+  };
+  const LintCase lint_cases[] = {
+      {"precision-stanh", false, 0.0, "precision-loss"},
+      {"saturation-or", false, 0.0, "saturation-risk"},
+      {"corrbias-xor", false, 0.0, "correlation-bias"},
+      {"shortstream-mul", false, 0.05, "insufficient-stream-length"},
+      {"chain-unrec", true, 0.0, "chain-unrecoverable"},
+  };
+  std::vector<Case> cases = corpus_cases();
+  for (const LintCase& lc : lint_cases) {
+    const auto it =
+        std::find_if(cases.begin(), cases.end(),
+                     [&](const Case& c) { return c.name == lc.name; });
+    ASSERT_NE(it, cases.end()) << lc.name;
+    analysis::AnalyzerConfig config;
+    config.stream_length = 256;  // sc_lint's default operating point
+    config.target_rmse = lc.target_rmse;
+    const auto lint_json = [&]() {
+      if (!lc.optimize) {
+        return analysis::analyze(it->program, it->plan, config)
+            .to_json(lc.name);
+      }
+      opt::OptConfig opt_config;
+      opt_config.dead_fix_elimination = true;
+      const opt::OptResult optimized =
+          opt::optimize(it->program, it->plan, opt_config);
+      return analysis::analyze(optimized.program, optimized.plan, config)
+          .to_json(lc.name);
+    };
+    const std::string first = lint_json();
+    const std::string second = lint_json();
+    EXPECT_EQ(first, second)
+        << lc.name << ": analysis JSON changed between two identical runs";
+    EXPECT_NE(first.find(std::string("\"id\": \"") + lc.expect_id + "\""),
+              std::string::npos)
+        << lc.name << " must emit " << lc.expect_id << "; got:\n"
+        << first;
   }
 }
 

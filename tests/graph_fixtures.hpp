@@ -49,6 +49,10 @@ inline const OperatorRegistry& wide_registry() {
     def.netlist = [](unsigned) {
       return hw::Netlist("product-16").add(hw::Cell::kAnd2, 15);
     };
+    // Accuracy transfer: same AND-tree semantics as the builtin
+    // multiply, so the chain-rewrite calibration test gets a bound
+    // tighter than the trivial envelope.
+    def.error_transfer = error_transfers::nary_and();
     r->add(std::move(def));
     return r;
   }();

@@ -12,11 +12,14 @@
 ///
 /// Exit status: 0 clean or warnings only, 1 when any source has
 /// error-class findings (requirement-violation, exact seed-collision),
-/// 2 on usage or parse failure.
+/// 2 on usage errors, 3 when any source fails to parse (in --json mode
+/// the failure is reported as a machine-readable parse_error object and
+/// the remaining sources are still linted).
 
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <map>
 #include <sstream>
@@ -65,10 +68,13 @@ options:
   --length <n>           stream length in bits (default 256)
   --sync-depth <n>       inserted (de)synchronizer depth (default 2)
   --shuffle-depth <n>    inserted decorrelator depth (default 8)
+  --target-rmse <x>      requested per-output RMSE: emits
+                         insufficient-stream-length when the predicted
+                         error bound at --length exceeds it (default off)
   -h, --help             this text
 
 exit status: 0 clean / warnings only, 1 error-class findings, 2 usage
-or parse failure.
+errors, 3 parse failure (reported as a parse_error object in --json).
 )";
 
 // ------------------------------------------------------ builder examples
@@ -122,6 +128,16 @@ bool parse_unsigned(const std::string& text, std::uint64_t& out) {
   try {
     std::size_t consumed = 0;
     out = std::stoull(text, &consumed);
+    return consumed == text.size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool parse_double(const std::string& text, double& out) {
+  try {
+    std::size_t consumed = 0;
+    out = std::stod(text, &consumed);
     return consumed == text.size();
   } catch (const std::exception&) {
     return false;
@@ -199,6 +215,15 @@ int parse_options(int argc, char** argv, Options& options) {
     } else if (arg == "--shuffle-depth") {
       if (!next_unsigned(number)) return 2;
       options.analyzer.shuffle_depth = static_cast<std::size_t>(number);
+    } else if (arg == "--target-rmse") {
+      std::string text;
+      if (!next(text)) return 2;
+      double rmse = 0.0;
+      if (!parse_double(text, rmse) || rmse < 0.0) {
+        std::cerr << "sc_lint: malformed RMSE '" << text << "'\n";
+        return 2;
+      }
+      options.analyzer.target_rmse = rmse;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "sc_lint: unknown option '" << arg << "'\n"
                 << kUsage;
@@ -239,6 +264,30 @@ sc::analysis::AnalysisReport lint(const Program& program,
                                options.analyzer);
 }
 
+/// Minimal JSON string escaping for parse_error messages (the analyzer's
+/// own to_json never emits user-controlled text; parser messages quote
+/// the offending source line, which may hold anything).
+std::string json_escape(const std::string& text) {
+  std::ostringstream out;
+  for (const char c : text) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      case '\r': out << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+              << static_cast<int>(c) << std::dec;
+        } else {
+          out << c;
+        }
+    }
+  }
+  return out.str();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -247,6 +296,10 @@ int main(int argc, char** argv) {
   if (early >= 0) return early;
 
   std::vector<std::pair<std::string, Program>> sources;
+  // path -> parse failure message; reported in-band (--json) or on
+  // stderr, with a distinct exit status so CI can tell "correct program
+  // with findings" (1) apart from "not a program at all" (3).
+  std::vector<std::pair<std::string, std::string>> parse_failures;
   for (const std::string& name : options.examples) {
     sources.emplace_back("example:" + name, examples().at(name)());
   }
@@ -261,8 +314,10 @@ int main(int argc, char** argv) {
     try {
       sources.emplace_back(path, sc::analysis::parse_program(text.str()));
     } catch (const std::invalid_argument& error) {
-      std::cerr << "sc_lint: " << path << ": " << error.what() << "\n";
-      return 2;
+      parse_failures.emplace_back(path, error.what());
+      if (!options.json) {
+        std::cerr << "sc_lint: " << path << ": " << error.what() << "\n";
+      }
     }
   }
 
@@ -270,6 +325,14 @@ int main(int argc, char** argv) {
   std::ostringstream json;
   json << "[";
   bool first = true;
+  for (const auto& [path, message] : parse_failures) {
+    if (!options.json) continue;
+    if (!first) json << ",";
+    first = false;
+    json << "\n{\n  \"source\": \"" << json_escape(path)
+         << "\",\n  \"parse_error\": {\n    \"message\": \""
+         << json_escape(message) << "\"\n  }\n}";
+  }
   for (const auto& [name, program] : sources) {
     const sc::analysis::AnalysisReport report = lint(program, options);
     errors = errors || report.has_errors();
@@ -285,5 +348,6 @@ int main(int argc, char** argv) {
     json << "\n]";
     std::cout << json.str() << "\n";
   }
+  if (!parse_failures.empty()) return 3;
   return errors ? 1 : 0;
 }

@@ -8,15 +8,20 @@ Usage:
 Checks, in order:
   1. the input is well-formed JSON: one report object or an array of them,
   2. every report carries source (string), summary (errors/warnings/notes
-     as non-negative integers), fragility (non-negative number),
-     diagnostics (array), pairs (array),
+     as non-negative integers), fragility and error_bound (non-negative
+     numbers), diagnostics (array), pairs (array) — or is a parse-failure
+     object {source, parse_error: {message}} (sc_lint exit status 3),
   3. every diagnostic has a known stable id, a severity in
      {error, warning, note}, an integer node (or -1), and a non-empty
      message; severities are consistent with the id's documented class,
   4. every pair prediction names its op_node / operand slots, a known
      requirement and fix kind, SCC classes from the lattice, and a boolean
      satisfied,
-  5. the summary counts equal the diagnostics actually listed.
+  5. the summary counts equal the diagnostics actually listed,
+  6. with --expect expectations.json, the *set* of diagnostic ids per
+     source matches the expectation table exactly.  The table maps the
+     source basename to a list of ids (["parse-error"] for sources that
+     must fail to parse); every table entry must be seen in the input.
 
 Exits nonzero with a message on the first violation; prints a one-line
 summary on success.  Stdlib only — safe for any CI image with python3.
@@ -24,6 +29,7 @@ summary on success.  Stdlib only — safe for any CI image with python3.
 
 import argparse
 import json
+import os
 import sys
 
 # Stable diagnostic ids (analyzer.hpp) -> allowed severities.  Ids are
@@ -37,6 +43,12 @@ DIAGNOSTIC_IDS = {
     "dead-rng": {"warning"},
     "dead-value": {"note"},
     "constant-foldable": {"note"},
+    # Accuracy-model family (analysis/error_model.hpp).
+    "precision-loss": {"warning"},
+    "saturation-risk": {"warning"},
+    "correlation-bias": {"warning"},
+    "insufficient-stream-length": {"warning"},
+    "chain-unrecoverable": {"warning"},
 }
 
 REQUIREMENTS = {"agnostic", "uncorrelated", "positive", "negative"}
@@ -97,22 +109,37 @@ def validate_pair(where, pair):
            where + ": satisfied must be a boolean")
 
 
+def validate_parse_error(where, report):
+    error = report["parse_error"]
+    expect(isinstance(error, dict), where + ": parse_error is not an object")
+    expect(isinstance(error.get("message"), str) and error["message"],
+           where + ": parse_error.message must be a non-empty string")
+    for key in ("summary", "diagnostics", "pairs"):
+        expect(key not in report,
+               where + ": parse-failure report must not carry '%s'" % key)
+
+
 def validate_report(index, report):
     where = "report[%d]" % index
     expect(isinstance(report, dict), where + ": not an object")
-    for key in ("source", "summary", "fragility", "diagnostics", "pairs"):
-        expect(key in report, where + ": missing '%s'" % key)
-    expect(isinstance(report["source"], str), where + ": source not a string")
+    expect(isinstance(report.get("source"), str),
+           where + ": source not a string")
     where = "report[%d] (%s)" % (index, report["source"] or "unnamed")
+    if "parse_error" in report:
+        validate_parse_error(where, report)
+        return 0, 0
+    for key in ("summary", "fragility", "error_bound", "diagnostics",
+                "pairs"):
+        expect(key in report, where + ": missing '%s'" % key)
 
     summary = report["summary"]
     expect(isinstance(summary, dict), where + ": summary not an object")
     for key in ("errors", "warnings", "notes"):
         expect(isinstance(summary.get(key), int) and summary[key] >= 0,
                where + ": summary.%s must be a non-negative integer" % key)
-    expect(isinstance(report["fragility"], (int, float))
-           and report["fragility"] >= 0,
-           where + ": fragility must be a non-negative number")
+    for key in ("fragility", "error_bound"):
+        expect(isinstance(report[key], (int, float)) and report[key] >= 0,
+               where + ": %s must be a non-negative number" % key)
 
     expect(isinstance(report["diagnostics"], list),
            where + ": diagnostics not an array")
@@ -131,9 +158,35 @@ def validate_report(index, report):
     return len(report["diagnostics"]), len(report["pairs"])
 
 
+def check_expectations(reports, path):
+    try:
+        with open(path) as handle:
+            table = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        fail("--expect file is not readable as JSON: %s" % err)
+    expect(isinstance(table, dict), "--expect file must map source -> ids")
+    seen = {}
+    for report in reports:
+        name = os.path.basename(report["source"])
+        if "parse_error" in report:
+            seen[name] = {"parse-error"}
+        else:
+            seen[name] = {diag["id"] for diag in report["diagnostics"]}
+    for name, ids in sorted(table.items()):
+        expect(name in seen, "--expect: source '%s' missing from input"
+               % name)
+        expected = set(ids)
+        expect(seen[name] == expected,
+               "--expect: source '%s' emitted %s, expected %s"
+               % (name, sorted(seen[name]) or "[]", sorted(expected) or "[]"))
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--file", help="read JSON from a file, not stdin")
+    parser.add_argument("--expect", metavar="TABLE",
+                        help="JSON table of source basename -> expected "
+                             "diagnostic-id list (exact set match)")
     options = parser.parse_args()
     try:
         if options.file:
@@ -151,6 +204,8 @@ def main():
         d, p = validate_report(index, report)
         diagnostics += d
         pairs += p
+    if options.expect:
+        check_expectations(reports, options.expect)
     print("validate_lint: OK: %d report(s), %d diagnostic(s), %d pair(s)"
           % (len(reports), diagnostics, pairs))
 
