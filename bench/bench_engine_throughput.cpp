@@ -2,7 +2,7 @@
 /// Throughput of the batched streaming execution engine.
 ///
 /// Three workloads, each swept over worker-thread counts:
-///   1. chunked-stream: a 2^24-bit maximally correlated pair generated,
+///   1. chunked-stream: a maximally correlated pair generated,
 ///      decorrelated, and reduced chunk-at-a-time (never materialized) —
 ///      reports Mbit/s and the peak engine-side buffer.
 ///   2. graph-batch: independent seeded executions of the planner's
@@ -11,21 +11,23 @@
 ///   3. tiled-pipeline: the §IV image accelerator with tiles fanned across
 ///      the pool — reports tiles/s.
 ///
-/// Usage: bench_engine_throughput [--json PATH] [--threads 1,2,4,8]
-///        [--stream-bits LOG2] [--jobs N]
-/// With --json the results are written as a machine-readable baseline
-/// (BENCH_engine.json in this repo tracks the perf trajectory across PRs).
+/// Harness bench (bench_harness.hpp).  Cases: engine/chunked_stream
+/// (throughput) plus engine/chunked_stream/peak_buffer_bits (exact — the
+/// constant-memory contract), engine/graph_batch/t<N> (throughput,
+/// jobs/s) plus .../identical (exact), engine/tiled_pipeline/t<N>
+/// (throughput, tiles/s).
+///
+/// Usage: bench_engine_throughput [--json PATH] [--reps N] [--warmup N]
+///        [--quick] [--threads 1,2,4,8] [--stream-bits LOG2] [--jobs N]
 
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
 
-#include "bench_util.hpp"
+#include "bench_harness.hpp"
 #include "core/decorrelator.hpp"
 #include "engine/batch.hpp"
 #include "engine/chunked_stream.hpp"
@@ -40,25 +42,12 @@
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
-double seconds_since(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
-
-struct StreamResult {
-  std::size_t bits = 0;
-  std::size_t peak_buffer_bits = 0;
-  double seconds = 0.0;
-  double scc = 0.0;
-  double mbit_per_s() const { return bits / seconds / 1e6; }
-};
-
-/// Workload 1: one 2^24-bit pair through the chunked decorrelator.
-StreamResult run_stream_workload(std::size_t stream_bits,
-                                 std::size_t chunk_bits) {
+/// Workload 1: one long pair through the chunked decorrelator; returns
+/// the run stats for the peak-buffer contract.
+sc::engine::ChunkedRunStats run_stream_workload(std::size_t stream_bits,
+                                                std::size_t chunk_bits,
+                                                double* scc) {
   using namespace sc;
-  StreamResult r;
   engine::SngChunkSource sx(std::make_unique<rng::Lfsr>(16, 0xACE1), 24000,
                             stream_bits);
   engine::SngChunkSource sy(std::make_unique<rng::Lfsr>(16, 0xACE1), 24000,
@@ -66,15 +55,10 @@ StreamResult run_stream_workload(std::size_t stream_bits,
   core::Decorrelator dec(16, std::make_unique<rng::Lfsr>(16, 0xBEEF),
                          std::make_unique<rng::Lfsr>(16, 0xCAFE, 5));
   engine::PairStatsSink sink;
-
-  const auto start = Clock::now();
   const engine::ChunkedRunStats stats =
       engine::run_chunked_pair(sx, sy, &dec, sink, chunk_bits);
-  r.seconds = seconds_since(start);
-  r.bits = stats.bits;
-  r.peak_buffer_bits = stats.peak_buffer_bits;
-  r.scc = sink.scc();
-  return r;
+  *scc = sink.scc();
+  return stats;
 }
 
 sc::graph::DataflowGraph bench_graph() {
@@ -90,80 +74,13 @@ sc::graph::DataflowGraph bench_graph() {
   return g;
 }
 
-struct BatchResult {
-  unsigned threads = 0;
-  std::size_t jobs = 0;
-  double seconds = 0.0;
-  bool identical_to_baseline = true;
-  double jobs_per_s() const { return jobs / seconds; }
-};
-
-/// Workload 2: seeded graph executions, checked bit-identical across
-/// thread counts.
-BatchResult run_graph_batch(unsigned threads, std::size_t jobs,
-                            std::vector<sc::graph::ExecutionResult>* baseline) {
-  using namespace sc;
-  const graph::DataflowGraph g = bench_graph();
-  const graph::Plan plan =
-      graph::plan_insertions(g, graph::Strategy::kManipulation);
-
-  engine::Session session({threads, engine::kDefaultChunkBits, 42});
-  graph::ExecConfig base;
-  base.stream_length = 4096;
-  const auto configs = graph::seeded_sweep(base, jobs, session);
-
-  const auto start = Clock::now();
-  auto results = graph::execute_batch(g, plan, configs, session);
-  BatchResult r;
-  r.seconds = seconds_since(start);
-  r.threads = session.threads();
-  r.jobs = jobs;
-
-  if (baseline->empty()) {
-    *baseline = std::move(results);
-  } else {
-    for (std::size_t j = 0; j < results.size(); ++j) {
-      if (results[j].streams != (*baseline)[j].streams) {
-        r.identical_to_baseline = false;
-        break;
-      }
-    }
-  }
-  return r;
-}
-
-struct TileResult {
-  unsigned threads = 0;
-  std::size_t tiles = 0;
-  double seconds = 0.0;
-  double error = 0.0;
-  double tiles_per_s() const { return tiles / seconds; }
-};
-
-/// Workload 3: the §IV accelerator with tiles fanned across the pool.
-TileResult run_tiled_pipeline(unsigned threads, const sc::img::Image& input) {
-  using namespace sc;
-  engine::Session session({threads});
-  img::PipelineConfig config;
-  config.tile = 10;
-
-  const auto start = Clock::now();
-  const img::PipelineResult result = img::run_pipeline_tiled(
-      input, img::Variant::kSynchronizer, config, session);
-  TileResult r;
-  r.seconds = seconds_since(start);
-  r.threads = session.threads();
-  r.tiles = result.cost.tiles;
-  r.error = result.error;
-  return r;
-}
-
 std::vector<unsigned> parse_threads(const char* arg) {
   std::vector<unsigned> out;
   const std::string s(arg);
   std::size_t pos = 0;
   while (pos < s.size()) {
-    out.push_back(static_cast<unsigned>(std::strtoul(s.c_str() + pos, nullptr, 10)));
+    out.push_back(
+        static_cast<unsigned>(std::strtoul(s.c_str() + pos, nullptr, 10)));
     const std::size_t comma = s.find(',', pos);
     if (comma == std::string::npos) break;
     pos = comma + 1;
@@ -174,117 +91,142 @@ std::vector<unsigned> parse_threads(const char* arg) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string json_path;
-  std::vector<unsigned> thread_counts = {1, 2, 4, 8};
-  unsigned log2_bits = 24;
-  std::size_t jobs = 256;
+  sc::bench::HarnessOptions options;
+  std::vector<std::string> rest;
+  if (!sc::bench::parse_harness_options(argc, argv, &options, &rest)) return 2;
 
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-      json_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      thread_counts = parse_threads(argv[++i]);
-    } else if (std::strcmp(argv[i], "--stream-bits") == 0 && i + 1 < argc) {
-      log2_bits = static_cast<unsigned>(std::atoi(argv[++i]));
-    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-      jobs = static_cast<std::size_t>(std::atoll(argv[++i]));
+  std::vector<unsigned> thread_counts = {1, 2, 4, 8};
+  unsigned log2_bits = options.quick ? 21 : 24;
+  std::size_t jobs = options.quick ? 64 : 256;
+  for (std::size_t i = 0; i < rest.size(); ++i) {
+    if (rest[i] == "--threads" && i + 1 < rest.size()) {
+      thread_counts = parse_threads(rest[++i].c_str());
+    } else if (rest[i] == "--stream-bits" && i + 1 < rest.size()) {
+      log2_bits = static_cast<unsigned>(std::atoi(rest[++i].c_str()));
+    } else if (rest[i] == "--jobs" && i + 1 < rest.size()) {
+      jobs = static_cast<std::size_t>(std::atoll(rest[++i].c_str()));
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--json PATH] [--threads 1,2,4] "
-                   "[--stream-bits LOG2] [--jobs N]\n",
+                   "usage: %s [--json PATH] [--reps N] [--warmup N] [--quick] "
+                   "[--threads 1,2,4] [--stream-bits LOG2] [--jobs N]\n",
                    argv[0]);
       return 2;
     }
   }
 
   const unsigned hw = sc::engine::ThreadPool::resolve_threads(0);
-  std::printf("engine throughput bench (hardware threads: %u)\n\n", hw);
+  sc::bench::Harness harness("engine_throughput", options);
+  harness.set_meta("hardware_threads", static_cast<std::uint64_t>(hw));
+  harness.set_meta("jobs", static_cast<std::uint64_t>(jobs));
+  harness.set_meta("chunk_bits",
+                   static_cast<std::uint64_t>(sc::engine::kDefaultChunkBits));
+  std::printf("engine throughput bench (hardware threads: %u, median of %u "
+              "reps)\n\n",
+              hw, harness.options().reps);
 
   // --- workload 1: chunked long-stream decorrelation -----------------------
   const std::size_t stream_bits = std::size_t{1} << log2_bits;
-  const StreamResult stream =
-      run_stream_workload(stream_bits, sc::engine::kDefaultChunkBits);
+  const std::string stream_config = "stream_bits=" + std::to_string(log2_bits);
+  sc::engine::ChunkedRunStats stream_stats;
+  double scc = 0.0;
+  const double stream_s = harness.time_case(
+      "engine/chunked_stream", "mbit_per_s", static_cast<double>(stream_bits),
+      1e6,
+      [&] {
+        stream_stats = run_stream_workload(
+            stream_bits, sc::engine::kDefaultChunkBits, &scc);
+      },
+      stream_config);
+  // Peak buffer is the engine's constant-memory contract: it depends only
+  // on the chunk budget, never on the stream length, so it gates even on
+  // --quick runs.
+  harness.exact_case("engine/chunked_stream/peak_buffer_bits",
+                     stream_stats.peak_buffer_bits,
+                     "chunk_bits=" +
+                         std::to_string(sc::engine::kDefaultChunkBits));
   std::printf("chunked decorrelator: 2^%u bits in %.3f s = %.2f Mbit/s\n",
-              log2_bits, stream.seconds, stream.mbit_per_s());
+              log2_bits, stream_s, stream_bits / stream_s / 1e6);
   std::printf("  peak engine buffer: %zu bits (chunk budget %zu x 2), "
               "output SCC %.4f\n\n",
-              stream.peak_buffer_bits, sc::engine::kDefaultChunkBits,
-              stream.scc);
+              stream_stats.peak_buffer_bits, sc::engine::kDefaultChunkBits,
+              scc);
 
   // --- workload 2: graph execution batch -----------------------------------
+  const sc::graph::DataflowGraph g = bench_graph();
+  const sc::graph::Plan plan =
+      sc::graph::plan_insertions(g, sc::graph::Strategy::kManipulation);
+  const std::string batch_config = "jobs=" + std::to_string(jobs);
+
   std::vector<sc::graph::ExecutionResult> baseline;
-  std::vector<BatchResult> batches;
+  bool all_identical = true;
+  double batch_base_rate = 0.0;
   std::printf("graph batch (%zu jobs, N=4096):\n", jobs);
   std::printf("  %-8s %-10s %-12s %-10s %s\n", "threads", "seconds", "jobs/s",
               "speedup", "identical");
-  double batch_base_rate = 0.0;
   for (const unsigned t : thread_counts) {
-    const BatchResult r = run_graph_batch(t, jobs, &baseline);
-    if (batch_base_rate == 0.0) batch_base_rate = r.jobs_per_s();
-    batches.push_back(r);
-    const double speedup =
-        batch_base_rate > 0.0 ? r.jobs_per_s() / batch_base_rate : 1.0;
-    std::printf("  %-8u %-10.3f %-12.1f %-10.2f %s\n", r.threads, r.seconds,
-                r.jobs_per_s(), speedup,
-                r.identical_to_baseline ? "yes" : "NO (BUG)");
+    sc::engine::Session session({t, sc::engine::kDefaultChunkBits, 42});
+    sc::graph::ExecConfig base;
+    base.stream_length = 4096;
+    const auto configs = sc::graph::seeded_sweep(base, jobs, session);
+    std::vector<sc::graph::ExecutionResult> results;
+    const double median_s = harness.time_case(
+        "engine/graph_batch/t" + std::to_string(session.threads()), "jobs_per_s",
+        static_cast<double>(jobs), 1.0,
+        [&] { results = sc::graph::execute_batch(g, plan, configs, session); },
+        batch_config);
+    bool identical = true;
+    if (baseline.empty()) {
+      baseline = std::move(results);
+    } else {
+      for (std::size_t j = 0; j < results.size(); ++j) {
+        if (results[j].streams != baseline[j].streams) {
+          identical = false;
+          break;
+        }
+      }
+    }
+    harness.exact_case("engine/graph_batch/t" +
+                           std::to_string(session.threads()) + "/identical",
+                       identical ? 1 : 0, batch_config);
+    all_identical = all_identical && identical;
+    const double rate = jobs / median_s;
+    if (batch_base_rate == 0.0) batch_base_rate = rate;
+    std::printf("  %-8u %-10.3f %-12.1f %-10.2f %s\n", session.threads(),
+                median_s, rate, rate / batch_base_rate,
+                identical ? "yes" : "NO (BUG)");
   }
   std::printf("\n");
 
   // --- workload 3: tiled image pipeline -------------------------------------
   const sc::img::Image scene = sc::img::Image::synthetic_scene(40, 40, 7);
-  std::vector<TileResult> tile_results;
   std::printf("tiled pipeline (40x40 scene, synchronizer variant):\n");
   std::printf("  %-8s %-10s %-12s %s\n", "threads", "seconds", "tiles/s",
               "mean abs err");
   for (const unsigned t : thread_counts) {
-    const TileResult r = run_tiled_pipeline(t, scene);
-    tile_results.push_back(r);
-    std::printf("  %-8u %-10.3f %-12.1f %.4f\n", r.threads, r.seconds,
-                r.tiles_per_s(), r.error);
+    sc::engine::Session session({t});
+    sc::img::PipelineConfig config;
+    config.tile = 10;
+    // One untimed run fixes the tile count (deterministic for this scene
+    // and tile size) so the case value is a true tiles/s.
+    sc::img::PipelineResult result = sc::img::run_pipeline_tiled(
+        scene, sc::img::Variant::kSynchronizer, config, session);
+    const double tiles = static_cast<double>(result.cost.tiles);
+    const double median_s = harness.time_case(
+        "engine/tiled_pipeline/t" + std::to_string(session.threads()),
+        "tiles_per_s", tiles, 1.0,
+        [&] {
+          result = sc::img::run_pipeline_tiled(
+              scene, sc::img::Variant::kSynchronizer, config, session);
+        },
+        "tile=10");
+    std::printf("  %-8u %-10.3f %-12.1f %.4f\n", session.threads(), median_s,
+                tiles / median_s, result.error);
   }
 
-  bool all_identical = true;
-  for (const BatchResult& r : batches) {
-    all_identical = all_identical && r.identical_to_baseline;
-  }
   if (!all_identical) {
     std::fprintf(stderr, "FAIL: batch results not thread-count invariant\n");
     return 1;
   }
-
-  if (!json_path.empty()) {
-    std::ofstream out(json_path);
-    out << "{\n"
-        << "  \"host\": " << sc::bench::host_json() << ",\n"
-        << "  \"hardware_threads\": " << hw << ",\n"
-        << "  \"chunked_stream\": {\n"
-        << "    \"bits\": " << stream.bits << ",\n"
-        << "    \"chunk_bits\": " << sc::engine::kDefaultChunkBits << ",\n"
-        << "    \"peak_buffer_bits\": " << stream.peak_buffer_bits << ",\n"
-        << "    \"seconds\": " << stream.seconds << ",\n"
-        << "    \"mbit_per_s\": " << stream.mbit_per_s() << ",\n"
-        << "    \"output_scc\": " << stream.scc << "\n"
-        << "  },\n"
-        << "  \"graph_batch\": {\n    \"jobs\": " << jobs
-        << ",\n    \"stream_length\": 4096,\n    \"per_thread\": [\n";
-    for (std::size_t i = 0; i < batches.size(); ++i) {
-      const BatchResult& r = batches[i];
-      out << "      {\"threads\": " << r.threads
-          << ", \"seconds\": " << r.seconds
-          << ", \"jobs_per_s\": " << r.jobs_per_s()
-          << ", \"identical\": " << (r.identical_to_baseline ? "true" : "false")
-          << "}" << (i + 1 < batches.size() ? "," : "") << "\n";
-    }
-    out << "    ]\n  },\n  \"tiled_pipeline\": {\n    \"per_thread\": [\n";
-    for (std::size_t i = 0; i < tile_results.size(); ++i) {
-      const TileResult& r = tile_results[i];
-      out << "      {\"threads\": " << r.threads
-          << ", \"seconds\": " << r.seconds
-          << ", \"tiles_per_s\": " << r.tiles_per_s() << "}"
-          << (i + 1 < tile_results.size() ? "," : "") << "\n";
-    }
-    out << "    ]\n  }\n}\n";
-    std::printf("\nwrote %s\n", json_path.c_str());
-  }
+  if (!harness.write_json()) return 1;
   return 0;
 }

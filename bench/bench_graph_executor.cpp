@@ -9,20 +9,22 @@
 /// advances that many bits), and every backend's outputs are verified
 /// bit-identical to the reference backend before any number is written.
 ///
-/// Usage: bench_graph_executor [--json PATH] [--bits LOG2] [--reps N]
-/// With --json the results are written as a machine-readable baseline
-/// (BENCH_graph.json in this repo tracks the perf trajectory across PRs).
+/// Harness bench (bench_harness.hpp).  Cases: graph_executor/<backend>
+/// (throughput, node-Mbit/s) and graph_executor/<backend>/identical
+/// (exact — cross-backend bit-identity, config-independent).
+///
+/// Usage: bench_graph_executor [--json PATH] [--reps N] [--warmup N]
+///        [--quick] [--bits LOG2]
 
 #include <array>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "bench_util.hpp"
+#include "bench_harness.hpp"
 #include "engine/session.hpp"
 #include "graph/backend.hpp"
 #include "graph/planner.hpp"
@@ -30,12 +32,6 @@
 #include "img/sc_pipeline.hpp"
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double seconds_since(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
 
 /// The reference workload: the §IV window program extended with the wider
 /// operator set so every evaluator family is on the clock.
@@ -63,30 +59,22 @@ sc::graph::Program bench_program() {
   return b.build();
 }
 
-struct BackendResult {
-  std::string name;
-  double seconds = 0.0;
-  double node_mbit_per_s = 0.0;
-  bool identical = true;
-};
-
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace sc::graph;
 
-  std::string json_path;
-  unsigned log2_bits = 16;
-  unsigned reps = 3;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-      json_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--bits") == 0 && i + 1 < argc) {
-      log2_bits = static_cast<unsigned>(std::atoi(argv[++i]));
-    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
-      reps = static_cast<unsigned>(std::atoi(argv[++i]));
+  sc::bench::HarnessOptions options;
+  std::vector<std::string> rest;
+  if (!sc::bench::parse_harness_options(argc, argv, &options, &rest)) return 2;
+  unsigned log2_bits = options.quick ? 14 : 16;
+  for (std::size_t i = 0; i < rest.size(); ++i) {
+    if (rest[i] == "--bits" && i + 1 < rest.size()) {
+      log2_bits = static_cast<unsigned>(std::atoi(rest[++i].c_str()));
     } else {
-      std::fprintf(stderr, "usage: %s [--json PATH] [--bits LOG2] [--reps N]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--json PATH] [--reps N] [--warmup N] [--quick] "
+                   "[--bits LOG2]\n",
                    argv[0]);
       return 2;
     }
@@ -97,10 +85,20 @@ int main(int argc, char** argv) {
   ExecConfig config;
   config.stream_length = std::size_t{1} << log2_bits;
   config.width = 16;
+  const std::string case_config = "bits=" + std::to_string(log2_bits);
+
+  sc::bench::Harness harness("graph_executor", options);
+  harness.set_meta("stream_bits",
+                   static_cast<std::uint64_t>(config.stream_length));
+  harness.set_meta("node_count",
+                   static_cast<std::uint64_t>(program.node_count()));
+  harness.set_meta("inserted_units",
+                   static_cast<std::uint64_t>(plan.inserted_units));
 
   std::printf("graph executor bench: %zu nodes, %zu inserted units, 2^%u "
-              "bits, %u reps\n\n",
-              program.node_count(), plan.inserted_units, log2_bits, reps);
+              "bits, median of %u reps\n\n",
+              program.node_count(), plan.inserted_units, log2_bits,
+              harness.options().reps);
 
   sc::engine::Session session({0});
   std::vector<std::unique_ptr<ExecutorBackend>> backends;
@@ -111,57 +109,35 @@ int main(int argc, char** argv) {
   const double node_bits = static_cast<double>(config.stream_length) *
                            static_cast<double>(program.node_count());
 
-  std::vector<BackendResult> results;
   ExecutionResult reference;
+  bool all_identical = true;
   for (const auto& backend : backends) {
-    BackendResult r;
-    r.name = backend->name();
     ExecutionResult last;
-    double best = 1e300;
-    for (unsigned rep = 0; rep < reps; ++rep) {
-      const auto start = Clock::now();
-      last = backend->run(program, plan, config);
-      best = std::min(best, seconds_since(start));
-    }
-    r.seconds = best;
-    r.node_mbit_per_s = node_bits / best / 1e6;
+    const double median_s = harness.time_case(
+        "graph_executor/" + backend->name(), "node_mbit_per_s", node_bits, 1e6,
+        [&] { last = backend->run(program, plan, config); }, case_config);
+    bool identical = true;
     if (reference.streams.empty()) {
       reference = last;
     } else {
       for (std::size_t s = 0; s < reference.streams.size(); ++s) {
         if (last.streams[s] != reference.streams[s]) {
-          r.identical = false;
+          identical = false;
           break;
         }
       }
     }
+    harness.exact_case("graph_executor/" + backend->name() + "/identical",
+                       identical ? 1 : 0);
+    all_identical = all_identical && identical;
     std::printf("  %-10s %8.3f ms   %8.1f node-Mbit/s   identical=%s\n",
-                r.name.c_str(), best * 1e3, r.node_mbit_per_s,
-                r.identical ? "yes" : "NO");
-    results.push_back(std::move(r));
+                backend->name().c_str(), median_s * 1e3,
+                node_bits / median_s / 1e6, identical ? "yes" : "NO");
   }
 
-  bool all_identical = true;
-  for (const BackendResult& r : results) all_identical &= r.identical;
   std::printf("\nmean |error| vs exact: %.5f; backends bit-identical: %s\n",
               reference.mean_abs_error, all_identical ? "yes" : "NO");
 
-  if (!json_path.empty()) {
-    std::ofstream out(json_path);
-    out << "{\n  \"host\": " << sc::bench::host_json()
-        << ",\n  \"stream_bits\": " << config.stream_length
-        << ",\n  \"node_count\": " << program.node_count()
-        << ",\n  \"inserted_units\": " << plan.inserted_units
-        << ",\n  \"reps\": " << reps << ",\n  \"backends\": [\n";
-    for (std::size_t i = 0; i < results.size(); ++i) {
-      const BackendResult& r = results[i];
-      out << "    {\"name\": \"" << r.name << "\", \"node_mbit_per_s\": "
-          << r.node_mbit_per_s << ", \"identical\": "
-          << (r.identical ? "true" : "false") << "}"
-          << (i + 1 < results.size() ? "," : "") << "\n";
-    }
-    out << "  ]\n}\n";
-    std::printf("wrote %s\n", json_path.c_str());
-  }
+  if (!harness.write_json()) return 1;
   return all_identical ? 0 : 1;
 }

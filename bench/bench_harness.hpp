@@ -1,0 +1,327 @@
+/// \file bench_harness.hpp
+/// The unified benchmark harness: one methodology and one JSON schema for
+/// every throughput-style bench in the repo.
+///
+/// The 19 ad-hoc bench binaries grew 19 slightly different timing loops —
+/// "best of 3" with no warmup, which is how BENCH_obs.json once recorded
+/// *negative* telemetry overheads.  This harness pins the methodology:
+///
+///  * named cases — every number has a stable, slash-separated identity
+///    ("kernel_fsm/decorrelator/kernel") the regression gate keys on,
+///  * warmup iterations (discarded) before `reps >= 10` timed repetitions,
+///  * median + MAD (median absolute deviation) instead of min/mean: the
+///    median ignores the occasional descheduled rep, and the MAD is the
+///    per-case noise floor tools/bench_compare.py uses as tolerance,
+///  * outlier flagging: reps more than 5 scaled MADs off the median are
+///    counted (and reported) but never silently discarded,
+///  * the host/build stamp (bench_util.hpp) on every file, so numbers
+///    from different machines or build types are never compared blindly.
+///
+/// Schema ("sc-bench-v1"): {"schema", "bench", "host", "options",
+/// "meta", "cases": [{"name", "unit", "kind", "value", "higher_is_better",
+/// "severity", "config", "median_seconds", "mad_seconds", "reps",
+/// "outliers", "rep_seconds"}]}.  Case kinds:
+///
+///   throughput  timed; value derived from work/median-seconds; compared
+///               with a relative tolerance (noise-aware),
+///   percent     derived percentage (e.g. telemetry overhead); compared
+///               with an absolute tolerance in percentage points,
+///   value       deterministic number (modeled area, measured error);
+///               compared with a tiny relative epsilon,
+///   exact       integer/bool contract (corrections count, bit-identity);
+///               any change is a failure.
+///
+/// `severity` ("warn" | "fail") tells the gate whether a miss fails CI or
+/// warns (throughput on the 1-hw-thread CI host is warn-only; overheads
+/// and exact contracts hard-fail).  `config` names the knob settings a
+/// case depends on ("bits=16"); the gate only compares cases whose config
+/// matches the baseline, so a --quick run still gates every
+/// config-independent contract.
+
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.hpp"
+
+namespace sc::bench {
+
+struct RepStats {
+  double median = 0.0;
+  double mad = 0.0;  ///< raw median absolute deviation (same unit as input)
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t outliers = 0;  ///< |x - median| > 5 * 1.4826 * MAD (MAD > 0)
+};
+
+inline double median_of(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const std::size_t n = xs.size();
+  return n % 2 == 1 ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+inline RepStats robust_stats(const std::vector<double>& xs) {
+  RepStats s;
+  if (xs.empty()) return s;
+  s.median = median_of(xs);
+  s.min = *std::min_element(xs.begin(), xs.end());
+  s.max = *std::max_element(xs.begin(), xs.end());
+  std::vector<double> deviations;
+  deviations.reserve(xs.size());
+  for (const double x : xs) deviations.push_back(std::fabs(x - s.median));
+  s.mad = median_of(deviations);
+  if (s.mad > 0.0) {
+    // 1.4826 scales the MAD to a Gaussian sigma; 5 sigmas flags genuine
+    // disturbances, not tail noise.
+    const double cutoff = 5.0 * 1.4826 * s.mad;
+    for (const double d : deviations) s.outliers += d > cutoff ? 1 : 0;
+  }
+  return s;
+}
+
+struct CaseResult {
+  std::string name;
+  std::string unit;           ///< "mbit_per_s", "pct", "count", ...
+  std::string kind;           ///< throughput | percent | value | exact
+  std::string severity;       ///< warn | fail
+  std::string config;         ///< knob settings the value depends on
+  bool higher_is_better = true;
+  double value = 0.0;
+  RepStats seconds;           ///< timed kinds only (all zero otherwise)
+  std::vector<double> rep_seconds;
+};
+
+struct HarnessOptions {
+  unsigned reps = 10;    ///< timed repetitions (the methodology floor)
+  unsigned warmup = 2;   ///< discarded warmup repetitions
+  bool quick = false;    ///< benches may shrink their workload knobs
+  std::string json_path;
+};
+
+/// Parses the harness's shared flags out of argv, leaving unrecognized
+/// flags for the bench (returns false + usage on malformed input).
+/// Shared flags: --json PATH, --reps N, --warmup N, --quick.
+inline bool parse_harness_options(int argc, char** argv,
+                                  HarnessOptions* options,
+                                  std::vector<std::string>* rest) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      options->json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      options->reps = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--warmup") == 0 && i + 1 < argc) {
+      options->warmup = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      options->quick = true;
+      if (options->reps > 5) options->reps = 5;
+      if (options->warmup > 1) options->warmup = 1;
+    } else {
+      rest->push_back(argv[i]);
+    }
+  }
+  return options->reps >= 1;
+}
+
+class Harness {
+ public:
+  Harness(std::string bench_name, HarnessOptions options)
+      : bench_name_(std::move(bench_name)), options_(std::move(options)) {}
+
+  const HarnessOptions& options() const { return options_; }
+
+  /// Workload metadata recorded verbatim into the JSON "meta" object
+  /// (value must already be valid JSON: numbers as-is, strings quoted).
+  void set_meta(const std::string& key, const std::string& json_value) {
+    meta_[key] = json_value;
+  }
+  void set_meta(const std::string& key, std::uint64_t v) {
+    meta_[key] = std::to_string(v);
+  }
+
+  /// Times fn() `warmup + reps` times; the case value is
+  /// work / median_seconds / scale (e.g. work=bits, scale=1e6 ->
+  /// Mbit/s).  Returns the median seconds for derived computations.
+  double time_case(const std::string& name, const std::string& unit,
+                   double work, double scale,
+                   const std::function<void()>& fn,
+                   const std::string& config = "",
+                   const std::string& severity = "warn") {
+    using Clock = std::chrono::steady_clock;
+    for (unsigned i = 0; i < options_.warmup; ++i) fn();
+    std::vector<double> reps;
+    reps.reserve(options_.reps);
+    for (unsigned i = 0; i < options_.reps; ++i) {
+      const auto start = Clock::now();
+      fn();
+      reps.push_back(std::chrono::duration<double>(Clock::now() - start).count());
+    }
+    CaseResult result;
+    result.name = name;
+    result.unit = unit;
+    result.kind = "throughput";
+    result.severity = severity;
+    result.config = config;
+    result.seconds = robust_stats(reps);
+    result.rep_seconds = std::move(reps);
+    result.value = result.seconds.median > 0.0
+                       ? work / result.seconds.median / scale
+                       : 0.0;
+    cases_.push_back(std::move(result));
+    return cases_.back().seconds.median;
+  }
+
+  /// Records a throughput case from externally-timed repetitions — for
+  /// benches that must interleave several cases' reps (round-robin A/B
+  /// timing) so clock-frequency drift hits every case equally instead of
+  /// biasing whichever case was timed first.  Statistics and JSON are
+  /// identical to time_case.  Returns the median seconds.
+  double submit_case(const std::string& name, const std::string& unit,
+                     double work, double scale, std::vector<double> reps,
+                     const std::string& config = "",
+                     const std::string& severity = "warn") {
+    CaseResult result;
+    result.name = name;
+    result.unit = unit;
+    result.kind = "throughput";
+    result.severity = severity;
+    result.config = config;
+    result.seconds = robust_stats(reps);
+    result.rep_seconds = std::move(reps);
+    result.value = result.seconds.median > 0.0
+                       ? work / result.seconds.median / scale
+                       : 0.0;
+    cases_.push_back(std::move(result));
+    return cases_.back().seconds.median;
+  }
+
+  /// Derived percentage (e.g. overhead vs a baseline case): hard-fail by
+  /// default — percentages are what the regression gate exists for.
+  void percent_case(const std::string& name, double value,
+                    bool higher_is_better = false,
+                    const std::string& config = "",
+                    const std::string& severity = "fail") {
+    CaseResult result;
+    result.name = name;
+    result.unit = "pct";
+    result.kind = "percent";
+    result.severity = severity;
+    result.config = config;
+    result.higher_is_better = higher_is_better;
+    result.value = value;
+    cases_.push_back(std::move(result));
+  }
+
+  /// Deterministic numeric result (modeled area, measured error).
+  void value_case(const std::string& name, const std::string& unit,
+                  double value, bool higher_is_better = false,
+                  const std::string& config = "",
+                  const std::string& severity = "fail") {
+    CaseResult result;
+    result.name = name;
+    result.unit = unit;
+    result.kind = "value";
+    result.severity = severity;
+    result.config = config;
+    result.higher_is_better = higher_is_better;
+    result.value = value;
+    cases_.push_back(std::move(result));
+  }
+
+  /// Integer/bool contract: any drift is schema drift.
+  void exact_case(const std::string& name, std::uint64_t value,
+                  const std::string& config = "") {
+    CaseResult result;
+    result.name = name;
+    result.unit = "count";
+    result.kind = "exact";
+    result.severity = "fail";
+    result.config = config;
+    result.value = static_cast<double>(value);
+    cases_.push_back(std::move(result));
+  }
+
+  const std::vector<CaseResult>& cases() const { return cases_; }
+
+  [[nodiscard]] const CaseResult* find(const std::string& name) const {
+    for (const CaseResult& c : cases_) {
+      if (c.name == name) return &c;
+    }
+    return nullptr;
+  }
+
+  /// Writes the sc-bench-v1 document; no-op (returns true) without
+  /// --json.  Returns false if the file could not be written.
+  bool write_json() const {
+    if (options_.json_path.empty()) return true;
+    std::ofstream out(options_.json_path, std::ios::trunc);
+    if (!out) return false;
+    out << to_json();
+    std::printf("wrote %s\n", options_.json_path.c_str());
+    return out.good();
+  }
+
+  [[nodiscard]] std::string to_json() const {
+    std::string out;
+    out += "{\n  \"schema\": \"sc-bench-v1\",\n  \"bench\": \"" + bench_name_ +
+           "\",\n  \"host\": " + host_json() + ",\n  \"options\": {\"reps\": " +
+           std::to_string(options_.reps) +
+           ", \"warmup\": " + std::to_string(options_.warmup) +
+           ", \"quick\": " + (options_.quick ? "true" : "false") + "},\n";
+    out += "  \"meta\": {";
+    bool first = true;
+    for (const auto& [key, value] : meta_) {
+      out += first ? "" : ", ";
+      out += "\"" + key + "\": " + value;
+      first = false;
+    }
+    out += "},\n  \"cases\": [\n";
+    for (std::size_t i = 0; i < cases_.size(); ++i) {
+      const CaseResult& c = cases_[i];
+      char buf[256];
+      out += "    {\"name\": \"" + c.name + "\", \"unit\": \"" + c.unit +
+             "\", \"kind\": \"" + c.kind + "\", \"severity\": \"" +
+             c.severity + "\", \"config\": \"" + c.config + "\"";
+      std::snprintf(buf, sizeof(buf),
+                    ", \"higher_is_better\": %s, \"value\": %.6g",
+                    c.higher_is_better ? "true" : "false", c.value);
+      out += buf;
+      if (c.kind == "throughput") {
+        std::snprintf(buf, sizeof(buf),
+                      ", \"median_seconds\": %.6g, \"mad_seconds\": %.6g, "
+                      "\"reps\": %zu, \"outliers\": %zu, \"rep_seconds\": [",
+                      c.seconds.median, c.seconds.mad, c.rep_seconds.size(),
+                      c.seconds.outliers);
+        out += buf;
+        for (std::size_t r = 0; r < c.rep_seconds.size(); ++r) {
+          std::snprintf(buf, sizeof(buf), "%s%.6g", r == 0 ? "" : ", ",
+                        c.rep_seconds[r]);
+          out += buf;
+        }
+        out += "]";
+      }
+      out += "}";
+      out += i + 1 < cases_.size() ? ",\n" : "\n";
+    }
+    out += "  ]\n}\n";
+    return out;
+  }
+
+ private:
+  std::string bench_name_;
+  HarnessOptions options_;
+  std::map<std::string, std::string> meta_;
+  std::vector<CaseResult> cases_;
+};
+
+}  // namespace sc::bench

@@ -9,20 +9,23 @@
 /// whether the two runs produced identical overlap statistics (they must:
 /// the kernels are bit-identical by construction and by test).
 ///
-/// Usage: bench_kernel_fsm [--json PATH] [--bits LOG2] [--reps N]
-/// With --json the results are written as a machine-readable baseline
-/// (BENCH_kernels.json in this repo tracks the perf trajectory across PRs).
+/// Harness bench (bench_harness.hpp): median-of-reps timing with warmup,
+/// sc-bench-v1 JSON.  Cases: kernel_fsm/<circuit>/{serial,kernel}
+/// (throughput, Mbit/s) and kernel_fsm/<circuit>/identical (exact — the
+/// bit-identity contract the regression gate hard-fails on).
+///
+/// Usage: bench_kernel_fsm [--json PATH] [--reps N] [--warmup N]
+///        [--quick] [--bits LOG2]
 
-#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
-#include "bench_util.hpp"
+#include "bench_harness.hpp"
 #include "core/decorrelator.hpp"
 #include "core/desynchronizer.hpp"
 #include "core/synchronizer.hpp"
@@ -32,68 +35,25 @@
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
 using sc::engine::KernelPolicy;
 
-struct CircuitResult {
-  std::string name;
-  std::size_t bits = 0;
-  double serial_seconds = 0.0;
-  double kernel_seconds = 0.0;
-  bool identical = true;
-
-  double serial_mbit_per_s() const { return bits / serial_seconds / 1e6; }
-  double kernel_mbit_per_s() const { return bits / kernel_seconds / 1e6; }
-  double speedup() const { return serial_seconds / kernel_seconds; }
-};
-
-/// One timed chunked run of `make_transform()` over pre-materialized input
+/// One chunked run of `make_transform()` over pre-materialized input
 /// streams (so the measurement isolates FSM throughput; input generation
 /// is identical for both policies and would only compress the ratio).
-/// Returns elapsed seconds; `counts` receives the joint overlap statistics
-/// for the identity check between policies.
-double run_once(const std::function<std::unique_ptr<sc::core::PairTransform>()>&
-                    make_transform,
-                const sc::Bitstream& x, const sc::Bitstream& y,
-                KernelPolicy policy, sc::OverlapCounts* counts) {
+/// `counts` receives the joint overlap statistics for the identity check
+/// between policies.
+void run_once(const std::function<std::unique_ptr<sc::core::PairTransform>()>&
+                  make_transform,
+              const sc::Bitstream& x, const sc::Bitstream& y,
+              KernelPolicy policy, sc::OverlapCounts* counts) {
   using namespace sc;
   engine::BitstreamChunkSource sx(x);
   engine::BitstreamChunkSource sy(y);
   const std::unique_ptr<core::PairTransform> transform = make_transform();
   engine::PairStatsSink sink;
-  const auto start = Clock::now();
   engine::run_chunked_pair(sx, sy, transform.get(), sink,
                            engine::kDefaultChunkBits, policy);
-  const double seconds =
-      std::chrono::duration<double>(Clock::now() - start).count();
   *counts = sink.counts();
-  return seconds;
-}
-
-CircuitResult bench_circuit(
-    const std::string& name,
-    const std::function<std::unique_ptr<sc::core::PairTransform>()>&
-        make_transform,
-    const sc::Bitstream& x, const sc::Bitstream& y, unsigned reps) {
-  CircuitResult r;
-  r.name = name;
-  r.bits = x.size();
-  sc::OverlapCounts serial_counts;
-  sc::OverlapCounts kernel_counts;
-  // Keep the fastest of `reps` runs per policy (steady-state timing).
-  for (unsigned i = 0; i < reps; ++i) {
-    const double s =
-        run_once(make_transform, x, y, KernelPolicy::kSerial, &serial_counts);
-    if (i == 0 || s < r.serial_seconds) r.serial_seconds = s;
-    const double k =
-        run_once(make_transform, x, y, KernelPolicy::kAuto, &kernel_counts);
-    if (i == 0 || k < r.kernel_seconds) r.kernel_seconds = k;
-  }
-  r.identical = serial_counts.a == kernel_counts.a &&
-                serial_counts.b == kernel_counts.b &&
-                serial_counts.c == kernel_counts.c &&
-                serial_counts.d == kernel_counts.d;
-  return r;
 }
 
 }  // namespace
@@ -101,30 +61,24 @@ CircuitResult bench_circuit(
 int main(int argc, char** argv) {
   using namespace sc;
 
-  std::string json_path;
-  unsigned log2_bits = 23;
-  unsigned reps = 3;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-      json_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--bits") == 0 && i + 1 < argc) {
-      log2_bits = static_cast<unsigned>(std::atoi(argv[++i]));
-    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
-      reps = static_cast<unsigned>(std::atoi(argv[++i]));
+  bench::HarnessOptions options;
+  std::vector<std::string> rest;
+  if (!bench::parse_harness_options(argc, argv, &options, &rest)) return 2;
+  unsigned log2_bits = options.quick ? 20 : 23;
+  for (std::size_t i = 0; i < rest.size(); ++i) {
+    if (rest[i] == "--bits" && i + 1 < rest.size()) {
+      log2_bits = static_cast<unsigned>(std::atoi(rest[++i].c_str()));
     } else {
-      std::fprintf(stderr, "usage: %s [--json PATH] [--bits LOG2] [--reps N]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--json PATH] [--reps N] [--warmup N] [--quick] "
+                   "[--bits LOG2 (6..32)]\n",
                    argv[0]);
       return 2;
     }
   }
-  if (log2_bits < 6 || log2_bits > 32 || reps == 0) {
-    std::fprintf(stderr,
-                 "usage: %s [--json PATH] [--bits LOG2 (6..32)] "
-                 "[--reps N (>= 1)]\n",
-                 argv[0]);
-    return 2;
-  }
+  if (log2_bits < 6 || log2_bits > 32) return 2;
   const std::size_t bits = std::size_t{1} << log2_bits;
+  const std::string config = "bits=" + std::to_string(log2_bits);
 
   const std::vector<
       std::pair<std::string,
@@ -170,21 +124,46 @@ int main(int argc, char** argv) {
     input_y = collect.stream_y();
   }
 
-  std::printf("kernel FSM bench: 2^%u bits per circuit, best of %u reps\n\n",
-              log2_bits, reps);
+  bench::Harness harness("kernel_fsm", options);
+  harness.set_meta("bits_per_circuit", static_cast<std::uint64_t>(bits));
+  harness.set_meta("chunk_bits",
+                   static_cast<std::uint64_t>(engine::kDefaultChunkBits));
+
+  std::printf("kernel FSM bench: 2^%u bits per circuit, median of %u reps\n\n",
+              log2_bits, harness.options().reps);
   std::printf("  %-16s %-14s %-14s %-9s %s\n", "circuit", "serial Mbit/s",
               "kernel Mbit/s", "speedup", "identical");
 
-  std::vector<CircuitResult> results;
   bool all_identical = true;
   for (const auto& [name, make_transform] : circuits) {
-    const CircuitResult r =
-        bench_circuit(name, make_transform, input_x, input_y, reps);
-    std::printf("  %-16s %-14.2f %-14.2f %-9.2f %s\n", r.name.c_str(),
-                r.serial_mbit_per_s(), r.kernel_mbit_per_s(), r.speedup(),
-                r.identical ? "yes" : "NO (BUG)");
-    all_identical = all_identical && r.identical;
-    results.push_back(r);
+    sc::OverlapCounts serial_counts;
+    sc::OverlapCounts kernel_counts;
+    const double serial_s = harness.time_case(
+        "kernel_fsm/" + name + "/serial", "mbit_per_s",
+        static_cast<double>(bits), 1e6,
+        [&] {
+          run_once(make_transform, input_x, input_y, KernelPolicy::kSerial,
+                   &serial_counts);
+        },
+        config);
+    const double kernel_s = harness.time_case(
+        "kernel_fsm/" + name + "/kernel", "mbit_per_s",
+        static_cast<double>(bits), 1e6,
+        [&] {
+          run_once(make_transform, input_x, input_y, KernelPolicy::kAuto,
+                   &kernel_counts);
+        },
+        config);
+    const bool identical = serial_counts.a == kernel_counts.a &&
+                           serial_counts.b == kernel_counts.b &&
+                           serial_counts.c == kernel_counts.c &&
+                           serial_counts.d == kernel_counts.d;
+    // Bit-identity is config-independent: a --quick run still gates it.
+    harness.exact_case("kernel_fsm/" + name + "/identical", identical ? 1 : 0);
+    all_identical = all_identical && identical;
+    std::printf("  %-16s %-14.2f %-14.2f %-9.2f %s\n", name.c_str(),
+                bits / serial_s / 1e6, bits / kernel_s / 1e6,
+                serial_s / kernel_s, identical ? "yes" : "NO (BUG)");
   }
 
   if (!all_identical) {
@@ -192,24 +171,6 @@ int main(int argc, char** argv) {
                  "FAIL: kernel path diverged from the bit-serial FSMs\n");
     return 1;
   }
-
-  if (!json_path.empty()) {
-    std::ofstream out(json_path);
-    out << "{\n  \"host\": " << sc::bench::host_json()
-        << ",\n  \"bits_per_circuit\": " << bits
-        << ",\n  \"chunk_bits\": " << engine::kDefaultChunkBits
-        << ",\n  \"reps\": " << reps << ",\n  \"circuits\": [\n";
-    for (std::size_t i = 0; i < results.size(); ++i) {
-      const CircuitResult& r = results[i];
-      out << "    {\"name\": \"" << r.name
-          << "\", \"serial_mbit_per_s\": " << r.serial_mbit_per_s()
-          << ", \"kernel_mbit_per_s\": " << r.kernel_mbit_per_s()
-          << ", \"speedup\": " << r.speedup()
-          << ", \"identical\": " << (r.identical ? "true" : "false") << "}"
-          << (i + 1 < results.size() ? "," : "") << "\n";
-    }
-    out << "  ]\n}\n";
-    std::printf("\nwrote %s\n", json_path.c_str());
-  }
+  if (!harness.write_json()) return 1;
   return 0;
 }

@@ -1,6 +1,6 @@
 /// \file bench_opt_savings.cpp
 /// Optimizer savings baseline: corrections saved, modeled-area delta, and
-/// optimize-time per node on reference workloads.
+/// optimize throughput on reference workloads.
 ///
 /// Workloads:
 ///   fanout-16  — one input fanned to all 16 copies of a product operator:
@@ -18,19 +18,24 @@
 /// written; the bench exits nonzero on divergence or if the optimizer
 /// fails to lower the modeled area of the fan-out workload.
 ///
-/// Usage: bench_opt_savings [--json PATH] [--bits LOG2] [--reps N]
-/// (BENCH_opt.json in this repo tracks the baseline across PRs.)
+/// Harness bench (bench_harness.hpp).  Cases per workload:
+/// opt/<name>/optimize (throughput, nodes/s), opt/<name>/corrections_
+/// {before,after} (exact — the chain-rewrite contract), opt/<name>/
+/// area_{before,after}_um2 and error bounds and measured errors (value —
+/// deterministic, tight epsilon), opt/<name>/identical (exact); plus the
+/// Pareto sweep opt/pareto/budget_<b>/* value + exact cases.
+///
+/// Usage: bench_opt_savings [--json PATH] [--reps N] [--warmup N]
+///        [--quick] [--bits LOG2]
 
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
 
-#include "bench_util.hpp"
+#include "bench_harness.hpp"
 #include "graph/backend.hpp"
 #include "graph/planner.hpp"
 #include "graph/program.hpp"
@@ -45,13 +50,8 @@
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
 using namespace sc::graph;
 using fixtures::fanout16_program;
-
-double seconds_since(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
 
 Program siblings_program() {
   GraphBuilder b;
@@ -78,54 +78,39 @@ Program window_program() {
 }
 
 struct WorkloadResult {
-  std::string name;
-  std::size_t nodes = 0;
   std::size_t corrections_before = 0;
   std::size_t corrections_after = 0;
   double area_before_um2 = 0.0;
   double area_after_um2 = 0.0;
-  double optimize_us_per_node = 0.0;
-  /// Predicted per-output |error| bounds (analysis::plan_error) of the
-  /// incoming and optimized plans — the static counterpart of the
-  /// measured err_* columns below.
   double error_before = 0.0;
   double error_after = 0.0;
   double err_unoptimized = 0.0;
   double err_optimized = 0.0;
   bool backends_identical = true;
-
-  double area_delta_pct() const {
-    return area_before_um2 == 0.0
-               ? 0.0
-               : 100.0 * (area_after_um2 - area_before_um2) / area_before_um2;
-  }
 };
 
-WorkloadResult run_workload(const std::string& name, const Program& program,
-                            std::size_t stream_length, unsigned reps) {
+WorkloadResult run_workload(sc::bench::Harness& harness,
+                            const std::string& name, const Program& program,
+                            std::size_t stream_length,
+                            const std::string& case_config) {
   const ProgramPlan plan = plan_program(program, Strategy::kManipulation);
 
   sc::opt::OptConfig opt_config;
   opt_config.error_stream_length = stream_length;
-  double best = 1e300;
   sc::opt::OptResult optimized;
-  for (unsigned rep = 0; rep < reps; ++rep) {
-    const auto start = Clock::now();
-    optimized = sc::opt::optimize(program, plan, opt_config);
-    best = std::min(best, seconds_since(start));
-  }
+  harness.time_case("opt/" + name + "/optimize", "nodes_per_s",
+                    static_cast<double>(program.node_count()), 1.0,
+                    [&] { optimized = sc::opt::optimize(program, plan,
+                                                        opt_config); },
+                    case_config);
 
   WorkloadResult result;
-  result.name = name;
-  result.nodes = program.node_count();
   result.corrections_before = plan.inserted_units;
   result.corrections_after = optimized.plan.inserted_units;
   result.area_before_um2 = optimized.area_before_um2;
   result.area_after_um2 = optimized.area_after_um2;
   result.error_before = optimized.error_before;
   result.error_after = optimized.error_after;
-  result.optimize_us_per_node =
-      best * 1e6 / static_cast<double>(program.node_count());
 
   ExecConfig config;
   config.stream_length = stream_length;
@@ -149,92 +134,79 @@ WorkloadResult run_workload(const std::string& name, const Program& program,
       }
     }
   }
+
+  // Corrections counts are plan contracts (config-independent); areas and
+  // errors are deterministic at a fixed stream length.
+  harness.exact_case("opt/" + name + "/corrections_before",
+                     result.corrections_before);
+  harness.exact_case("opt/" + name + "/corrections_after",
+                     result.corrections_after);
+  harness.exact_case("opt/" + name + "/identical",
+                     result.backends_identical ? 1 : 0);
+  harness.value_case("opt/" + name + "/area_before_um2", "um2",
+                     result.area_before_um2, false, case_config);
+  harness.value_case("opt/" + name + "/area_after_um2", "um2",
+                     result.area_after_um2, false, case_config);
+  harness.value_case("opt/" + name + "/error_bound_after", "abs_error",
+                     result.error_after, false, case_config);
+  harness.value_case("opt/" + name + "/err_optimized", "abs_error",
+                     result.err_optimized, false, case_config);
   return result;
-}
-
-/// One point of the Pareto sweep: the fan-out workload optimized under a
-/// caller-declared error budget.  The tight budget must roll the chain
-/// rewrite back (area stays, accuracy stays), the loose one must keep it
-/// (area drops, predicted + measured error rise), and the unbudgeted run
-/// reproduces the legacy area-only gate.
-struct ParetoPoint {
-  double error_budget = 0.0;  // 0 = unbudgeted (infinity)
-  std::size_t corrections = 0;
-  double area_um2 = 0.0;
-  double predicted_error = 0.0;
-  double measured_error = 0.0;
-};
-
-std::vector<ParetoPoint> pareto_sweep(const Program& program,
-                                      std::size_t stream_length) {
-  const ProgramPlan plan = plan_program(program, Strategy::kManipulation);
-  const double budgets[] = {0.03, 0.10, 0.0};
-  std::vector<ParetoPoint> points;
-  for (const double budget : budgets) {
-    sc::opt::OptConfig config;
-    config.error_stream_length = stream_length;
-    if (budget > 0.0) config.error_budget = budget;
-    const sc::opt::OptResult optimized =
-        sc::opt::optimize(program, plan, config);
-    ExecConfig exec;
-    exec.stream_length = stream_length;
-    ParetoPoint point;
-    point.error_budget = budget;
-    point.corrections = optimized.plan.inserted_units;
-    point.area_um2 = optimized.area_after_um2;
-    point.predicted_error = optimized.error_after;
-    point.measured_error =
-        make_backend(BackendKind::kKernel)
-            ->run(optimized.program, optimized.plan, exec)
-            .mean_abs_error;
-    points.push_back(point);
-  }
-  return points;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string json_path;
+  sc::bench::HarnessOptions options;
+  std::vector<std::string> rest;
+  if (!sc::bench::parse_harness_options(argc, argv, &options, &rest)) return 2;
+  // The 0.03/0.10 Pareto contract is calibrated at N=4096; --quick keeps
+  // it (the workloads are small, the reps cut is the savings).
   unsigned log2_bits = 12;
-  unsigned reps = 5;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-      json_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--bits") == 0 && i + 1 < argc) {
-      log2_bits = static_cast<unsigned>(std::atoi(argv[++i]));
-    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
-      reps = static_cast<unsigned>(std::atoi(argv[++i]));
+  for (std::size_t i = 0; i < rest.size(); ++i) {
+    if (rest[i] == "--bits" && i + 1 < rest.size()) {
+      log2_bits = static_cast<unsigned>(std::atoi(rest[++i].c_str()));
     } else {
-      std::fprintf(stderr, "usage: %s [--json PATH] [--bits LOG2] [--reps N]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--json PATH] [--reps N] [--warmup N] [--quick] "
+                   "[--bits LOG2]\n",
                    argv[0]);
       return 2;
     }
   }
   const std::size_t stream_length = std::size_t{1} << log2_bits;
+  const std::string case_config = "bits=" + std::to_string(log2_bits);
 
-  std::printf("optimizer savings bench: 2^%u bits, %u reps\n\n", log2_bits,
-              reps);
+  sc::bench::Harness harness("opt_savings", options);
+  harness.set_meta("stream_bits", static_cast<std::uint64_t>(stream_length));
+
+  std::printf("optimizer savings bench: 2^%u bits, median of %u reps\n\n",
+              log2_bits, harness.options().reps);
+
+  const std::vector<std::pair<std::string, Program>> workloads = {
+      {"fanout-16", fanout16_program()},
+      {"siblings", siblings_program()},
+      {"window", window_program()},
+  };
   std::vector<WorkloadResult> results;
-  results.push_back(
-      run_workload("fanout-16", fanout16_program(), stream_length, reps));
-  results.push_back(
-      run_workload("siblings", siblings_program(), stream_length, reps));
-  results.push_back(
-      run_workload("window", window_program(), stream_length, reps));
-
   bool ok = true;
-  for (const WorkloadResult& r : results) {
+  for (const auto& [name, program] : workloads) {
+    const WorkloadResult r =
+        run_workload(harness, name, program, stream_length, case_config);
     std::printf(
         "  %-10s %3zu nodes  corrections %3zu -> %3zu  area %9.1f -> %9.1f "
-        "um2 (%+6.1f%%)  opt %6.2f us/node  bound %.4f -> %.4f  |err| %.4f "
-        "-> %.4f  identical=%s\n",
-        r.name.c_str(), r.nodes, r.corrections_before, r.corrections_after,
-        r.area_before_um2, r.area_after_um2, r.area_delta_pct(),
-        r.optimize_us_per_node, r.error_before, r.error_after,
-        r.err_unoptimized, r.err_optimized,
+        "um2 (%+6.1f%%)  bound %.4f -> %.4f  |err| %.4f -> %.4f  "
+        "identical=%s\n",
+        name.c_str(), program.node_count(), r.corrections_before,
+        r.corrections_after, r.area_before_um2, r.area_after_um2,
+        r.area_before_um2 == 0.0
+            ? 0.0
+            : 100.0 * (r.area_after_um2 - r.area_before_um2) /
+                  r.area_before_um2,
+        r.error_before, r.error_after, r.err_unoptimized, r.err_optimized,
         r.backends_identical ? "yes" : "NO");
     ok &= r.backends_identical;
+    results.push_back(r);
   }
   // The acceptance bar: the chain pass must lower the fan-out design's
   // modeled area (15 chain links instead of 120 pairwise decorrelators).
@@ -243,65 +215,57 @@ int main(int argc, char** argv) {
         results[0].corrections_before == 120;
 
   // Pareto sweep over error budgets on the fan-out workload: area vs
-  // predicted vs measured accuracy of the multi-objective gate.
-  const std::vector<ParetoPoint> pareto =
-      pareto_sweep(fanout16_program(), stream_length);
+  // predicted vs measured accuracy of the multi-objective gate.  The
+  // tight budget must roll the chain rewrite back, the loose one keep it,
+  // and the unbudgeted run reproduces the legacy area-only gate.
+  const Program fanout = fanout16_program();
+  const ProgramPlan fanout_plan = plan_program(fanout, Strategy::kManipulation);
+  const double budgets[] = {0.03, 0.10, 0.0};
+  std::vector<std::size_t> pareto_corrections;
+  std::vector<double> pareto_measured;
+  std::vector<double> pareto_area;
   std::printf("\n  pareto (fanout-16):\n");
-  for (const ParetoPoint& p : pareto) {
+  for (const double budget : budgets) {
+    sc::opt::OptConfig config;
+    config.error_stream_length = stream_length;
+    if (budget > 0.0) config.error_budget = budget;
+    const sc::opt::OptResult optimized =
+        sc::opt::optimize(fanout, fanout_plan, config);
+    ExecConfig exec;
+    exec.stream_length = stream_length;
+    const double measured =
+        make_backend(BackendKind::kKernel)
+            ->run(optimized.program, optimized.plan, exec)
+            .mean_abs_error;
+    const std::string tag =
+        budget > 0.0 ? std::to_string(budget).substr(0, 4) : "none";
+    harness.exact_case("opt/pareto/budget_" + tag + "/corrections",
+                       optimized.plan.inserted_units, case_config);
+    harness.value_case("opt/pareto/budget_" + tag + "/measured_error",
+                       "abs_error", measured, false, case_config);
     std::printf(
         "    error budget %-5s  corrections %3zu  area %9.1f um2  "
         "predicted |error| %.4f  measured %.4f\n",
-        p.error_budget > 0.0 ? std::to_string(p.error_budget).substr(0, 4).c_str()
-                             : "none",
-        p.corrections, p.area_um2, p.predicted_error, p.measured_error);
+        tag.c_str(), optimized.plan.inserted_units, optimized.area_after_um2,
+        optimized.error_after, measured);
     // Soundness at every point: the static bound covers the measurement.
-    ok &= p.measured_error <= p.predicted_error;
+    ok &= measured <= optimized.error_after;
+    pareto_corrections.push_back(optimized.plan.inserted_units);
+    pareto_measured.push_back(measured);
+    pareto_area.push_back(optimized.area_after_um2);
   }
   if (stream_length == 4096) {
     // At the calibrated operating point the 0.03 budget must reject the
     // chain rewrite (pairwise plan survives: 120 corrections, larger
     // area, lower error) and the 0.10 budget must accept it.
-    ok &= pareto[0].corrections == 120 && pareto[1].corrections == 15;
-    ok &= pareto[0].area_um2 > pareto[1].area_um2;
-    ok &= pareto[0].measured_error < pareto[1].measured_error;
+    ok &= pareto_corrections[0] == 120 && pareto_corrections[1] == 15;
+    ok &= pareto_area[0] > pareto_area[1];
+    ok &= pareto_measured[0] < pareto_measured[1];
     // Unbudgeted behaves like the legacy area-only gate.
-    ok &= pareto[2].corrections == pareto[1].corrections;
+    ok &= pareto_corrections[2] == pareto_corrections[1];
   }
 
-  if (!json_path.empty()) {
-    std::ofstream out(json_path);
-    out << "{\n  \"host\": " << sc::bench::host_json()
-        << ",\n  \"stream_bits\": " << stream_length
-        << ",\n  \"workloads\": [\n";
-    for (std::size_t i = 0; i < results.size(); ++i) {
-      const WorkloadResult& r = results[i];
-      out << "    {\"name\": \"" << r.name << "\", \"nodes\": " << r.nodes
-          << ", \"corrections_before\": " << r.corrections_before
-          << ", \"corrections_after\": " << r.corrections_after
-          << ", \"area_before_um2\": " << r.area_before_um2
-          << ", \"area_after_um2\": " << r.area_after_um2
-          << ", \"optimize_us_per_node\": " << r.optimize_us_per_node
-          << ", \"error_before\": " << r.error_before
-          << ", \"error_after\": " << r.error_after
-          << ", \"err_unoptimized\": " << r.err_unoptimized
-          << ", \"err_optimized\": " << r.err_optimized
-          << ", \"backends_identical\": "
-          << (r.backends_identical ? "true" : "false") << "}"
-          << (i + 1 < results.size() ? "," : "") << "\n";
-    }
-    out << "  ],\n  \"pareto_fanout16\": [\n";
-    for (std::size_t i = 0; i < pareto.size(); ++i) {
-      const ParetoPoint& p = pareto[i];
-      out << "    {\"error_budget\": " << p.error_budget
-          << ", \"corrections\": " << p.corrections
-          << ", \"area_um2\": " << p.area_um2
-          << ", \"predicted_error\": " << p.predicted_error
-          << ", \"measured_error\": " << p.measured_error << "}"
-          << (i + 1 < pareto.size() ? "," : "") << "\n";
-    }
-    out << "  ]\n}\n";
-    std::printf("\nwrote %s\n", json_path.c_str());
-  }
+  if (!harness.write_json()) return 1;
   std::printf("\n%s\n", ok ? "OK" : "FAILED");
   return ok ? 0 : 1;
 }

@@ -1,0 +1,147 @@
+/// \file bench_runner.cpp
+/// One command for the whole perf suite: runs the five harness benches
+/// (kernel_fsm, graph_executor, engine_throughput, obs_overhead,
+/// opt_savings) as sibling binaries, collects their sc-bench-v1 JSON, and
+/// merges every case into one combined document for
+/// tools/bench_compare.py.
+///
+/// The runner is what CI invokes: `bench_runner --quick --json run.json`
+/// then `bench_compare.py --run run.json --baseline BENCH_*.json`.  Each
+/// bench still self-checks its own contracts (bit-identity, optimizer
+/// acceptance bars) and a nonzero child exit fails the runner, so the
+/// combined JSON only ever exists for runs whose correctness gates all
+/// passed.
+///
+/// Usage: bench_runner [--json PATH] [--reps N] [--warmup N] [--quick]
+///        [--only SUBSTR] [--keep]
+///   --only SUBSTR  run only benches whose name contains SUBSTR
+///   --keep         keep the per-bench JSON files next to the combined one
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_harness.hpp"
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Extracts the members of the top-level "cases" array from an
+/// sc-bench-v1 document written by bench_harness.hpp (whose layout this
+/// repo controls: one case object per line, array closed by "\n  ]").
+std::string extract_cases(const std::string& doc) {
+  const std::string open = "\"cases\": [\n";
+  const std::size_t begin = doc.find(open);
+  const std::size_t end = doc.rfind("\n  ]");
+  if (begin == std::string::npos || end == std::string::npos ||
+      end < begin + open.size()) {
+    return "";
+  }
+  return doc.substr(begin + open.size(), end - begin - open.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::string only;
+  std::string forwarded;  // flags every child receives
+  bool keep = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--only") == 0 && i + 1 < argc) {
+      only = argv[++i];
+    } else if (std::strcmp(argv[i], "--keep") == 0) {
+      keep = true;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      forwarded += " --quick";
+    } else if ((std::strcmp(argv[i], "--reps") == 0 ||
+                std::strcmp(argv[i], "--warmup") == 0) &&
+               i + 1 < argc) {
+      forwarded += std::string(" ") + argv[i] + " " + argv[i + 1];
+      ++i;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--json PATH] [--reps N] [--warmup N] [--quick] "
+                   "[--only SUBSTR] [--keep]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  // Sibling binaries live in the runner's own directory.
+  std::string dir(argv[0]);
+  const std::size_t slash = dir.find_last_of('/');
+  dir = slash == std::string::npos ? "./" : dir.substr(0, slash + 1);
+
+  const std::vector<std::string> benches = {
+      "bench_kernel_fsm", "bench_graph_executor", "bench_engine_throughput",
+      "bench_obs_overhead", "bench_opt_savings",
+  };
+
+  std::vector<std::pair<std::string, std::string>> collected;  // name, json
+  for (const std::string& bench : benches) {
+    if (!only.empty() && bench.find(only) == std::string::npos) continue;
+    const std::string out_path =
+        (json_path.empty() ? std::string("sc_") : json_path + ".") + bench +
+        ".json";
+    const std::string command =
+        "\"" + dir + bench + "\"" + forwarded + " --json \"" + out_path +
+        "\"";
+    std::printf("=== %s\n", command.c_str());
+    std::fflush(stdout);
+    const int status = std::system(command.c_str());
+    if (status != 0) {
+      std::fprintf(stderr, "FAIL: %s exited with status %d\n", bench.c_str(),
+                   status);
+      return 1;
+    }
+    collected.emplace_back(bench, read_file(out_path));
+    if (!keep) std::remove(out_path.c_str());
+  }
+  if (collected.empty()) {
+    std::fprintf(stderr, "no bench matched --only '%s'\n", only.c_str());
+    return 2;
+  }
+
+  if (!json_path.empty()) {
+    std::string cases;
+    std::string names;
+    for (std::size_t i = 0; i < collected.size(); ++i) {
+      const std::string chunk = extract_cases(collected[i].second);
+      if (chunk.empty()) {
+        std::fprintf(stderr, "FAIL: %s wrote no parsable cases\n",
+                     collected[i].first.c_str());
+        return 1;
+      }
+      if (!cases.empty()) cases += ",\n";
+      cases += chunk;
+      names += (i == 0 ? "\"" : ", \"") + collected[i].first + "\"";
+    }
+    std::ofstream out(json_path, std::ios::trunc);
+    out << "{\n  \"schema\": \"sc-bench-v1\",\n  \"bench\": \"combined\",\n"
+        << "  \"host\": " << sc::bench::host_json() << ",\n"
+        << "  \"options\": {\"forwarded\": \""
+        << (forwarded.empty() ? "" : forwarded.c_str() + 1) << "\"},\n"
+        << "  \"meta\": {\"benches\": [" << names << "]},\n"
+        << "  \"cases\": [\n" << cases << "\n  ]\n}\n";
+    if (!out.good()) {
+      std::fprintf(stderr, "FAIL: could not write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s (%zu benches)\n", json_path.c_str(),
+                collected.size());
+  }
+  return 0;
+}

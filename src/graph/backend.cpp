@@ -332,6 +332,10 @@ ExecutionResult run_whole(const Program& program, const ProgramPlan& plan,
     const NodeId tag = node.seed_tag;
     for (std::size_t position = 0; position < fixes.size(); ++position) {
       const PairFix& fix = *fixes[position];
+      // A child span per correction: the profiler's collapsed stacks then
+      // split a node's cost into "the operator" (the node span's exclusive
+      // time) vs each planned fix (fix.decorrelator, fix.synchronizer, ...).
+      obs::Span fix_span(tracer, "fix." + to_string(fix.fix), "node.fix");
       Bitstream& a = copy_of(fix.operand_a);
       Bitstream& b = copy_of(fix.operand_b);
       if (is_regenerating(fix.fix)) {
@@ -534,6 +538,8 @@ ExecutionResult run_chunked(const Program& program, const ProgramPlan& plan,
             it - state.fixed_slots.begin())];
       };
       for (std::size_t lane = 0; lane < state.fix_appliers.size(); ++lane) {
+        obs::Span fix_span(tracer, "fix." + to_string(state.fixes[lane]->fix),
+                           "node.fix");
         state.fix_appliers[lane]->advance(
             scratch_of(state.fixes[lane]->operand_a),
             scratch_of(state.fixes[lane]->operand_b));

@@ -1,0 +1,104 @@
+/// \file profiler.hpp
+/// Span-aggregation profiler: turns the tracer's flat complete events
+/// into a call-tree profile answering "where did the time go".
+///
+/// The Chrome trace format carries no explicit parent links — nesting is
+/// time containment per thread (exactly how Perfetto renders it).
+/// build_profile() recovers that structure offline: events are grouped by
+/// tid, sorted by start time, and folded with a containment stack, so a
+/// span that starts and ends inside another span on the same thread
+/// becomes its child.  Same-name spans at the same tree path merge into
+/// one node accumulating call count and time, which is what turns ten
+/// thousand per-chunk spans into one readable row.
+///
+/// Per node:
+///   inclusive_us  total wall time spent inside this span (self + children)
+///   exclusive_us  inclusive minus the children's inclusive — the time
+///                 attributable to this span's own code
+///   calls         number of spans merged into the node
+///
+/// The per-thread trees are kept (Profile::threads) and also merged by
+/// path into Profile::roots, so a pool of identical workers reads as one
+/// tree.  By construction the exclusive times telescope: the sum of
+/// exclusive_us over a tree equals its root's inclusive_us (the basis of
+/// the CI invariant "exclusive sum == total run time").
+///
+/// Exports:
+///   to_table()      top-N hot spots ranked by exclusive time
+///   to_json()       nested call tree, machine-readable
+///   to_collapsed()  collapsed-stack lines ("a;b;c <microseconds>"),
+///                   directly consumable by flamegraph.pl / speedscope /
+///                   inferno — the "where do decorrelator cycles go"
+///                   picture is one `flamegraph.pl profile.collapsed` away
+///
+/// Profiling a run is: attach a Telemetry, run, then
+/// build_profile(*telemetry.tracer()).  Or set SC_PROFILE=<path> and the
+/// process-exit flush writes the collapsed profile with zero code changes
+/// (telemetry.hpp).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace sc::obs {
+
+/// One merged call-tree node.
+struct ProfileNode {
+  std::string name;
+  std::uint64_t calls = 0;
+  double inclusive_us = 0.0;
+  double exclusive_us = 0.0;
+  std::vector<ProfileNode> children;  ///< sorted by inclusive_us, descending
+};
+
+/// The call trees of one thread (dense tracer tid).
+struct ThreadProfile {
+  std::uint32_t tid = 0;
+  std::vector<ProfileNode> roots;
+};
+
+struct Profile {
+  /// Call trees merged across threads by path.
+  std::vector<ProfileNode> roots;
+  /// The unmerged per-thread trees (tid order).
+  std::vector<ThreadProfile> threads;
+  /// Sum of merged root inclusive times: the profile's notion of total
+  /// run time.  Threads running concurrently each contribute their own
+  /// wall time (a 2-worker pool busy for 1 ms contributes 2 ms).
+  double total_us = 0.0;
+  /// Complete ('X') events aggregated.
+  std::size_t span_count = 0;
+  /// Ring-buffer drops at snapshot time: nonzero means the tree only
+  /// covers the most recent window of spans.
+  std::uint64_t dropped_events = 0;
+
+  /// Sum of exclusive_us over every node — telescopes to total_us.
+  [[nodiscard]] double exclusive_sum_us() const;
+
+  /// Fixed-width hot-spot table: top `top_n` nodes by exclusive time with
+  /// call counts, inclusive/exclusive microseconds, and % of total.
+  [[nodiscard]] std::string to_table(std::size_t top_n = 20) const;
+  /// Nested JSON: {"total_us":..., "span_count":..., "dropped_events":...,
+  /// "roots":[{"name":..., "calls":..., "inclusive_us":...,
+  /// "exclusive_us":..., "children":[...]}]}.
+  [[nodiscard]] std::string to_json() const;
+  /// Collapsed-stack lines, one per tree path with nonzero exclusive
+  /// time: "root;child;leaf 1234" (value = exclusive microseconds,
+  /// rounded; fractions below 1 us emit as 1 so no hot path vanishes).
+  [[nodiscard]] std::string to_collapsed() const;
+};
+
+/// Aggregates complete ('X') events into a Profile; counter events are
+/// ignored.  `dropped` is carried into Profile::dropped_events.
+[[nodiscard]] Profile build_profile(std::vector<TraceEvent> events,
+                                    std::uint64_t dropped = 0);
+
+/// Snapshot-and-aggregate convenience over a live tracer.
+[[nodiscard]] Profile build_profile(const Tracer& tracer);
+
+}  // namespace sc::obs

@@ -4,10 +4,16 @@
 #include <cstdlib>
 #include <fstream>
 
+#include "obs/export.hpp"
+#include "obs/profiler.hpp"
+
 namespace sc::obs {
 
 Telemetry::Telemetry(TelemetryConfig config) : config_(std::move(config)) {
-  if (config_.tracing) tracer_ = std::make_unique<Tracer>();
+  // A profile target implies tracing: the profiler aggregates spans.
+  if (config_.tracing || !config_.profile_path.empty()) {
+    tracer_ = std::make_unique<Tracer>(config_.trace_capacity);
+  }
 }
 
 void Telemetry::add_probe(ProbeSpec spec) {
@@ -34,6 +40,15 @@ void Telemetry::flush() {
   if (!config_.trace_path.empty() && tracer_ != nullptr) {
     tracer_->write_chrome_trace(config_.trace_path);
   }
+  if (!config_.profile_path.empty() && tracer_ != nullptr) {
+    const Profile profile = build_profile(*tracer_);
+    if (config_.profile_path == "-") {
+      std::fputs(profile.to_table().c_str(), stderr);
+    } else {
+      std::ofstream out(config_.profile_path, std::ios::trunc);
+      out << profile.to_collapsed();
+    }
+  }
   if (!config_.metrics_path.empty()) {
     const MetricsSnapshot snap = snapshot();
     if (config_.metrics_path == "-") {
@@ -42,6 +57,10 @@ void Telemetry::flush() {
       std::ofstream out(config_.metrics_path, std::ios::trunc);
       out << snap.to_json();
     }
+  }
+  if (!config_.prometheus_path.empty()) {
+    std::ofstream out(config_.prometheus_path, std::ios::trunc);
+    out << prometheus_text(snapshot());
   }
 }
 
@@ -52,11 +71,22 @@ Telemetry* Telemetry::from_env() {
   static Telemetry* instance = []() -> Telemetry* {
     const char* trace = std::getenv("SC_TRACE");
     const char* metrics = std::getenv("SC_METRICS");
-    if (trace == nullptr && metrics == nullptr) return nullptr;
+    const char* profile = std::getenv("SC_PROFILE");
+    const char* prometheus = std::getenv("SC_PROM");
+    if (trace == nullptr && metrics == nullptr && profile == nullptr &&
+        prometheus == nullptr) {
+      return nullptr;
+    }
     TelemetryConfig config;
-    config.tracing = trace != nullptr;
+    config.tracing = trace != nullptr || profile != nullptr;
     if (trace != nullptr) config.trace_path = trace;
     if (metrics != nullptr) config.metrics_path = metrics;
+    if (profile != nullptr) config.profile_path = profile;
+    if (prometheus != nullptr) config.prometheus_path = prometheus;
+    if (const char* capacity = std::getenv("SC_TRACE_CAPACITY")) {
+      const long parsed = std::strtol(capacity, nullptr, 10);
+      if (parsed > 0) config.trace_capacity = static_cast<std::size_t>(parsed);
+    }
     // Leaked deliberately: instrumented code may run inside static
     // destructors of user code; the atexit flush below writes the files.
     auto* telemetry = new Telemetry(std::move(config));

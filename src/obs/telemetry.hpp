@@ -21,12 +21,18 @@
 /// the backends/sessions fall back to it when their config pointer is
 /// null.  `SC_TRACE=<path>` enables tracing and writes the Chrome trace
 /// there; `SC_METRICS=<path>` writes the metrics snapshot JSON (use "-"
-/// to print the human table to stderr instead).  Both files are
-/// (re)written by every flush() and once more at process exit, so
-/// `SC_TRACE=trace.json ./examples/quickstart` then opening trace.json in
-/// Perfetto is the whole quickstart.  With neither variable set,
-/// env_telemetry() returns nullptr forever and never allocates — the
-/// disabled path stays state-free.
+/// to print the human table to stderr instead); `SC_PROFILE=<path>`
+/// enables tracing and writes the collapsed-stack call-tree profile
+/// (profiler.hpp; "-" = hot table to stderr); `SC_PROM=<path>` writes the
+/// Prometheus text exposition of the metrics snapshot (export.hpp);
+/// `SC_TRACE_CAPACITY=<n>`
+/// sizes the trace ring.  All files are (re)written by every flush() and
+/// once more at process exit, so `SC_TRACE=trace.json
+/// ./examples/quickstart` then opening trace.json in Perfetto is the
+/// whole quickstart, and `SC_PROFILE=prof.collapsed` then
+/// `flamegraph.pl prof.collapsed` is the whole profiling story.  With
+/// none of the variables set, env_telemetry() returns nullptr forever and
+/// never allocates — the disabled path stays state-free.
 ///
 /// Instrument families by prefix: backend.* / session.* (execution),
 /// plan.* (planner), opt.* (optimizer passes), fault.* (injection), and
@@ -53,11 +59,20 @@ struct TelemetryConfig {
   /// Record spans/counters into a Tracer (metrics are always on — the
   /// registry is only touched by instrumented sites anyway).
   bool tracing = true;
+  /// Trace ring capacity in events (trace.hpp): once full the oldest
+  /// events are overwritten and counted as trace.dropped_events, so
+  /// always-on tracing holds a constant memory budget.
+  std::size_t trace_capacity = kDefaultTraceCapacity;
   /// flush() targets; empty = in-memory only (export via snapshot() /
   /// tracer()->chrome_trace_json()).  metrics_path "-" = human table to
   /// stderr.
   std::string trace_path;
   std::string metrics_path;
+  /// Collapsed-stack call-tree profile (profiler.hpp), flamegraph-ready;
+  /// "-" = the top-N hot table to stderr instead.
+  std::string profile_path;
+  /// Prometheus text exposition of the metrics snapshot (export.hpp).
+  std::string prometheus_path;
 };
 
 class Telemetry {
@@ -69,7 +84,16 @@ class Telemetry {
   /// straight through.
   Tracer* tracer() { return tracer_.get(); }
 
-  [[nodiscard]] MetricsSnapshot snapshot() const { return metrics_.snapshot(); }
+  /// Registry snapshot plus the tracer's ring health: when tracing is on,
+  /// the `trace.dropped_events` counter reports how many events the
+  /// bounded ring overwrote (0 = the trace is complete).
+  [[nodiscard]] MetricsSnapshot snapshot() const {
+    MetricsSnapshot snap = metrics_.snapshot();
+    if (tracer_ != nullptr) {
+      snap.counters["trace.dropped_events"] = tracer_->dropped_events();
+    }
+    return snap;
+  }
 
   // ---------------------------------------------------------- probes
   void add_probe(ProbeSpec spec);

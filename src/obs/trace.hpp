@@ -4,7 +4,7 @@
 ///
 /// A Tracer collects *complete* events ("ph":"X": name, category, start
 /// timestamp, duration, thread id) plus *counter* events ("ph":"C", used
-/// by the stream-health probes) into an in-memory buffer and serializes
+/// by the stream-health probes) into a BOUNDED ring buffer and serializes
 /// them with write_chrome_trace().  Threads are mapped to small dense
 /// tids in first-seen order, so a Perfetto timeline shows one track per
 /// worker — the visual proof of the engine's fan-out.
@@ -14,19 +14,36 @@
 /// pointer stores) and the destructor stamps the event.  Nesting falls
 /// out of the trace format itself — Perfetto nests same-tid events by
 /// time containment, so a Span inside a Span renders as a child slice.
+/// The span-aggregation profiler (profiler.hpp) recovers the same
+/// containment relation offline to build call-tree profiles.
 ///
 /// Timestamps are steady_clock microseconds relative to the tracer's
 /// construction: monotonic per thread by construction, which the CI trace
 /// validator checks.
 ///
-/// Thread safety: record/counter may be called from any thread (one
-/// mutex-guarded vector push; spans are per-pass / per-node / per-chunk
-/// scale, orders of magnitude off the per-bit hot path).
+/// Memory model — safe for always-on tracing: events land in a
+/// TraceBuffer, a fixed-capacity ring that OVERWRITES THE OLDEST event
+/// once full and counts every overwrite in dropped_events().  A
+/// long-lived server can therefore leave tracing enabled forever and
+/// always hold the most recent window of activity, paying a constant
+/// memory budget instead of the unbounded vector growth the first
+/// telemetry cut had.  The drop counter is surfaced as the
+/// `trace.dropped_events` counter in every metrics snapshot so a
+/// truncated trace is never mistaken for a complete one.
+///
+/// Thread safety: record/counter may be called from any thread.  The
+/// ring has no global lock — a writer claims a slot with one atomic
+/// ticket increment and publishes it under that slot's one-word latch,
+/// which is only ever contended when a wrapping writer lands on the slot
+/// a concurrent snapshot is copying (spans are per-pass / per-node /
+/// per-chunk scale, orders of magnitude off the per-bit hot path).
 
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -49,9 +66,59 @@ struct TraceEvent {
   std::vector<std::pair<std::string, std::string>> args;
 };
 
+/// Default ring capacity: 64k events is minutes of per-chunk spans and a
+/// few MB — small enough to keep resident, large enough that short runs
+/// never drop.
+inline constexpr std::size_t kDefaultTraceCapacity = 1u << 16;
+
+/// Bounded multi-producer ring of TraceEvents.  push() never blocks on
+/// other writers (one atomic ticket, one uncontended per-slot latch) and
+/// never fails: once the ring is full the oldest event is overwritten and
+/// dropped_events() is incremented.  snapshot() returns the surviving
+/// events oldest-first.
+class TraceBuffer {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 2) so slot
+  /// selection is a mask, not a divide.
+  explicit TraceBuffer(std::size_t capacity = kDefaultTraceCapacity);
+
+  void push(TraceEvent event);
+
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+  /// Events currently held (min(pushed, capacity), racy under writers).
+  [[nodiscard]] std::size_t size() const;
+  /// Total events ever pushed.
+  [[nodiscard]] std::uint64_t pushed() const {
+    return head_.load(std::memory_order_relaxed);
+  }
+  /// Events overwritten because the ring was full.
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Copy of the surviving events in push order (oldest first).  Safe
+  /// under concurrent writers; an event being overwritten mid-copy is
+  /// attributed to whichever write holds the slot latch first.
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+
+ private:
+  struct Slot {
+    /// One-word latch serializing the (rare) writer-vs-snapshot and
+    /// wrap-collision cases; writers on distinct slots never interact.
+    /// (C++20 default-initializes atomic_flag to clear.)
+    mutable std::atomic_flag latch;
+    /// 1 + ticket of the event held; 0 = empty.  Written under the latch.
+    std::uint64_t ticket = 0;
+    TraceEvent event;
+  };
+
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::size_t mask_ = 0;
+  std::atomic<std::uint64_t> head_{0};
+};
+
 class Tracer {
  public:
-  Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+  explicit Tracer(std::size_t capacity = kDefaultTraceCapacity)
+      : epoch_(std::chrono::steady_clock::now()), buffer_(capacity) {}
 
   /// Microseconds since tracer construction.
   [[nodiscard]] double now_us() const {
@@ -68,7 +135,12 @@ class Tracer {
   /// Counter event: a named numeric series Perfetto plots over time.
   void counter(const std::string& name, double value);
 
+  /// Events currently buffered (the ring may have dropped older ones).
   [[nodiscard]] std::size_t event_count() const;
+  /// Events overwritten since construction — nonzero means the trace is a
+  /// most-recent window, not a complete record.
+  [[nodiscard]] std::uint64_t dropped_events() const;
+  [[nodiscard]] std::size_t capacity() const { return buffer_.capacity(); }
   [[nodiscard]] std::vector<TraceEvent> events() const;  ///< snapshot copy
 
   /// Serializes everything recorded so far as a Chrome trace JSON object
@@ -80,8 +152,8 @@ class Tracer {
 
  private:
   std::chrono::steady_clock::time_point epoch_;
-  mutable std::mutex mutex_;
-  std::vector<TraceEvent> events_;
+  TraceBuffer buffer_;
+  mutable std::mutex tid_mutex_;
   std::unordered_map<std::thread::id, std::uint32_t> tids_;
 };
 

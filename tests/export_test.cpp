@@ -1,0 +1,261 @@
+/// \file export_test.cpp
+/// The metric export sinks (src/obs/export.hpp): Prometheus text
+/// exposition (with an in-test grammar validator), the append-only JSONL
+/// time series, label stamping, and the periodic background flusher.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+
+namespace {
+
+using namespace sc::obs;
+
+/// Minimal Prometheus text-format validator: every line is either a
+/// comment or `metric_name{labels} value`, names match the grammar, and
+/// every sample of `# TYPE <name> <kind>` follows its comment.
+void validate_prometheus(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  std::size_t samples = 0;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty()) << "blank line in exposition";
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream comment(line.substr(7));
+      std::string name, kind;
+      comment >> name >> kind;
+      EXPECT_TRUE(kind == "counter" || kind == "gauge" || kind == "histogram")
+          << line;
+      continue;
+    }
+    ASSERT_NE(line[0], '#') << "unknown comment: " << line;
+    // metric name: [a-zA-Z_:][a-zA-Z0-9_:]*
+    std::size_t pos = 0;
+    auto name_char = [](char c, bool first) {
+      const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                         c == '_' || c == ':';
+      return first ? alpha : (alpha || (c >= '0' && c <= '9'));
+    };
+    ASSERT_TRUE(name_char(line[0], true)) << line;
+    while (pos < line.size() && name_char(line[pos], pos == 0)) ++pos;
+    // optional label block
+    if (pos < line.size() && line[pos] == '{') {
+      const std::size_t close = line.find('}', pos);
+      ASSERT_NE(close, std::string::npos) << line;
+      pos = close + 1;
+    }
+    ASSERT_LT(pos, line.size()) << line;
+    ASSERT_EQ(line[pos], ' ') << line;
+    // value parses as a double (or +Inf never appears as a value)
+    const std::string value = line.substr(pos + 1);
+    ASSERT_FALSE(value.empty()) << line;
+    char* end = nullptr;
+    std::strtod(value.c_str(), &end);
+    EXPECT_EQ(*end, '\0') << "unparsable value in: " << line;
+    ++samples;
+  }
+  EXPECT_GT(samples, 0u);
+}
+
+MetricsRegistry& populated_registry(Telemetry& telemetry) {
+  MetricsRegistry& m = telemetry.metrics();
+  m.counter("backend.runs").add(7);
+  m.counter("engine.chunks").add(1234);
+  m.gauge("engine.pool.queue_depth").set(3.5);
+  Histogram& h = m.histogram("engine.pool.task_wait_us");
+  for (const std::uint64_t v : {0u, 1u, 3u, 9u, 100u, 5000u}) h.observe(v);
+  return m;
+}
+
+TEST(Prometheus, NameSanitization) {
+  EXPECT_EQ(prometheus_name("backend.runs"), "sc_backend_runs");
+  EXPECT_EQ(prometheus_name("fault.edge.p1.corrupted_bits"),
+            "sc_fault_edge_p1_corrupted_bits");
+  EXPECT_EQ(prometheus_name("weird-name 2"), "sc_weird_name_2");
+}
+
+TEST(Prometheus, ExpositionPassesGrammarValidator) {
+  Telemetry telemetry({false});
+  populated_registry(telemetry);
+  const std::string text = prometheus_text(telemetry.snapshot());
+  validate_prometheus(text);
+  EXPECT_NE(text.find("# TYPE sc_backend_runs counter"), std::string::npos);
+  EXPECT_NE(text.find("sc_backend_runs 7"), std::string::npos);
+  EXPECT_NE(text.find("sc_engine_pool_queue_depth 3.5"), std::string::npos);
+  EXPECT_NE(text.find("sc_engine_pool_queue_depth_max"), std::string::npos);
+  EXPECT_NE(text.find("sc_engine_pool_task_wait_us_count 6"),
+            std::string::npos);
+}
+
+TEST(Prometheus, HistogramBucketsAreCumulativeAndBounded) {
+  Telemetry telemetry({false});
+  populated_registry(telemetry);
+  const std::string text = prometheus_text(telemetry.snapshot());
+
+  // Collect the _bucket samples in order; cumulative counts must be
+  // non-decreasing and the +Inf bucket must equal _count.
+  std::istringstream in(text);
+  std::string line;
+  std::uint64_t prev = 0;
+  std::uint64_t inf_value = 0;
+  std::size_t buckets = 0;
+  while (std::getline(in, line)) {
+    if (line.find("task_wait_us_bucket") == std::string::npos) continue;
+    const std::size_t space = line.rfind(' ');
+    const std::uint64_t value = std::strtoull(line.c_str() + space + 1,
+                                              nullptr, 10);
+    EXPECT_GE(value, prev) << line;
+    prev = value;
+    if (line.find("le=\"+Inf\"") != std::string::npos) inf_value = value;
+    ++buckets;
+  }
+  EXPECT_GE(buckets, 3u);
+  EXPECT_EQ(inf_value, 6u);
+  // The le="0" bucket holds the single zero observation.
+  EXPECT_NE(text.find("le=\"0\"} 1"), std::string::npos);
+}
+
+TEST(Prometheus, LabelsStampedOnEverySample) {
+  Telemetry telemetry({false});
+  populated_registry(telemetry);
+  const Labels labels = {{"tenant", "acme"}, {"session", "s1"},
+                         {"backend", "engine"}};
+  const std::string text = prometheus_text(telemetry.snapshot(), labels);
+  validate_prometheus(text);
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line[0] == '#') continue;
+    EXPECT_NE(line.find("tenant=\"acme\""), std::string::npos) << line;
+    EXPECT_NE(line.find("session=\"s1\""), std::string::npos) << line;
+  }
+  // Histogram le coexists with the user labels in one block.
+  EXPECT_NE(text.find("backend=\"engine\",le=\"+Inf\""), std::string::npos);
+}
+
+TEST(Jsonl, OneSelfDescribingLinePerInstrument) {
+  Telemetry telemetry({false});
+  populated_registry(telemetry);
+  const Labels labels = {{"tenant", "acme"}};
+  const std::string records =
+      jsonl_records(telemetry.snapshot(), labels, 1754600000000ull);
+
+  std::istringstream in(records);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    EXPECT_EQ(line.front(), '{') << line;
+    EXPECT_EQ(line.back(), '}') << line;
+    EXPECT_NE(line.find("\"ts_ms\": 1754600000000"), std::string::npos);
+    EXPECT_NE(line.find("\"labels\": {\"tenant\": \"acme\"}"),
+              std::string::npos);
+    ++lines;
+  }
+  // 2 counters + 1 gauge + 1 histogram.
+  EXPECT_EQ(lines, 4u);
+  EXPECT_NE(records.find("\"kind\": \"histogram\""), std::string::npos);
+  EXPECT_NE(records.find("\"p99\":"), std::string::npos);
+}
+
+TEST(Jsonl, SinkAppendsAndCounts) {
+  const std::string path = ::testing::TempDir() + "sc_export_test.jsonl";
+  std::remove(path.c_str());
+  Telemetry telemetry({false});
+  populated_registry(telemetry);
+
+  JsonlSink sink(path, {{"backend", "kernel"}});
+  ASSERT_TRUE(sink.append(telemetry.snapshot()));
+  ASSERT_TRUE(sink.append(telemetry.snapshot()));
+  EXPECT_EQ(sink.lines_written(), 8u);
+
+  std::ifstream in(path);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 8u) << "append-only: two flushes accumulate";
+  std::remove(path.c_str());
+}
+
+TEST(PeriodicExporter, FlushesOnCadenceAndOnStop) {
+  const std::string prom = ::testing::TempDir() + "sc_export_test.prom";
+  const std::string jsonl = ::testing::TempDir() + "sc_export_test_p.jsonl";
+  std::remove(prom.c_str());
+  std::remove(jsonl.c_str());
+
+  Telemetry telemetry({false});
+  populated_registry(telemetry);
+  ExportConfig config;
+  config.prometheus_path = prom;
+  config.jsonl_path = jsonl;
+  config.labels = {{"tenant", "acme"}};
+  config.interval = std::chrono::milliseconds(5);
+  {
+    PeriodicExporter exporter(telemetry, config);
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    exporter.stop();
+    const std::uint64_t flushed = exporter.flush_count();
+    EXPECT_GE(flushed, 2u) << "periodic flushes plus the stop flush";
+    exporter.stop();  // idempotent
+    EXPECT_EQ(exporter.flush_count(), flushed);
+  }
+
+  std::ifstream prom_in(prom);
+  std::ostringstream prom_text;
+  prom_text << prom_in.rdbuf();
+  validate_prometheus(prom_text.str());
+  EXPECT_NE(prom_text.str().find("tenant=\"acme\""), std::string::npos);
+
+  std::ifstream jsonl_in(jsonl);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(jsonl_in, line)) ++lines;
+  EXPECT_GE(lines, 8u) << "at least two windows of 4 instruments";
+  std::remove(prom.c_str());
+  std::remove(jsonl.c_str());
+}
+
+TEST(PeriodicExporter, FlushNowIsSynchronous) {
+  Telemetry telemetry({false});
+  populated_registry(telemetry);
+  const std::string jsonl = ::testing::TempDir() + "sc_export_now.jsonl";
+  std::remove(jsonl.c_str());
+  ExportConfig config;
+  config.jsonl_path = jsonl;
+  config.interval = std::chrono::hours(1);  // cadence never fires
+  PeriodicExporter exporter(telemetry, config);
+  exporter.flush_now();
+  EXPECT_GE(exporter.flush_count(), 1u);
+  std::ifstream in(jsonl);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 4u);
+  exporter.stop();
+  std::remove(jsonl.c_str());
+}
+
+/// Exporting a tracing-enabled telemetry carries the ring-health counter.
+TEST(PeriodicExporter, TraceDropCounterReachesTheExposition) {
+  TelemetryConfig tconfig;
+  tconfig.trace_capacity = 4;
+  Telemetry telemetry(tconfig);
+  for (int i = 0; i < 9; ++i) {
+    Span s(telemetry.tracer(), "tick", "test");
+  }
+  const std::string text = prometheus_text(telemetry.snapshot());
+  validate_prometheus(text);
+  EXPECT_NE(text.find("sc_trace_dropped_events 5"), std::string::npos);
+}
+
+}  // namespace

@@ -27,6 +27,7 @@
 #include "graph/planner.hpp"
 #include "graph/program.hpp"
 #include "graph_fixtures.hpp"
+#include "obs/profiler.hpp"
 #include "obs/telemetry.hpp"
 #include "opt/optimize.hpp"
 
@@ -273,6 +274,50 @@ TEST(GoldenCorpus, TelemetryEnabledRunsKeepIdenticalChecksums) {
     }
     // The observed runs actually observed something.
     EXPECT_NE(telemetry.snapshot().counters.count("backend.runs"), 0u);
+  }
+}
+
+// Always-on profiling at golden granularity: a deliberately tiny trace
+// ring (64 events — the corpus overflows it, exercising overwrite-oldest
+// on every run) with the call-tree profiler aggregating after each run
+// must also reproduce the exact bare checksums.  Dropping trace events
+// may never drop bits.
+TEST(GoldenCorpus, ProfiledRunsWithTinyRingKeepIdenticalChecksums) {
+  for (const Case& c : corpus_cases()) {
+    obs::TelemetryConfig tconfig;
+    tconfig.trace_capacity = 64;
+    obs::Telemetry telemetry(tconfig);
+
+    engine::Session bare_session({1, /*chunk_bits=*/128, 0x5eed});
+    engine::Session profiled_session(
+        {1, /*chunk_bits=*/128, 0x5eed, &telemetry});
+    const struct {
+      const char* label;
+      std::unique_ptr<graph::ExecutorBackend> bare;
+      std::unique_ptr<graph::ExecutorBackend> profiled;
+    } backends[] = {
+        {"reference", graph::make_backend(BackendKind::kReference),
+         graph::make_backend(BackendKind::kReference)},
+        {"kernel", graph::make_backend(BackendKind::kKernel),
+         graph::make_backend(BackendKind::kKernel)},
+        {"engine-chunked", graph::make_engine_backend(bare_session),
+         graph::make_engine_backend(profiled_session)},
+    };
+    for (const auto& entry : backends) {
+      ExecConfig with = c.config;
+      with.telemetry = &telemetry;
+      const std::uint64_t bare =
+          checksum(entry.bare->run(c.program, c.plan, c.config));
+      const std::uint64_t profiled =
+          checksum(entry.profiled->run(c.program, c.plan, with));
+      EXPECT_EQ(bare, profiled)
+          << c.name << " on " << entry.label
+          << ": profiling with a saturated ring changed bit-level results";
+      // Aggregate after every run, the way an always-on profiler would.
+      const obs::Profile profile = obs::build_profile(*telemetry.tracer());
+      EXPECT_LE(profile.span_count, 64u);
+      EXPECT_FALSE(profile.to_collapsed().empty());
+    }
   }
 }
 

@@ -134,6 +134,25 @@ TEST(Trace, NullTracerSpansAreNoOps) {
   // Nothing to assert beyond "does not crash": the span holds no tracer.
 }
 
+TEST(Trace, DefaultRingAbsorbsTypicalRunsWithoutDrops) {
+  Tracer tracer;
+  EXPECT_EQ(tracer.capacity(), kDefaultTraceCapacity);
+  for (int i = 0; i < 1000; ++i) {
+    Span s(&tracer, "tick", "test");
+  }
+  EXPECT_EQ(tracer.event_count(), 1000u);
+  EXPECT_EQ(tracer.dropped_events(), 0u);
+  // A saturated ring keeps the newest window and counts what it shed.
+  Tracer tiny(16);
+  for (int i = 0; i < 100; ++i) {
+    Span s(&tiny, "tick", "test");
+  }
+  EXPECT_EQ(tiny.event_count(), 16u);
+  EXPECT_EQ(tiny.dropped_events(), 84u);
+  EXPECT_NE(tiny.chrome_trace_json().find("\"traceEvents\""),
+            std::string::npos);
+}
+
 TEST(Trace, ChromeJsonIsWellFormedAndTimeSorted) {
   Tracer tracer;
   { Span a(&tracer, "first", "test"); }

@@ -1,0 +1,275 @@
+/// \file profiler_test.cpp
+/// The span-aggregation profiler (src/obs/profiler.hpp) and the bounded
+/// trace ring (src/obs/trace.hpp): call-tree recovery from hand-built
+/// spans, the exclusive-time telescoping invariant, the collapsed-stack
+/// golden, ring overflow semantics, and the 31-node engine-backend
+/// acceptance run.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "engine/session.hpp"
+#include "graph/backend.hpp"
+#include "graph/planner.hpp"
+#include "graph/program.hpp"
+#include "obs/profiler.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using namespace sc::obs;
+
+TraceEvent span(const std::string& name, double ts_us, double dur_us,
+                std::uint32_t tid = 0) {
+  TraceEvent e;
+  e.name = name;
+  e.category = "test";
+  e.phase = 'X';
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  e.tid = tid;
+  return e;
+}
+
+/// The hand-built reference tree used by several tests:
+///   root [0, 100)
+///     a   [10, 30)   and a second call [91, 95)
+///     b   [40, 90)
+///       c [50, 60)
+std::vector<TraceEvent> reference_spans() {
+  return {
+      span("root", 0.0, 100.0), span("a", 10.0, 20.0),
+      span("b", 40.0, 50.0),    span("c", 50.0, 10.0),
+      span("a", 91.0, 4.0),
+  };
+}
+
+const ProfileNode* child(const ProfileNode& node, const std::string& name) {
+  for (const ProfileNode& c : node.children) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+TEST(Profiler, RecoversCallTreeFromContainment) {
+  const Profile profile = build_profile(reference_spans());
+  ASSERT_EQ(profile.roots.size(), 1u);
+  const ProfileNode& root = profile.roots[0];
+  EXPECT_EQ(root.name, "root");
+  EXPECT_EQ(root.calls, 1u);
+  EXPECT_DOUBLE_EQ(root.inclusive_us, 100.0);
+  // exclusive = 100 - (24 from a's two calls) - (50 from b) = 26.
+  EXPECT_DOUBLE_EQ(root.exclusive_us, 26.0);
+  ASSERT_EQ(root.children.size(), 2u);
+
+  const ProfileNode* a = child(root, "a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->calls, 2u) << "same-name same-path spans must merge";
+  EXPECT_DOUBLE_EQ(a->inclusive_us, 24.0);
+  EXPECT_DOUBLE_EQ(a->exclusive_us, 24.0);
+  EXPECT_TRUE(a->children.empty());
+
+  const ProfileNode* b = child(root, "b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_DOUBLE_EQ(b->inclusive_us, 50.0);
+  EXPECT_DOUBLE_EQ(b->exclusive_us, 40.0);
+  const ProfileNode* c = child(*b, "c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_DOUBLE_EQ(c->inclusive_us, 10.0);
+
+  EXPECT_EQ(profile.span_count, 5u);
+  EXPECT_DOUBLE_EQ(profile.total_us, 100.0);
+}
+
+TEST(Profiler, ExclusiveTimesTelescopeToRootInclusive) {
+  const Profile profile = build_profile(reference_spans());
+  EXPECT_DOUBLE_EQ(profile.exclusive_sum_us(), 100.0);
+  EXPECT_DOUBLE_EQ(profile.exclusive_sum_us(), profile.total_us);
+}
+
+TEST(Profiler, SpanEndingWhereNextStartsIsASibling) {
+  // b starts at exactly a's end: containment is [start, end), so they are
+  // siblings, not parent/child.
+  const Profile profile = build_profile({
+      span("root", 0.0, 20.0),
+      span("a", 0.0, 10.0),
+      span("b", 10.0, 10.0),
+  });
+  ASSERT_EQ(profile.roots.size(), 1u);
+  EXPECT_EQ(profile.roots[0].children.size(), 2u);
+  EXPECT_DOUBLE_EQ(profile.roots[0].exclusive_us, 0.0);
+}
+
+TEST(Profiler, ThreadsKeptSeparateThenMergedByPath) {
+  std::vector<TraceEvent> events;
+  for (std::uint32_t tid = 0; tid < 2; ++tid) {
+    events.push_back(span("work", 0.0, 50.0, tid));
+    events.push_back(span("inner", 5.0, 10.0, tid));
+  }
+  const Profile profile = build_profile(std::move(events));
+  ASSERT_EQ(profile.threads.size(), 2u);
+  for (const ThreadProfile& thread : profile.threads) {
+    ASSERT_EQ(thread.roots.size(), 1u);
+    EXPECT_DOUBLE_EQ(thread.roots[0].inclusive_us, 50.0);
+  }
+  ASSERT_EQ(profile.roots.size(), 1u);
+  EXPECT_EQ(profile.roots[0].calls, 2u);
+  EXPECT_DOUBLE_EQ(profile.roots[0].inclusive_us, 100.0);
+  // Concurrent threads each contribute their own wall time.
+  EXPECT_DOUBLE_EQ(profile.total_us, 100.0);
+  EXPECT_DOUBLE_EQ(profile.exclusive_sum_us(), 100.0);
+}
+
+TEST(Profiler, CollapsedStackGolden) {
+  const std::string collapsed = build_profile(reference_spans()).to_collapsed();
+  // Deterministic output for the reference tree, children ranked by
+  // inclusive time; zero-exclusive paths are skipped.
+  EXPECT_EQ(collapsed,
+            "root 26\n"
+            "root;b 40\n"
+            "root;b;c 10\n"
+            "root;a 24\n");
+}
+
+TEST(Profiler, CollapsedSanitizesSeparatorCharacters) {
+  const Profile profile =
+      build_profile({span("outer;with\nbad", 0.0, 10.0)});
+  const std::string collapsed = profile.to_collapsed();
+  EXPECT_EQ(collapsed, "outer:with:bad 10\n");
+}
+
+TEST(Profiler, TableAndJsonCarryDropCounter) {
+  const Profile profile = build_profile(reference_spans(), 7);
+  EXPECT_EQ(profile.dropped_events, 7u);
+  EXPECT_NE(profile.to_table().find("7 dropped"), std::string::npos);
+  EXPECT_NE(profile.to_json().find("\"dropped_events\": 7"),
+            std::string::npos);
+  EXPECT_NE(profile.to_json().find("\"span_count\": 5"), std::string::npos);
+}
+
+TEST(Profiler, CounterEventsAreIgnored) {
+  std::vector<TraceEvent> events = reference_spans();
+  TraceEvent counter;
+  counter.name = "probe.scc";
+  counter.phase = 'C';
+  counter.ts_us = 42.0;
+  events.push_back(counter);
+  const Profile profile = build_profile(std::move(events));
+  EXPECT_EQ(profile.span_count, 5u);
+  EXPECT_EQ(profile.to_collapsed().find("probe.scc"), std::string::npos);
+}
+
+// ------------------------------------------------------------- trace ring
+
+TEST(TraceRing, OverflowDropsOldestAndCounts) {
+  TraceBuffer ring(4);
+  EXPECT_EQ(ring.capacity(), 4u);
+  for (int i = 0; i < 10; ++i) {
+    ring.push(span("e" + std::to_string(i), static_cast<double>(i), 1.0));
+  }
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.pushed(), 10u);
+  EXPECT_EQ(ring.dropped(), 6u);
+  const std::vector<TraceEvent> events = ring.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first window of the most recent pushes.
+  EXPECT_EQ(events.front().name, "e6");
+  EXPECT_EQ(events.back().name, "e9");
+}
+
+TEST(TraceRing, CapacityRoundsUpToPowerOfTwo) {
+  TraceBuffer ring(5);
+  EXPECT_EQ(ring.capacity(), 8u);
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(TraceRing, TracerSurfacesDropsAndSnapshotStaysOrdered) {
+  Tracer tracer(8);
+  EXPECT_EQ(tracer.capacity(), 8u);
+  for (int i = 0; i < 20; ++i) {
+    TraceEvent e = span("s" + std::to_string(i), static_cast<double>(i), 1.0);
+    tracer.record(std::move(e));
+  }
+  EXPECT_EQ(tracer.event_count(), 8u);
+  EXPECT_EQ(tracer.dropped_events(), 12u);
+  const std::vector<TraceEvent> events = tracer.events();
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].ts_us, events[i].ts_us);
+  }
+
+  // The drop counter reaches the metrics snapshot through Telemetry.
+  TelemetryConfig config;
+  config.trace_capacity = 4;
+  Telemetry telemetry(config);
+  for (int i = 0; i < 9; ++i) {
+    Span s(telemetry.tracer(), "tick", "test");
+  }
+  EXPECT_EQ(telemetry.snapshot().counters.at("trace.dropped_events"), 5u);
+}
+
+// ------------------------------------------------------------- acceptance
+
+/// The ISSUE's acceptance bar: a 31-node program on the engine backend,
+/// profiled end to end — collapsed output exists and the exclusive-time
+/// sum telescopes to the total profile time within 1%.
+TEST(Acceptance, EngineRunProfileTelescopesWithinOnePercent) {
+  using namespace sc::graph;
+  GraphBuilder b;
+  std::vector<Value> layer;
+  for (unsigned i = 0; i < 16; ++i) {
+    layer.push_back(
+        b.input("p" + std::to_string(i), 0.15 + 0.05 * (i % 10), i % 4));
+  }
+  while (layer.size() > 1) {
+    std::vector<Value> next;
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+      next.push_back(b.op("scaled-add", {layer[i], layer[i + 1]}));
+    }
+    layer = std::move(next);
+  }
+  b.output(layer[0], "out");
+  const Program program = b.build();
+  ASSERT_EQ(program.node_count(), 31u);
+
+  Telemetry telemetry;
+  sc::engine::Session session({2, 512, 0x5eed, &telemetry});
+  const ProgramPlan plan = plan_program(program, Strategy::kManipulation);
+  ExecConfig config;
+  config.stream_length = 4096;
+  config.width = 8;
+  config.telemetry = &telemetry;
+  make_engine_backend(session)->run(program, plan, config);
+
+  const Profile profile = build_profile(*telemetry.tracer());
+  EXPECT_EQ(profile.dropped_events, 0u);
+  EXPECT_GT(profile.span_count, 0u);
+  EXPECT_GT(profile.total_us, 0.0);
+  // Telescoping invariant on a real multi-thread trace: within 1%.
+  EXPECT_NEAR(profile.exclusive_sum_us() / profile.total_us, 1.0, 0.01);
+
+  const std::string collapsed = profile.to_collapsed();
+  EXPECT_NE(collapsed.find("backend.run.engine"), std::string::npos);
+  EXPECT_NE(collapsed.find("engine.chunk"), std::string::npos);
+  // Every line is "path<space>integer".
+  std::size_t start = 0;
+  while (start < collapsed.size()) {
+    const std::size_t eol = collapsed.find('\n', start);
+    ASSERT_NE(eol, std::string::npos);
+    const std::string line = collapsed.substr(start, eol - start);
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string value = line.substr(space + 1);
+    EXPECT_FALSE(value.empty()) << line;
+    for (const char ch : value) {
+      EXPECT_TRUE(ch >= '0' && ch <= '9') << line;
+    }
+    start = eol + 1;
+  }
+}
+
+}  // namespace

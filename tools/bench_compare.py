@@ -1,0 +1,273 @@
+#!/usr/bin/env python3
+"""Gate a fresh sc-bench-v1 run against committed baselines.
+
+bench_compare.py is the regression half of the bench harness
+(bench/bench_harness.hpp): bench_runner writes a combined run document,
+the repo commits per-bench baselines (BENCH_*.json), and this script
+diffs them case by case with per-kind, per-case tolerances:
+
+  throughput  relative tolerance, widened by the run's own noise floor
+              (3 x MAD/median of either side) — and "warn" severity by
+              default, because wall-clock numbers from a 1-hw-thread CI
+              host are weather, not signal;
+  percent     absolute tolerance in percentage points (telemetry
+              overhead_pct rows — hard fail: these are the contract the
+              observability layer makes);
+  value       deterministic numbers (modeled area, error bounds) with a
+              tiny relative epsilon — hard fail;
+  exact       integer contracts (bit-identity flags, correction counts)
+              — any drift is a hard fail.
+
+Cases are only compared when their "config" strings match (a --quick run
+shrinks workloads, so its throughput rows legitimately differ from
+full-size baselines; config-independent contracts still gate).  A case
+present in the baseline but missing from the run — or carrying a
+different unit/kind — is schema drift and hard-fails regardless of
+severity.
+
+Exit status: 0 = clean (warnings allowed), 1 = at least one hard
+failure, 2 = usage/IO error.
+
+Usage:
+  bench_compare.py --run run.json --baseline BENCH_kernels.json \
+      [--baseline ...] [--tolerance-table tools/bench_tolerances.json] \
+      [--fail-on-warn] [--self-test]
+
+--self-test injects a synthetic regression into a copy of the baseline
+and asserts the gate catches it (CI runs this so the comparator itself
+is under test).
+"""
+
+import argparse
+import copy
+import json
+import sys
+
+DEFAULT_TOLERANCES = {
+    # Relative tolerance for throughput cases (fraction of baseline).
+    "throughput_rel": 0.35,
+    # Absolute tolerance for percent cases, in percentage points.
+    "percent_abs": 3.0,
+    # Relative epsilon for deterministic value cases.
+    "value_rel": 1e-6,
+    # Per-case-name overrides: {"name": {"rel": .., "abs": ..,
+    # "severity": "warn"|"fail"|"skip"}}.
+    "cases": {},
+}
+
+
+def load_json(path):
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+
+
+def case_index(doc, path):
+    if doc.get("schema") != "sc-bench-v1":
+        print(f"error: {path} is not an sc-bench-v1 document "
+              f"(schema={doc.get('schema')!r}); regenerate it with the "
+              "harness benches", file=sys.stderr)
+        sys.exit(2)
+    index = {}
+    for case in doc.get("cases", []):
+        index[case["name"]] = case
+    return index
+
+
+def noise_floor(case):
+    """3 x MAD/median of a throughput case: its own measured noise."""
+    median = case.get("median_seconds", 0.0)
+    mad = case.get("mad_seconds", 0.0)
+    if median and median > 0.0:
+        return 3.0 * mad / median
+    return 0.0
+
+
+class Gate:
+    def __init__(self, tolerances, fail_on_warn=False):
+        self.tol = tolerances
+        self.fail_on_warn = fail_on_warn
+        self.failures = 0
+        self.warnings = 0
+        self.compared = 0
+        self.skipped = 0
+
+    def report(self, level, name, message):
+        if level == "fail":
+            self.failures += 1
+            print(f"FAIL  {name}: {message}")
+        elif level == "warn":
+            self.warnings += 1
+            if self.fail_on_warn:
+                self.failures += 1
+            print(f"warn  {name}: {message}")
+        else:
+            print(f"ok    {name}: {message}")
+
+    def compare_case(self, base, run):
+        name = base["name"]
+        override = self.tol.get("cases", {}).get(name, {})
+        severity = override.get("severity", base.get("severity", "fail"))
+        if severity == "skip":
+            self.skipped += 1
+            return
+        if run is None:
+            # Missing case = schema drift: the suite silently lost
+            # coverage, which no severity downgrade should hide.
+            self.report("fail", name, "missing from run (schema drift)")
+            return
+        for key in ("unit", "kind"):
+            if base.get(key) != run.get(key):
+                self.report(
+                    "fail", name,
+                    f"{key} changed {base.get(key)!r} -> {run.get(key)!r} "
+                    "(schema drift)")
+                return
+        if base.get("config", "") != run.get("config", ""):
+            self.skipped += 1
+            print(f"skip  {name}: config {run.get('config')!r} != baseline "
+                  f"{base.get('config')!r} (not comparable)")
+            return
+
+        kind = base.get("kind", "value")
+        bval, rval = base["value"], run["value"]
+        self.compared += 1
+
+        if kind == "exact":
+            if bval != rval:
+                self.report("fail", name, f"exact value {bval} -> {rval}")
+            else:
+                self.report("ok", name, f"{bval}")
+            return
+
+        if kind == "percent":
+            tol = override.get("abs", self.tol["percent_abs"])
+            delta = rval - bval
+            worse = delta > tol if not base.get("higher_is_better", False) \
+                else -delta > tol
+            if worse:
+                self.report(severity, name,
+                            f"{bval:+.2f}pp -> {rval:+.2f}pp "
+                            f"(tolerance {tol}pp)")
+            else:
+                self.report("ok", name, f"{bval:+.2f}pp -> {rval:+.2f}pp")
+            return
+
+        if kind == "value":
+            tol = override.get("rel", self.tol["value_rel"])
+            denom = max(abs(bval), 1e-300)
+            if abs(rval - bval) / denom > tol:
+                self.report(severity, name,
+                            f"{bval:.6g} -> {rval:.6g} (rel tol {tol})")
+            else:
+                self.report("ok", name, f"{bval:.6g}")
+            return
+
+        # throughput: relative check, widened by both sides' noise floors.
+        tol = override.get("rel", self.tol["throughput_rel"])
+        tol += noise_floor(base) + noise_floor(run)
+        higher_better = base.get("higher_is_better", True)
+        if bval == 0:
+            self.report("warn", name, "baseline value is 0; cannot compare")
+            return
+        change = (rval - bval) / abs(bval)
+        regressed = change < -tol if higher_better else change > tol
+        msg = (f"{bval:.6g} -> {rval:.6g} {base.get('unit', '')} "
+               f"({change * 100.0:+.1f}%, tolerance {tol * 100.0:.0f}%)")
+        if regressed:
+            self.report(severity, name, msg)
+        else:
+            self.report("ok", name, msg)
+
+
+def run_gate(run_doc, baseline_docs, tolerances, fail_on_warn):
+    run_cases = case_index(run_doc, "--run")
+    gate = Gate(tolerances, fail_on_warn)
+    for path, doc in baseline_docs:
+        print(f"--- baseline {path}")
+        for name, base in case_index(doc, path).items():
+            gate.compare_case(base, run_cases.get(name))
+    print(f"\ncompared {gate.compared} cases, {gate.skipped} skipped, "
+          f"{gate.warnings} warnings, {gate.failures} failures")
+    return 1 if gate.failures else 0
+
+
+def self_test(run_doc, baseline_docs, tolerances):
+    """The comparator must catch an injected regression and pass a
+    self-comparison — otherwise the gate is decorative."""
+    # 1. A document compared against itself is clean.
+    clean = run_gate(run_doc, [("self", run_doc)], tolerances, False)
+    if clean != 0:
+        print("self-test: FAILED (self-comparison not clean)")
+        return 1
+    # 2. One injected regression per hard-failing kind must be caught
+    #    (throughput is warn-severity by design, so it is checked via
+    #    --fail-on-warn instead).
+    broken = copy.deepcopy(run_doc)
+    done = set()
+    for case in broken.get("cases", []):
+        kind = case.get("kind")
+        if kind in done:
+            continue
+        if kind == "exact":
+            case["value"] += 1
+        elif kind == "percent":
+            sign = 1.0 if not case.get("higher_is_better", False) else -1.0
+            case["value"] += sign * 50.0
+        elif kind == "value":
+            case["value"] = case["value"] * 1.5 + 1.0
+        elif kind == "throughput":
+            sign = -1.0 if case.get("higher_is_better", True) else 1.0
+            case["value"] *= (1.0 + sign * 0.95)
+        else:
+            continue
+        done.add(kind)
+    if not done:
+        print("self-test: FAILED (no cases to inject into)")
+        return 1
+    print(f"\nself-test: injected regressions into kinds: {sorted(done)}")
+    caught = run_gate(broken, [("injected", run_doc)], tolerances,
+                      fail_on_warn=True)
+    if caught == 0:
+        print("self-test: FAILED (injected regression not caught)")
+        return 1
+    print("self-test: OK (clean pass + injected regressions caught)")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--run", required=True,
+                        help="combined sc-bench-v1 JSON from bench_runner")
+    parser.add_argument("--baseline", action="append", default=[],
+                        help="committed BENCH_*.json (repeatable)")
+    parser.add_argument("--tolerance-table",
+                        help="JSON overriding the default tolerances")
+    parser.add_argument("--fail-on-warn", action="store_true",
+                        help="treat warn-severity misses as failures")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the gate catches injected regressions")
+    args = parser.parse_args()
+
+    tolerances = dict(DEFAULT_TOLERANCES)
+    if args.tolerance_table:
+        table = load_json(args.tolerance_table)
+        tolerances.update(table)
+
+    run_doc = load_json(args.run)
+    if args.self_test:
+        sys.exit(self_test(run_doc, None, tolerances))
+
+    if not args.baseline:
+        print("error: need at least one --baseline (or --self-test)",
+              file=sys.stderr)
+        sys.exit(2)
+    baselines = [(path, load_json(path)) for path in args.baseline]
+    sys.exit(run_gate(run_doc, baselines, tolerances, args.fail_on_warn))
+
+
+if __name__ == "__main__":
+    main()
