@@ -1,0 +1,115 @@
+/// \file simd.hpp
+/// Runtime-dispatched SIMD shim for the word-parallel kernel datapath.
+///
+/// Every helper here is *exact*: the vector implementations are drop-in
+/// replacements for the scalar loops they accelerate, bit-identical for
+/// every input (the kernel layer's equivalence contract extends through
+/// this shim).  Dispatch picks the widest tier the host supports at first
+/// use — AVX-512 (F/BW/VL/DQ + BMI2), AVX2 + BMI2 + POPCNT, NEON on
+/// aarch64, or plain scalar — and the `SC_SIMD` environment variable
+/// overrides it:
+///
+///   SC_SIMD=off | scalar | 0    force the scalar reference loops
+///   SC_SIMD=avx2                cap at the AVX2 tier (x86 only)
+///   SC_SIMD=avx512 | on | auto  no cap (the default)
+///
+/// The forced-scalar override is the differential-testing escape hatch:
+/// with SC_SIMD=off the RNG-coupled kernels fall back to their per-cycle
+/// table/direct paths, so golden corpora and conformance fixtures can be
+/// replayed against both datapaths.  The variable is read once, at the
+/// first dispatch, and cached for the process lifetime.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sc::simd {
+
+/// Instruction tiers the shim dispatches across, widest supported wins.
+enum class Tier {
+  kScalar = 0,  ///< portable reference loops (also the SC_SIMD=off tier)
+  kNeon = 1,    ///< aarch64 NEON (packing helpers only; rest scalar)
+  kAvx2 = 2,    ///< x86 AVX2 + BMI2 + POPCNT
+  kAvx512 = 3,  ///< x86 AVX-512 F/BW/VL/DQ on top of the AVX2 tier
+};
+
+/// The tier in effect for this process (detection + SC_SIMD override,
+/// resolved once and cached).
+Tier active_tier();
+
+/// Human-readable name of a tier ("scalar", "neon", "avx2", "avx512").
+const char* tier_name(Tier tier);
+
+/// True when the word-parallel kernel datapaths should engage (any tier
+/// above scalar).  SC_SIMD=off turns this off, which routes every
+/// RNG-coupled kernel back to its per-cycle scalar reference path.
+inline bool word_parallel_enabled() { return active_tier() != Tier::kScalar; }
+
+// ------------------------------------------------------------ bit packing
+
+/// ORs bit i = (vals[i] < level) into words[i/64] at bit i%64, i in [0, n).
+/// Touched bit positions must be clear beforehand (the chunk sources zero
+/// their buffers first).  Comparison is unsigned 32-bit; level saturates
+/// the compare (level > max uint32 handled by the caller).
+void pack_compare_lt(const std::uint32_t* vals, std::size_t n,
+                     std::uint32_t level, std::uint64_t* words);
+
+/// ORs bit i = (int32(raw[i]) < thresh[i]) into words, same layout as
+/// pack_compare_lt.  Signed compare — this is the TFM output rule, where
+/// raw is the aux RNG draw and thresh the post-update estimate trace.
+void pack_compare_trace(const std::uint32_t* raw, const std::uint16_t* thresh,
+                        std::size_t n, std::uint64_t* words);
+
+/// Byte-source variant of pack_compare_trace for aux values that fit a
+/// byte (source width <= 8): bit i = (raw[i] < thresh[i]), raw
+/// zero-extended, thresh at most 2^15 - 1 so the 16-bit signed compare
+/// is exact.
+void pack_compare_trace_u8(const std::uint8_t* raw,
+                           const std::uint16_t* thresh, std::size_t n,
+                           std::uint64_t* words);
+
+// -------------------------------------------------------------- modulo
+
+/// out[i] = vals[i] % bound, narrowed to bytes.  Requires bound in
+/// [1, 255].  Exact for every 32-bit input: SIMD tiers use a per-bound
+/// 2^20 magic that is verified exhaustively over the 16-bit domain the
+/// first time a bound is seen and engage only when the caller-guaranteed
+/// exclusive value bound fits 2^16; otherwise scalar Lemire reduction.
+/// Pass value_bound = 0 for "unknown / full 32-bit domain".
+void mod_bytes(const std::uint32_t* vals, std::size_t n, std::uint32_t bound,
+               std::uint64_t value_bound, std::uint8_t* out);
+
+// ----------------------------------------------------------- bit copying
+
+/// ORs nbits bits read from src starting at absolute bit src_bit0 into
+/// dst starting at absolute bit dst_bit0 (bit i of a buffer lives at
+/// word i/64, bit i%64).  Destination bit positions must be clear.
+/// This is the ring-replay primitive: misaligned word-at-a-time copy.
+void or_copy_bits(std::uint64_t* dst, std::size_t dst_bit0,
+                  const std::uint64_t* src, std::size_t src_bit0,
+                  std::size_t nbits);
+
+// ------------------------------------------------------- shuffle datapath
+
+/// Advances one shuffle buffer `n` cycles, word-parallel, in place.
+/// words holds the input bits (bit i of the run at words[i/64] bit i%64);
+/// bits at positions >= n in the final word are preserved.  r[i] is the
+/// cycle-i address draw, already reduced to [0, depth].  *slots is the
+/// slot-contents bitmask (bit s = slot s) and is updated to the final
+/// state — the same encoding core::ShuffleBuffer uses.  depth in [1, 63].
+///
+/// Exact semantics per cycle (identical to the ShuffleBuffer transition):
+///   r == depth: out = in, slots unchanged;
+///   r <  depth: out = slots[r], slots[r] = in.
+///
+/// The vector tiers decompose the buffer per slot class: positions with
+/// r == s form a chain where each output is the previous input of the
+/// same class (a depth-1 FIFO per class), which is one PEXT, one shifted
+/// OR-in of the carry, and one PDEP per slot per word — no per-bit
+/// dependency chain and no gather/scatter.  The scalar tier is the plain
+/// per-bit update.
+void shuffle_words(std::uint64_t* words, const std::uint8_t* r, std::size_t n,
+                   unsigned depth, std::uint64_t* slots);
+
+}  // namespace sc::simd

@@ -17,39 +17,15 @@ SngChunkSource::SngChunkSource(rng::RandomSourcePtr source,
   assert(source_ != nullptr);
 }
 
-namespace {
-
-/// RNG values drawn per block when packing comparator bits into words.
-constexpr std::size_t kSngBlock = 4096;
-
-}  // namespace
-
 std::size_t SngChunkSource::next_chunk(Bitstream& chunk,
                                        std::size_t max_bits) {
   const std::size_t take = std::min(max_bits, length_ - produced_);
   chunk.assign_zero(take);  // reuses the buffer's capacity across chunks
-  if (raw_.size() < kSngBlock && take != 0) raw_.resize(kSngBlock);
-  Bitstream::Word* words = chunk.word_data();
-  std::size_t pos = 0;
-  while (pos < take) {
-    const std::size_t n = std::min(kSngBlock, take - pos);
-    source_->fill(raw_.data(), n);
-    // Compare the block into packed words.  The chunk is all-zero, so
-    // OR-ing only bit positions < take keeps the tail-clear invariant.
-    std::size_t i = 0;
-    while (i < n) {
-      const std::size_t bit = pos + i;
-      const auto off = static_cast<unsigned>(bit % 64);
-      const auto span =
-          static_cast<unsigned>(std::min<std::size_t>(64 - off, n - i));
-      Bitstream::Word packed = 0;
-      for (unsigned b = 0; b < span; ++b) {
-        packed |= static_cast<Bitstream::Word>(raw_[i + b] < level_) << b;
-      }
-      words[bit / 64] |= packed << off;
-      i += span;
-    }
-    pos += n;
+  if (take != 0) {
+    // One word-API call packs the whole chunk: bit i = (draw_i < level_).
+    // The chunk is all-zero and the fill ORs only positions < take, so
+    // the tail-clear invariant holds (fill_compare touches no bit >= take).
+    source_->fill_compare(chunk.word_data(), take, level_);
   }
   produced_ += take;
   return take;
@@ -217,6 +193,67 @@ ChunkedRunStats run_chunked_pair(ChunkSource& source_x, ChunkSource& source_y,
     (void)ny;
   }
   if (applier != nullptr) applier->finish();
+  return stats;
+}
+
+std::vector<ChunkedRunStats> run_chunked_lanes(
+    const std::vector<PairLane>& lanes, std::size_t chunk_bits,
+    KernelPolicy policy) {
+  if (chunk_bits == 0) throw std::invalid_argument("chunk_bits must be > 0");
+  for (const PairLane& lane : lanes) {
+    if (lane.source_x == nullptr || lane.source_y == nullptr ||
+        lane.sink == nullptr) {
+      throw std::invalid_argument("PairLane sources and sink must be set");
+    }
+    if (lane.source_x->length() != lane.source_y->length()) {
+      throw std::invalid_argument("pair sources must have equal length");
+    }
+  }
+
+  struct LaneState {
+    std::unique_ptr<kernel::ChunkedPairApplier> applier;
+    bool done = false;
+  };
+  std::vector<LaneState> states(lanes.size());
+  std::vector<ChunkedRunStats> stats(lanes.size());
+  for (std::size_t l = 0; l < lanes.size(); ++l) {
+    if (lanes[l].transform != nullptr) {
+      states[l].applier = std::make_unique<kernel::ChunkedPairApplier>(
+          *lanes[l].transform, policy == KernelPolicy::kAuto);
+      states[l].applier->begin(lanes[l].source_x->length());
+    }
+  }
+
+  // Two chunk buffers shared by every lane: the peak live buffering is one
+  // chunk pair regardless of the lane count.
+  Bitstream chunk_x;
+  Bitstream chunk_y;
+  std::size_t live = lanes.size();
+  while (live != 0) {
+    for (std::size_t l = 0; l < lanes.size(); ++l) {
+      LaneState& st = states[l];
+      if (st.done) continue;
+      const std::size_t nx = lanes[l].source_x->next_chunk(chunk_x, chunk_bits);
+      const std::size_t ny = lanes[l].source_y->next_chunk(chunk_y, chunk_bits);
+      if (nx != ny) {
+        throw std::logic_error(
+            "ChunkSource produced a short chunk; next_chunk must return "
+            "exactly min(max_bits, remaining)");
+      }
+      if (nx == 0) {
+        if (st.applier != nullptr) st.applier->finish();
+        st.done = true;
+        --live;
+        continue;
+      }
+      if (st.applier != nullptr) st.applier->advance(chunk_x, chunk_y);
+      stats[l].bits += nx;
+      ++stats[l].chunks;
+      stats[l].peak_buffer_bits = std::max(
+          stats[l].peak_buffer_bits, chunk_x.size() + chunk_y.size());
+      lanes[l].sink->consume(chunk_x, chunk_y);
+    }
+  }
   return stats;
 }
 

@@ -60,9 +60,10 @@ class ChunkSource {
 
 /// Comparator-SNG source: bit i is (source.next() < level), the paper's
 /// Fig. 2g generator, produced lazily so the stream never materializes.
-/// The RNG is drawn a block at a time (RandomSource::fill) and compared
-/// into packed words, so generation keeps pace with the word-parallel
-/// kernels downstream.
+/// Each chunk is packed by one RandomSource::fill_compare call, so
+/// generation rides the source's word API (SIMD-packed block fills, or
+/// ring replay for LFSRs) and keeps pace with the word-parallel kernels
+/// downstream.
 class SngChunkSource final : public ChunkSource {
  public:
   /// \param source owned RNG; \param level in [0, 2^source->width()] —
@@ -81,7 +82,6 @@ class SngChunkSource final : public ChunkSource {
   std::uint64_t level_;
   std::size_t length_;
   std::size_t produced_ = 0;
-  std::vector<std::uint32_t> raw_;  // per-block RNG scratch
 };
 
 /// Non-owning view of an in-memory stream, chunked (reference path for
@@ -206,5 +206,30 @@ ChunkedRunStats run_chunked_pair(ChunkSource& source_x, ChunkSource& source_y,
                                  PairChunkSink& sink,
                                  std::size_t chunk_bits = kDefaultChunkBits,
                                  KernelPolicy policy = KernelPolicy::kAuto);
+
+/// One independent pair job for the batched driver below.  All pointers
+/// are non-owning and must outlive the run; `transform` may be nullptr
+/// for a pass-through lane.  The two sources must have equal length, but
+/// different lanes may have different lengths.
+struct PairLane {
+  ChunkSource* source_x = nullptr;
+  ChunkSource* source_y = nullptr;
+  core::PairTransform* transform = nullptr;
+  PairChunkSink* sink = nullptr;
+};
+
+/// Batched multi-stream driver: advances every lane one chunk per round,
+/// round-robin, until all lanes are exhausted.  Each lane is bit-identical
+/// to its own run_chunked_pair call (per-lane FSM state carries across
+/// chunks through a dedicated kernel applier; begin_stream sees the lane's
+/// total length before its first chunk).  The two chunk buffers are shared
+/// across lanes, so peak engine-side buffering stays O(chunk) no matter
+/// how many jobs are in flight — this is what lets one invocation sweep
+/// several independent streams through the word-parallel kernels while
+/// the RNG blocks and tables stay hot in cache.
+std::vector<ChunkedRunStats> run_chunked_lanes(
+    const std::vector<PairLane>& lanes,
+    std::size_t chunk_bits = kDefaultChunkBits,
+    KernelPolicy policy = KernelPolicy::kAuto);
 
 }  // namespace sc::engine

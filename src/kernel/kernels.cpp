@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 #include <map>
 #include <mutex>
 #include <utility>
 #include <vector>
 
+#include "common/simd.hpp"
 #include "core/decorrelator.hpp"
 #include "core/desynchronizer.hpp"
 #include "core/shuffle_buffer.hpp"
@@ -31,8 +33,23 @@ constexpr std::size_t kMaxShuffleTableDepth = 12;
 /// Largest TFM precision we table (2 * (2^16 + 1) entries at 16).
 constexpr unsigned kMaxTfmPrecision = 16;
 
-/// RNG values prefetched per block for the RNG-coupled kernels.
+/// RNG values prefetched per block for the RNG-coupled kernels.  A
+/// multiple of 64 so block starts stay word-aligned, which is what lets
+/// the word-parallel paths hand whole words to the SIMD shim.
 constexpr std::size_t kRngBlock = 4096;
+
+/// Largest TFM precision served by the word-parallel datapath: the aux
+/// source width equals the precision (tfm.hpp contract), so estimates fit
+/// 16-bit trace entries and aux draws fit a byte ring.  Higher precisions
+/// run the per-cycle table path.
+constexpr unsigned kMaxWordTfmPrecision = 8;
+
+/// Word-parallel eligibility for a shuffle depth: the slot-class PEXT/PDEP
+/// decomposition in the SIMD shim handles depths 1..63 (depth 64 would
+/// need 65 slot classes and 64-bit shifts by 64).
+bool shuffle_word_path(std::size_t depth) {
+  return depth >= 1 && depth <= 63 && simd::word_parallel_enabled();
+}
 
 // ------------------------------------------------------------ table caches
 
@@ -148,6 +165,43 @@ std::shared_ptr<const std::vector<std::int32_t>> tfm_table(unsigned precision,
       }
     }
     return std::shared_ptr<const std::vector<std::int32_t>>(std::move(table));
+  });
+}
+
+/// Nibble-jump table for the word-parallel TFM path: entry (est, nibble)
+/// packs the four successive post-update estimates reached by consuming
+/// the nibble's bits (LSB first) as four little-endian uint16 lanes — the
+/// exact regeneration-trace layout — so one lookup advances four cycles
+/// and the top lane (entry >> 48) is the successor estimate.  Built by
+/// composing the per-cycle tfm_table, so it inherits that table's exact
+/// core::TrackingForecastMemory semantics.  Size (2^p + 1) * 16 * 8 bytes
+/// (33 KiB at the precision-8 cap).
+std::shared_ptr<const std::vector<std::uint64_t>> tfm_jump_table(
+    unsigned precision, unsigned shift) {
+  if (precision > kMaxWordTfmPrecision) return nullptr;
+  auto steps = tfm_table(precision, shift);
+  if (!steps) return nullptr;
+  static std::mutex mutex;
+  static std::map<std::pair<unsigned, unsigned>,
+                  std::shared_ptr<const std::vector<std::uint64_t>>>
+      cache;
+  return cached(mutex, cache, std::make_pair(precision, shift), [&] {
+    const std::int32_t scale = std::int32_t{1} << precision;
+    auto table = std::make_shared<std::vector<std::uint64_t>>(
+        (static_cast<std::size_t>(scale) + 1) << 4);
+    for (std::int32_t est = 0; est <= scale; ++est) {
+      for (unsigned nib = 0; nib < 16; ++nib) {
+        std::uint64_t entry = 0;
+        std::int32_t e = est;
+        for (unsigned g = 0; g < 4; ++g) {
+          e = (*steps)[(static_cast<std::size_t>(e) << 1) | ((nib >> g) & 1u)];
+          entry |= static_cast<std::uint64_t>(static_cast<std::uint16_t>(e))
+                   << (16 * g);
+        }
+        (*table)[(static_cast<std::size_t>(est) << 4) | nib] = entry;
+      }
+    }
+    return std::shared_ptr<const std::vector<std::uint64_t>>(std::move(table));
   });
 }
 
@@ -337,6 +391,10 @@ class ShuffleHalf {
         mask_(buffer.slots_mask()) {}
 
   void process(Word* w, std::size_t bits, std::uint32_t* raw) {
+    if (shuffle_word_path(depth_)) {
+      process_words(w, bits);
+      return;
+    }
     std::size_t pos = 0;
     while (pos < bits) {
       const std::size_t n = std::min(kRngBlock, bits - pos);
@@ -351,6 +409,22 @@ class ShuffleHalf {
   }
 
   void finish() { buffer_.set_slots_mask(mask_); }
+
+ private:
+  /// Word-parallel path: address draws come pre-reduced from the source's
+  /// word API (identical values to mod_(fill(..)) — both are exact modulo)
+  /// and whole words advance through the SIMD slot-class shuffle, with the
+  /// slot mask threaded through unchanged.
+  void process_words(Word* w, std::size_t bits) {
+    std::uint8_t idx[kRngBlock];
+    std::size_t pos = 0;
+    while (pos < bits) {
+      const std::size_t n = std::min(kRngBlock, bits - pos);
+      buffer_.source().fill_indices(idx, n, depth_ + 1);
+      simd::shuffle_words(w + pos / 64, idx, n, depth_, &mask_);
+      pos += n;
+    }
+  }
 
  private:
   template <typename CycleFn>
@@ -426,6 +500,23 @@ class DecorrelatorKernel final : public PairKernel {
         raw_y_(kRngBlock) {}
 
   void process(Word* xw, Word* yw, std::size_t bits) override {
+    if (shuffle_word_path(depth_)) {
+      // Word-parallel path: the two buffers are fully independent (separate
+      // sources, separate slot masks), so each advances through the SIMD
+      // slot-class shuffle on whole words.  Address draws are block-filled
+      // per buffer exactly as below, so the sequences are identical.
+      std::uint8_t idx[kRngBlock];
+      std::size_t pos = 0;
+      while (pos < bits) {
+        const std::size_t n = std::min(kRngBlock, bits - pos);
+        buffer_x_.source().fill_indices(idx, n, depth_ + 1);
+        simd::shuffle_words(xw + pos / 64, idx, n, depth_, &mask_x_);
+        buffer_y_.source().fill_indices(idx, n, depth_ + 1);
+        simd::shuffle_words(yw + pos / 64, idx, n, depth_, &mask_y_);
+        pos += n;
+      }
+      return;
+    }
     // Both buffers advance in one fused loop: each buffer's state chain
     // (mask -> table load -> mask) is serially dependent, so running the
     // two independent chains together overlaps their latencies and
@@ -568,9 +659,18 @@ class TfmHalf {
  public:
   TfmHalf(core::TrackingForecastMemory& tfm,
           std::shared_ptr<const std::vector<std::int32_t>> table)
-      : tfm_(tfm), table_(std::move(table)), estimate_(tfm.estimate_fixed()) {}
+      : tfm_(tfm),
+        table_(std::move(table)),
+        jump_(simd::word_parallel_enabled()
+                  ? tfm_jump_table(tfm.config().precision, tfm.config().shift)
+                  : nullptr),
+        estimate_(tfm.estimate_fixed()) {}
 
   void process(Word* w, std::size_t bits, std::uint32_t* raw) {
+    if (jump_) {
+      process_words(w, bits);
+      return;
+    }
     const std::int32_t* table = table_->data();
     std::size_t pos = 0;
     while (pos < bits) {
@@ -604,8 +704,46 @@ class TfmHalf {
   void finish() { tfm_.set_estimate_fixed(estimate_); }
 
  private:
+  /// Word-parallel path: phase 1 walks the input a nibble-jump at a time,
+  /// recording the post-update estimate trace; phase 2 regenerates the
+  /// output word-at-a-time as (aux draw < trace entry) through the aux
+  /// source's word API.  Both phases are exact compositions of the
+  /// per-cycle rule: update the estimate first, then compare.
+  void process_words(Word* w, std::size_t bits) {
+    const std::uint64_t* jump = jump_->data();
+    const std::int32_t* table = table_->data();
+    std::uint16_t trace[kRngBlock];
+    std::size_t pos = 0;
+    while (pos < bits) {
+      const std::size_t n = std::min(kRngBlock, bits - pos);
+      Word* base = w + pos / 64;
+      std::int32_t est = estimate_;
+      std::size_t i = 0;
+      for (; i + 4 <= n; i += 4) {
+        const auto nib =
+            static_cast<unsigned>((base[i / 64] >> (i % 64)) & 0xF);
+        const std::uint64_t e = jump[(static_cast<std::size_t>(est) << 4) |
+                                     nib];
+        std::memcpy(trace + i, &e, sizeof(e));
+        est = static_cast<std::int32_t>(e >> 48);
+      }
+      for (; i < n; ++i) {
+        est = table[(static_cast<std::size_t>(est) << 1) |
+                    static_cast<std::size_t>((base[i / 64] >> (i % 64)) & 1u)];
+        trace[i] = static_cast<std::uint16_t>(est);
+      }
+      estimate_ = est;
+      const std::size_t full = n / 64;
+      for (std::size_t k = 0; k < full; ++k) base[k] = 0;
+      if (n % 64 != 0) base[full] &= ~Word{0} << (n % 64);
+      tfm_.aux_source().fill_compare_trace(base, trace, n);
+      pos += n;
+    }
+  }
+
   core::TrackingForecastMemory& tfm_;
   std::shared_ptr<const std::vector<std::int32_t>> table_;
+  std::shared_ptr<const std::vector<std::uint64_t>> jump_;
   std::int32_t estimate_;
 };
 
@@ -616,12 +754,20 @@ class TfmPairKernel final : public PairKernel {
       : tfm_x_(pair.tfm_x()),
         tfm_y_(pair.tfm_y()),
         table_(std::move(table)),
+        jump_(simd::word_parallel_enabled()
+                  ? tfm_jump_table(pair.tfm_x().config().precision,
+                                   pair.tfm_x().config().shift)
+                  : nullptr),
         est_x_(pair.tfm_x().estimate_fixed()),
         est_y_(pair.tfm_y().estimate_fixed()),
         raw_x_(kRngBlock),
         raw_y_(kRngBlock) {}
 
   void process(Word* xw, Word* yw, std::size_t bits) override {
+    if (jump_) {
+      process_words(xw, yw, bits);
+      return;
+    }
     // Fused like the decorrelator: the two estimate chains are serially
     // dependent table loads, so interleaving them overlaps the latency.
     const std::int32_t* table = table_->data();
@@ -673,9 +819,66 @@ class TfmPairKernel final : public PairKernel {
   }
 
  private:
+  /// Word-parallel path, fused across the pair: one pass walks both
+  /// inputs through the nibble-jump table (the two estimate chains are
+  /// independent, so their jump loads overlap), then each stream
+  /// regenerates through its own aux source's word API.
+  void process_words(Word* xw, Word* yw, std::size_t bits) {
+    const std::uint64_t* jump = jump_->data();
+    const std::int32_t* table = table_->data();
+    std::uint16_t trace_x[kRngBlock];
+    std::uint16_t trace_y[kRngBlock];
+    std::size_t pos = 0;
+    while (pos < bits) {
+      const std::size_t n = std::min(kRngBlock, bits - pos);
+      Word* xbase = xw + pos / 64;
+      Word* ybase = yw + pos / 64;
+      std::int32_t est_x = est_x_;
+      std::int32_t est_y = est_y_;
+      std::size_t i = 0;
+      for (; i + 4 <= n; i += 4) {
+        const auto xnib =
+            static_cast<unsigned>((xbase[i / 64] >> (i % 64)) & 0xF);
+        const auto ynib =
+            static_cast<unsigned>((ybase[i / 64] >> (i % 64)) & 0xF);
+        const std::uint64_t ex =
+            jump[(static_cast<std::size_t>(est_x) << 4) | xnib];
+        const std::uint64_t ey =
+            jump[(static_cast<std::size_t>(est_y) << 4) | ynib];
+        std::memcpy(trace_x + i, &ex, sizeof(ex));
+        std::memcpy(trace_y + i, &ey, sizeof(ey));
+        est_x = static_cast<std::int32_t>(ex >> 48);
+        est_y = static_cast<std::int32_t>(ey >> 48);
+      }
+      for (; i < n; ++i) {
+        est_x =
+            table[(static_cast<std::size_t>(est_x) << 1) |
+                  static_cast<std::size_t>((xbase[i / 64] >> (i % 64)) & 1u)];
+        est_y =
+            table[(static_cast<std::size_t>(est_y) << 1) |
+                  static_cast<std::size_t>((ybase[i / 64] >> (i % 64)) & 1u)];
+        trace_x[i] = static_cast<std::uint16_t>(est_x);
+        trace_y[i] = static_cast<std::uint16_t>(est_y);
+      }
+      est_x_ = est_x;
+      est_y_ = est_y;
+      const std::size_t full = n / 64;
+      for (std::size_t k = 0; k < full; ++k) xbase[k] = 0;
+      for (std::size_t k = 0; k < full; ++k) ybase[k] = 0;
+      if (n % 64 != 0) {
+        xbase[full] &= ~Word{0} << (n % 64);
+        ybase[full] &= ~Word{0} << (n % 64);
+      }
+      tfm_x_.aux_source().fill_compare_trace(xbase, trace_x, n);
+      tfm_y_.aux_source().fill_compare_trace(ybase, trace_y, n);
+      pos += n;
+    }
+  }
+
   core::TrackingForecastMemory& tfm_x_;
   core::TrackingForecastMemory& tfm_y_;
   std::shared_ptr<const std::vector<std::int32_t>> table_;
+  std::shared_ptr<const std::vector<std::uint64_t>> jump_;
   std::int32_t est_x_;
   std::int32_t est_y_;
   std::vector<std::uint32_t> raw_x_;

@@ -32,6 +32,15 @@ class CounterSource final : public RandomSource {
     state_ = (state_ + 1) & mask_;
     return out;
   }
+  void fill(std::uint32_t* out, std::size_t n) override {
+    std::uint32_t s = state_;
+    const std::uint32_t mask = mask_;
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = s;
+      s = (s + 1) & mask;
+    }
+    state_ = s;
+  }
   [[nodiscard]] unsigned width() const override { return width_; }
   void reset() override { state_ = start_; }
   [[nodiscard]] std::unique_ptr<RandomSource> clone() const override {

@@ -33,6 +33,20 @@ std::uint32_t Halton::next() {
   return scaled > max ? max : scaled;
 }
 
+void Halton::fill(std::uint32_t* out, std::size_t n) {
+  // Same float pipeline as next() (radical_inverse is in this TU and
+  // inlines), so the block path is bit-identical to n next() calls.
+  const double scale_w = static_cast<double>(std::uint64_t{1} << width_);
+  const std::uint32_t max = (width_ == 32 ? ~0u : (1u << width_) - 1u);
+  const std::uint64_t t0 = counter_;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double r = radical_inverse(t0 + i, base_);
+    const auto scaled = static_cast<std::uint32_t>(r * scale_w);
+    out[i] = scaled > max ? max : scaled;
+  }
+  counter_ = t0 + n;
+}
+
 std::unique_ptr<RandomSource> Halton::clone() const {
   return std::make_unique<Halton>(*this);
 }

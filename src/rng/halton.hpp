@@ -25,6 +25,7 @@ class Halton final : public RandomSource {
   explicit Halton(unsigned width, unsigned base = 3, std::uint32_t offset = 0);
 
   std::uint32_t next() override;
+  void fill(std::uint32_t* out, std::size_t n) override;
   [[nodiscard]] unsigned width() const override { return width_; }
   void reset() override { counter_ = offset_; }
   [[nodiscard]] std::unique_ptr<RandomSource> clone() const override;

@@ -26,6 +26,10 @@ class Mt19937Source final : public RandomSource {
     const std::uint32_t raw = gen_();
     return width_ == 32 ? raw : (raw & ((1u << width_) - 1u));
   }
+  void fill(std::uint32_t* out, std::size_t n) override {
+    const std::uint32_t mask = width_ == 32 ? ~0u : (1u << width_) - 1u;
+    for (std::size_t i = 0; i < n; ++i) out[i] = gen_() & mask;
+  }
   [[nodiscard]] unsigned width() const override { return width_; }
   void reset() override { gen_.seed(seed_); }
   [[nodiscard]] std::unique_ptr<RandomSource> clone() const override {

@@ -1,0 +1,61 @@
+#include "rng/random_source.hpp"
+
+#include "common/simd.hpp"
+
+namespace sc::rng {
+namespace {
+
+/// Values drawn per inner block by the default word-API implementations
+/// (16 KiB of stack scratch, L1-resident).
+constexpr std::size_t kBlock = 4096;
+
+}  // namespace
+
+void RandomSource::fill_compare(std::uint64_t* words, std::size_t nbits,
+                                std::uint64_t level) {
+  if (nbits == 0) return;
+  if (level >= range()) {
+    // Every value compares below a full-scale (or larger) level: set the
+    // bits directly, but still advance the sequence by nbits draws.
+    std::uint32_t tmp[kBlock];
+    for (std::size_t i = 0; i < nbits; i += kBlock) {
+      fill(tmp, nbits - i < kBlock ? nbits - i : kBlock);
+    }
+    std::size_t w = 0;
+    for (; (w + 1) * 64 <= nbits; ++w) words[w] = ~std::uint64_t{0};
+    if (nbits % 64 != 0) {
+      words[w] |= (std::uint64_t{1} << (nbits % 64)) - 1;
+    }
+    return;
+  }
+  const auto level32 = static_cast<std::uint32_t>(level);
+  std::uint32_t tmp[kBlock];
+  for (std::size_t i = 0; i < nbits; i += kBlock) {
+    const std::size_t n = nbits - i < kBlock ? nbits - i : kBlock;
+    fill(tmp, n);
+    simd::pack_compare_lt(tmp, n, level32, words + i / 64);
+  }
+}
+
+void RandomSource::fill_compare_trace(std::uint64_t* words,
+                                      const std::uint16_t* thresh,
+                                      std::size_t nbits) {
+  std::uint32_t tmp[kBlock];
+  for (std::size_t i = 0; i < nbits; i += kBlock) {
+    const std::size_t n = nbits - i < kBlock ? nbits - i : kBlock;
+    fill(tmp, n);
+    simd::pack_compare_trace(tmp, thresh + i, n, words + i / 64);
+  }
+}
+
+void RandomSource::fill_indices(std::uint8_t* out, std::size_t n,
+                                std::uint32_t bound) {
+  std::uint32_t tmp[kBlock];
+  for (std::size_t i = 0; i < n; i += kBlock) {
+    const std::size_t take = n - i < kBlock ? n - i : kBlock;
+    fill(tmp, take);
+    simd::mod_bytes(tmp, take, bound, range(), out + i);
+  }
+}
+
+}  // namespace sc::rng

@@ -36,6 +36,31 @@ class RandomSource {
     for (std::size_t i = 0; i < n; ++i) out[i] = next();
   }
 
+  // Word API: the RNG hot paths of the word-parallel kernels.  Each call
+  // is sequence-identical to drawing nbits/n values with next() and
+  // post-processing them; the defaults (random_source.cpp) block-fill and
+  // route through the SIMD shim, and sources with replayable structure
+  // (rng::Lfsr) override them with word-at-a-time implementations.  The
+  // packed outputs place bit i at words[i/64] bit i%64; callers pass
+  // zeroed destinations (bits are OR-ed in) and word-aligned starts.
+
+  /// ORs comparator-SNG bits into words: bit i = (value_i < level), with
+  /// level in [0, 2^width()] (64-bit so full scale does not wrap).
+  virtual void fill_compare(std::uint64_t* words, std::size_t nbits,
+                            std::uint64_t level);
+
+  /// ORs regeneration bits into words: bit i = (int32(value_i) <
+  /// thresh[i]).  thresh values must be < 2^15 (TFM estimates at the
+  /// precisions the word kernels accept).
+  virtual void fill_compare_trace(std::uint64_t* words,
+                                  const std::uint16_t* thresh,
+                                  std::size_t nbits);
+
+  /// Fills out[0..n) with value_i % bound, narrowed to bytes; bound in
+  /// [1, 255] (shuffle-buffer address draws).
+  virtual void fill_indices(std::uint8_t* out, std::size_t n,
+                            std::uint32_t bound);
+
   /// Output width in bits (1..32).  next() < 2^width().
   [[nodiscard]] virtual unsigned width() const = 0;
 

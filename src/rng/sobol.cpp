@@ -72,6 +72,20 @@ std::uint32_t Sobol::next() {
   return out;
 }
 
+void Sobol::fill(std::uint32_t* out, std::size_t n) {
+  const unsigned shift = kDirectionBits - width_;
+  std::uint32_t s = state_;
+  std::uint64_t idx = index_;
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = s >> shift;
+    const unsigned c = static_cast<unsigned>(sc::countr_zero64(~idx));
+    s ^= v_[c];
+    ++idx;
+  }
+  state_ = s;
+  index_ = idx;
+}
+
 void Sobol::reset() {
   state_ = 0;
   index_ = 0;

@@ -29,6 +29,7 @@ class Sobol final : public RandomSource {
   explicit Sobol(unsigned width, unsigned dimension = 1);
 
   std::uint32_t next() override;
+  void fill(std::uint32_t* out, std::size_t n) override;
   [[nodiscard]] unsigned width() const override { return width_; }
   void reset() override;
   [[nodiscard]] std::unique_ptr<RandomSource> clone() const override;

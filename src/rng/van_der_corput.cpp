@@ -27,6 +27,17 @@ std::uint32_t VanDerCorput::next() {
   return out;
 }
 
+void VanDerCorput::fill(std::uint32_t* out, std::size_t n) {
+  // Note the counter increments unmasked (it only wraps at 2^32), exactly
+  // as in next(); the mask applies to the reversed value.
+  std::uint32_t c = counter_;
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = reverse_bits(c & mask_, width_);
+    ++c;
+  }
+  counter_ = c;
+}
+
 std::unique_ptr<RandomSource> VanDerCorput::clone() const {
   return std::make_unique<VanDerCorput>(*this);
 }

@@ -23,6 +23,7 @@ class VanDerCorput final : public RandomSource {
   explicit VanDerCorput(unsigned width, std::uint32_t offset = 0);
 
   std::uint32_t next() override;
+  void fill(std::uint32_t* out, std::size_t n) override;
   [[nodiscard]] unsigned width() const override { return width_; }
   void reset() override { counter_ = offset_; }
   [[nodiscard]] std::unique_ptr<RandomSource> clone() const override;

@@ -191,6 +191,126 @@ TEST(TfmKernel, MatchesBitSerial) {
   }
 }
 
+// --- word-datapath boundaries ----------------------------------------------
+
+/// Lengths that straddle the word kernels' internal RNG block (4096 bits)
+/// and the 64-bit word grain: every partial-final-word and block-boundary
+/// remainder path in the word-parallel implementations.
+const std::size_t kWordBoundaryLengths[] = {4095, 4096, 4097, 8191, 8192,
+                                            8193, 12289};
+
+TEST(WordKernels, DecorrelatorBitIdenticalAcrossWordAndBlockBoundaries) {
+  std::mt19937 gen(707);
+  for (const std::size_t depth : {1u, 8u, 16u}) {
+    for (const std::size_t n : kWordBoundaryLengths) {
+      core::Decorrelator serial = decorrelator_fixture(depth, 0xACE);
+      core::Decorrelator fast = decorrelator_fixture(depth, 0xACE);
+      const Bitstream x = random_stream(gen, n, 0.5);
+      const Bitstream y = random_stream(gen, n, 0.35);
+      expect_equivalent(serial, fast, x, y);
+    }
+  }
+}
+
+TEST(WordKernels, ChainLinkBitIdenticalAcrossWordAndBlockBoundaries) {
+  std::mt19937 gen(808);
+  for (const std::size_t depth : {1u, 8u, 63u, 64u}) {  // 64 -> scalar path
+    for (const std::size_t n : kWordBoundaryLengths) {
+      core::DecorrelatorChainLink serial(depth,
+                                         std::make_unique<rng::Lfsr>(10, 21));
+      core::DecorrelatorChainLink fast(depth,
+                                       std::make_unique<rng::Lfsr>(10, 21));
+      const Bitstream x = random_stream(gen, n, 0.55);
+      const Bitstream y = random_stream(gen, n, 0.55);
+      expect_equivalent(serial, fast, x, y);
+    }
+  }
+}
+
+TEST(WordKernels, TfmPairBitIdenticalAcrossWordAndBlockBoundaries) {
+  std::mt19937 gen(909);
+  // Precision 8 rides the nibble-jump word path; 10 exceeds the word-path
+  // cap and must fall back to the per-cycle table bit-identically.
+  for (const unsigned precision : {8u, 10u}) {
+    const core::TrackingForecastMemory::Config config{precision, 3, 0.5};
+    for (const std::size_t n : kWordBoundaryLengths) {
+      core::TfmPair serial(config, std::make_unique<rng::Lfsr>(precision, 5),
+                           std::make_unique<rng::Lfsr>(precision, 9));
+      core::TfmPair fast(config, std::make_unique<rng::Lfsr>(precision, 5),
+                         std::make_unique<rng::Lfsr>(precision, 9));
+      const Bitstream x = random_stream(gen, n, 0.6);
+      const Bitstream y = random_stream(gen, n, 0.25);
+      expect_equivalent(serial, fast, x, y);
+    }
+  }
+}
+
+TEST(WordKernels, FaultsPinnedAtWordBoundariesDoNotShift) {
+  // Mirrors the chunk-boundary fault suite at the kernel grain: corrupt the
+  // inputs exactly at 64-bit word seams and RNG-block seams, then require
+  // the word kernels to track the bit-serial reference through the
+  // disturbance (a word-offset bug would shift the corruption's echo).
+  std::mt19937 gen(1010);
+  const std::size_t n = 8193;
+  const std::size_t kFaultBits[] = {0, 63, 64, 65, 4095, 4096, 4097, 8192};
+  Bitstream x = random_stream(gen, n, 0.5);
+  Bitstream y = random_stream(gen, n, 0.5);
+  for (const std::size_t i : kFaultBits) {
+    x.set(i, !x.get(i));  // bit-flip fault at the seam
+    y.set(i, true);       // stuck-at-1 fault at the seam
+  }
+  {
+    core::Decorrelator serial = decorrelator_fixture(8, 0xFA1);
+    core::Decorrelator fast = decorrelator_fixture(8, 0xFA1);
+    expect_equivalent(serial, fast, x, y);
+  }
+  {
+    const core::TrackingForecastMemory::Config config{8, 3, 0.5};
+    core::TfmPair serial(config, std::make_unique<rng::Lfsr>(8, 5),
+                         std::make_unique<rng::Lfsr>(8, 9));
+    core::TfmPair fast(config, std::make_unique<rng::Lfsr>(8, 5),
+                       std::make_unique<rng::Lfsr>(8, 9));
+    expect_equivalent(serial, fast, x, y);
+  }
+  {
+    core::DecorrelatorChainLink serial(16, std::make_unique<rng::Lfsr>(10, 3));
+    core::DecorrelatorChainLink fast(16, std::make_unique<rng::Lfsr>(10, 3));
+    expect_equivalent(serial, fast, x, y);
+  }
+}
+
+TEST(WordKernels, ShuffleBufferBitIdenticalAcrossWordAndBlockBoundaries) {
+  std::mt19937 gen(1111);
+  for (const std::size_t depth : {1u, 8u, 63u, 64u}) {
+    for (const std::size_t n : kWordBoundaryLengths) {
+      core::ShuffleBuffer serial(depth, std::make_unique<rng::Lfsr>(9, 33));
+      core::ShuffleBuffer fast(depth, std::make_unique<rng::Lfsr>(9, 33));
+      const Bitstream in = random_stream(gen, n, 0.5);
+      ASSERT_EQ(core::apply(serial, in), kernel::apply(fast, in))
+          << "depth=" << depth << " n=" << n;
+      for (int i = 0; i < 64; ++i) {
+        ASSERT_EQ(serial.step(i % 3 == 0), fast.step(i % 3 == 0));
+      }
+    }
+  }
+}
+
+TEST(WordKernels, TfmStreamBitIdenticalAcrossWordAndBlockBoundaries) {
+  std::mt19937 gen(1212);
+  for (const unsigned precision : {8u, 10u}) {
+    for (const std::size_t n : kWordBoundaryLengths) {
+      core::TrackingForecastMemory serial(
+          {precision, 3, 0.5}, std::make_unique<rng::Lfsr>(precision, 77));
+      core::TrackingForecastMemory fast(
+          {precision, 3, 0.5}, std::make_unique<rng::Lfsr>(precision, 77));
+      const Bitstream in = random_stream(gen, n, 0.4);
+      ASSERT_EQ(core::apply(serial, in), kernel::apply(fast, in))
+          << "precision=" << precision << " n=" << n;
+      EXPECT_EQ(serial.estimate_fixed(), fast.estimate_fixed());
+    }
+  }
+}
+
 // --- single-stream kernels -------------------------------------------------
 
 TEST(StreamKernel, ShuffleBufferMatchesBitSerial) {

@@ -314,5 +314,196 @@ TEST(RandomSourceInterface, NextUnitInUnitInterval) {
   }
 }
 
+// --- fill() == next() equivalence -------------------------------------------
+
+// Every source's block fill() must be sequence-identical to one next() per
+// draw, including across fill boundaries that fall at odd offsets (the
+// kernel layer issues fills in arbitrary block sizes).
+void ExpectFillMatchesNext(const RandomSource& proto, std::size_t total) {
+  const auto a = proto.clone();  // fill path
+  const auto b = proto.clone();  // serial reference
+  std::vector<std::uint32_t> got(total);
+  static constexpr std::size_t kSplits[] = {1, 7, 63, 64, 65, 1000, 4096};
+  std::size_t done = 0;
+  std::size_t s = 0;
+  while (done < total) {
+    const std::size_t n = std::min(kSplits[s % std::size(kSplits)],
+                                   total - done);
+    a->fill(got.data() + done, n);
+    done += n;
+    ++s;
+  }
+  for (std::size_t i = 0; i < total; ++i) {
+    ASSERT_EQ(got[i], b->next()) << proto.name() << " diverges at draw " << i;
+  }
+}
+
+TEST(FillEquivalence, AllSourcesMatchSerialNext) {
+  ExpectFillMatchesNext(Lfsr(11, 5), 9000);
+  ExpectFillMatchesNext(Lfsr(8, 3, 3), 2000);  // rotated output taps
+  ExpectFillMatchesNext(CounterSource(9, 17), 3000);
+  ExpectFillMatchesNext(Mt19937Source(16, 42), 3000);
+  ExpectFillMatchesNext(VanDerCorput(10), 3000);
+  ExpectFillMatchesNext(Halton(10, 3), 3000);
+  ExpectFillMatchesNext(Sobol(12, 2), 3000);
+}
+
+TEST(FillEquivalence, FillResumesMidSequence) {
+  // Interleave next() draws with fills: the fill must pick up wherever the
+  // serial state is, not assume block-aligned consumption.
+  Sobol a(12, 3);
+  Sobol b(12, 3);
+  std::vector<std::uint32_t> got(100);
+  for (int round = 0; round < 5; ++round) {
+    EXPECT_EQ(a.next(), b.next());
+    a.fill(got.data(), got.size());
+    for (std::uint32_t v : got) EXPECT_EQ(v, b.next());
+  }
+}
+
+// --- RandomSource word API ---------------------------------------------------
+
+// Reference model for the packed word APIs, built from the serial next()
+// sequence of a clone.
+std::vector<std::uint64_t> PackCompareRef(RandomSource& src, std::size_t nbits,
+                                          std::uint64_t level) {
+  std::vector<std::uint64_t> words((nbits + 63) / 64, 0);
+  for (std::size_t i = 0; i < nbits; ++i) {
+    if (src.next() < level) words[i / 64] |= std::uint64_t{1} << (i % 64);
+  }
+  return words;
+}
+
+class WordApi : public ::testing::TestWithParam<const char*> {
+ protected:
+  [[nodiscard]] std::unique_ptr<RandomSource> make() const {
+    const std::string kind = GetParam();
+    if (kind == "lfsr") return std::make_unique<Lfsr>(11, 5);
+    if (kind == "lfsr-rot") return std::make_unique<Lfsr>(8, 3, 3);
+    if (kind == "counter") return std::make_unique<CounterSource>(9, 100);
+    if (kind == "mt") return std::make_unique<Mt19937Source>(16, 7);
+    if (kind == "vdc") return std::make_unique<VanDerCorput>(10);
+    if (kind == "halton") return std::make_unique<Halton>(10, 3);
+    return std::make_unique<Sobol>(12, 2);
+  }
+};
+
+TEST_P(WordApi, FillCompareMatchesSerialAcrossOddSplits) {
+  const auto src = make();
+  const auto ref = src->clone();
+  const std::uint64_t level = src->range() / 3;
+  // Total deliberately exceeds an 11-bit LFSR period (2047) several times
+  // so the ring-replay path engages and wraps.
+  static constexpr std::size_t kSplits[] = {1, 63, 65, 4096, 7000};
+  std::size_t total = 0;
+  for (const std::size_t n : kSplits) total += n;
+  std::vector<std::uint64_t> got((total + 63) / 64, 0);
+  std::size_t done = 0;
+  for (const std::size_t n : kSplits) {
+    // Word-aligned starts, as the kernel layer guarantees.
+    std::vector<std::uint64_t> piece((n + 63) / 64, 0);
+    src->fill_compare(piece.data(), n, level);
+    for (std::size_t i = 0; i < n; ++i) {
+      if ((piece[i / 64] >> (i % 64)) & 1u) {
+        got[(done + i) / 64] |= std::uint64_t{1} << ((done + i) % 64);
+      }
+    }
+    done += n;
+  }
+  EXPECT_EQ(got, PackCompareRef(*ref, total, level));
+}
+
+TEST_P(WordApi, FillCompareFullScaleLevelIsAllOnesAndAdvances) {
+  const auto src = make();
+  const auto ref = src->clone();
+  std::vector<std::uint64_t> words(3, 0);
+  src->fill_compare(words.data(), 130, src->range());
+  EXPECT_EQ(words[0], ~std::uint64_t{0});
+  EXPECT_EQ(words[1], ~std::uint64_t{0});
+  EXPECT_EQ(words[2], std::uint64_t{3});
+  // The sequence must still advance by 130 draws.
+  for (int i = 0; i < 130; ++i) ref->next();
+  EXPECT_EQ(src->next(), ref->next());
+}
+
+TEST_P(WordApi, FillIndicesMatchesSerialModulo) {
+  const auto src = make();
+  const auto ref = src->clone();
+  static constexpr std::uint32_t kBounds[] = {1, 2, 17, 255};
+  for (const std::uint32_t bound : kBounds) {
+    std::vector<std::uint8_t> got(5000);
+    src->fill_indices(got.data(), got.size(), bound);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i], static_cast<std::uint8_t>(ref->next() % bound))
+          << "bound=" << bound << " i=" << i;
+    }
+  }
+}
+
+TEST_P(WordApi, FillCompareTraceMatchesSerialSignedCompare) {
+  const auto src = make();
+  const auto ref = src->clone();
+  const std::size_t n = 6000;
+  std::vector<std::uint16_t> thresh(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    thresh[i] = static_cast<std::uint16_t>((i * 37) % 300);
+  }
+  std::vector<std::uint64_t> words((n + 63) / 64, 0);
+  src->fill_compare_trace(words.data(), thresh.data(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool expect =
+        static_cast<std::int32_t>(ref->next()) < static_cast<std::int32_t>(thresh[i]);
+    ASSERT_EQ((words[i / 64] >> (i % 64)) & 1u, expect ? 1u : 0u) << "i=" << i;
+  }
+}
+
+TEST_P(WordApi, WordCallsInterleaveWithSerialDraws) {
+  // Mixing next() between word calls must keep the shared sequence position
+  // (the LFSR ring replay has to resynchronize its cursor).
+  const auto src = make();
+  const auto ref = src->clone();
+  const std::uint64_t level = src->range() / 2;
+  for (int round = 0; round < 4; ++round) {
+    EXPECT_EQ(src->next(), ref->next());
+    std::vector<std::uint64_t> words(20, 0);
+    src->fill_compare(words.data(), 1237, level);
+    EXPECT_EQ(words, PackCompareRef(*ref, 1237, level));
+    std::vector<std::uint8_t> idx(301);
+    src->fill_indices(idx.data(), idx.size(), 13);
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      ASSERT_EQ(idx[i], static_cast<std::uint8_t>(ref->next() % 13));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSources, WordApi,
+                         ::testing::Values("lfsr", "lfsr-rot", "counter", "mt",
+                                           "vdc", "halton", "sobol"));
+
+TEST(WordApi, LfsrClonePreservesRingPosition) {
+  // Drive the LFSR far past its period so the replay ring is built, then
+  // clone mid-ring: the copy must continue the identical sequence.
+  Lfsr lfsr(8, 5);
+  std::vector<std::uint64_t> words(20, 0);
+  lfsr.fill_compare(words.data(), 1200, 100);
+  const auto copy = lfsr.clone();
+  std::vector<std::uint64_t> a(4, 0);
+  std::vector<std::uint64_t> b(4, 0);
+  lfsr.fill_compare(a.data(), 250, 100);
+  copy->fill_compare(b.data(), 250, 100);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(lfsr.next(), copy->next());
+}
+
+TEST(WordApi, LfsrResetRestartsWordSequence) {
+  Lfsr lfsr(9, 7);
+  std::vector<std::uint64_t> first(10, 0);
+  lfsr.fill_compare(first.data(), 640, 200);
+  lfsr.reset();
+  std::vector<std::uint64_t> again(10, 0);
+  lfsr.fill_compare(again.data(), 640, 200);
+  EXPECT_EQ(again, first);
+}
+
 }  // namespace
 }  // namespace sc::rng
